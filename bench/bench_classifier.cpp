@@ -1,0 +1,83 @@
+// B2 — feature-extraction and classification throughput: how fast can a
+// year of TGCDB-scale records be turned into a modality report?
+#include <benchmark/benchmark.h>
+
+#include "core/report.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace tg;
+
+UsageDatabase make_db(int users, int jobs_per_user) {
+  const Platform platform = teragrid_2010();
+  UsageDatabase db;
+  Rng rng(7);
+  for (int u = 0; u < users; ++u) {
+    for (int j = 0; j < jobs_per_user; ++j) {
+      JobRecord r;
+      r.resource = ResourceId{static_cast<ResourceId::rep>(
+          rng.uniform_int(0, 12))};
+      r.user = UserId{u};
+      r.project = ProjectId{u / 3};
+      r.submit_time = rng.uniform_int(0, kYear);
+      r.start_time = r.submit_time + rng.uniform_int(0, 4 * kHour);
+      r.end_time = r.start_time + rng.uniform_int(kMinute, 24 * kHour);
+      r.nodes = static_cast<int>(rng.uniform_int(1, 64));
+      r.cores_per_node = 8;
+      r.requested_walltime = 24 * kHour;
+      r.charged_nu = rng.uniform(1.0, 5000.0);
+      r.charged_su = r.charged_nu;
+      if (rng.bernoulli(0.1)) r.gateway = GatewayId{0};
+      if (rng.bernoulli(0.2)) r.workflow = WorkflowId{j};
+      db.add(std::move(r));
+    }
+  }
+  return db;
+}
+
+void BM_FeatureExtraction(benchmark::State& state) {
+  const Platform platform = teragrid_2010();
+  const auto db = make_db(static_cast<int>(state.range(0)), 100);
+  const FeatureExtractor extractor(platform);
+  for (auto _ : state) {
+    auto features = extractor.extract(db, 0, kYear + kDay);
+    benchmark::DoNotOptimize(features);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(db.jobs().size()));
+}
+BENCHMARK(BM_FeatureExtraction)->Arg(100)->Arg(1000);
+
+void BM_Classification(benchmark::State& state) {
+  const Platform platform = teragrid_2010();
+  const auto db = make_db(static_cast<int>(state.range(0)), 100);
+  const FeatureExtractor extractor(platform);
+  const auto features = extractor.extract(db, 0, kYear + kDay);
+  const RuleClassifier classifier;
+  for (auto _ : state) {
+    auto sets = classifier.classify(features);
+    benchmark::DoNotOptimize(sets);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(features.size()));
+}
+BENCHMARK(BM_Classification)->Arg(1000)->Arg(10000);
+
+void BM_FullReport(benchmark::State& state) {
+  const Platform platform = teragrid_2010();
+  const auto db = make_db(1000, 100);
+  const RuleClassifier classifier;
+  for (auto _ : state) {
+    auto report = ModalityReport::build(platform, db, classifier, 0,
+                                        kYear + kDay);
+    benchmark::DoNotOptimize(report);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(db.jobs().size()));
+}
+BENCHMARK(BM_FullReport);
+
+}  // namespace
+
+BENCHMARK_MAIN();

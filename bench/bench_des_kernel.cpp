@@ -1,0 +1,86 @@
+// B1 — DES kernel microbenchmarks: event throughput, cancellation cost,
+// and heap behaviour at depth.
+#include <benchmark/benchmark.h>
+
+#include "des/engine.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace tg;
+
+void BM_ScheduleAndRunSequential(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    Engine engine;
+    std::uint64_t sink = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      engine.schedule_at(static_cast<SimTime>(i), [&sink] { ++sink; });
+    }
+    engine.run();
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_ScheduleAndRunSequential)->Arg(1000)->Arg(100000)->Arg(1000000);
+
+void BM_ScheduleAndRunScrambled(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    Rng rng(1);
+    std::vector<SimTime> times(n);
+    for (auto& t : times) t = rng.uniform_int(0, 1'000'000);
+    state.ResumeTiming();
+    Engine engine;
+    std::uint64_t sink = 0;
+    for (SimTime t : times) {
+      engine.schedule_at(t, [&sink] { ++sink; });
+    }
+    engine.run();
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_ScheduleAndRunScrambled)->Arg(100000)->Arg(1000000);
+
+void BM_SelfReschedulingChain(benchmark::State& state) {
+  // The hot pattern of the traffic generator: one event schedules the next.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    Engine engine;
+    std::size_t count = 0;
+    std::function<void()> step = [&] {
+      if (++count < n) engine.schedule_in(1, step);
+    };
+    engine.schedule_at(0, step);
+    engine.run();
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_SelfReschedulingChain)->Arg(100000);
+
+void BM_CancelHalf(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    Engine engine;
+    std::vector<EventId> ids;
+    ids.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      ids.push_back(engine.schedule_at(static_cast<SimTime>(i), [] {}));
+    }
+    for (std::size_t i = 0; i < n; i += 2) engine.cancel(ids[i]);
+    engine.run();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_CancelHalf)->Arg(100000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

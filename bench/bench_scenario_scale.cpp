@@ -1,0 +1,60 @@
+// B4 — whole-simulator scalability: wall time and event throughput of the
+// full Scenario pipeline (platform + schedulers + middleware + accounting)
+// as the user population grows. This is the "large-scale distributed
+// systems" claim of the simulator quantified.
+#include <benchmark/benchmark.h>
+
+#include "workload/scenario.hpp"
+
+namespace {
+
+using namespace tg;
+
+ScenarioConfig scaled_config(int scale) {
+  ScenarioConfig config;
+  config.seed = 42;
+  config.horizon = 90 * kDay;
+  config.mix.capacity_users = 75 * scale;
+  config.mix.capability_users = 8 * scale;
+  config.mix.gateway_end_users = 60 * scale;
+  config.mix.workflow_users = 25 * scale;
+  config.mix.coupled_users = 4 * scale;
+  config.mix.viz_users = 10 * scale;
+  config.mix.data_users = 10 * scale;
+  config.mix.exploratory_users = 35 * scale;
+  return config;
+}
+
+void BM_ScenarioQuarter(benchmark::State& state) {
+  const int scale = static_cast<int>(state.range(0));
+  std::uint64_t events = 0;
+  std::size_t jobs = 0;
+  for (auto _ : state) {
+    Scenario scenario(scaled_config(scale));
+    scenario.run();
+    events += scenario.engine().events_processed();
+    jobs += scenario.db().jobs().size();
+  }
+  state.counters["events/s"] = benchmark::Counter(
+      static_cast<double>(events), benchmark::Counter::kIsRate);
+  state.counters["jobs"] = static_cast<double>(
+      jobs / static_cast<std::size_t>(state.iterations()));
+}
+BENCHMARK(BM_ScenarioQuarter)->Arg(1)->Arg(4)->Arg(16)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_FullYearDefault(benchmark::State& state) {
+  for (auto _ : state) {
+    ScenarioConfig config;
+    config.seed = 42;
+    config.horizon = kYear;
+    Scenario scenario(std::move(config));
+    scenario.run();
+    benchmark::DoNotOptimize(scenario.db().jobs().size());
+  }
+}
+BENCHMARK(BM_FullYearDefault)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

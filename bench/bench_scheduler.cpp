@@ -1,0 +1,91 @@
+// B3 — scheduler microbenchmarks: cost of a scheduling pass vs queue depth
+// and policy, and end-to-end throughput of a saturated machine.
+#include <benchmark/benchmark.h>
+
+#include "sched/scheduler.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace tg;
+
+ComputeResource machine() {
+  ComputeResource r;
+  r.id = ResourceId{0};
+  r.site = SiteId{0};
+  r.name = "bench";
+  r.nodes = 1024;
+  r.cores_per_node = 8;
+  r.max_walltime = 48 * kHour;
+  return r;
+}
+
+JobRequest random_job(Rng& rng) {
+  JobRequest req;
+  req.user = UserId{0};
+  req.project = ProjectId{0};
+  req.nodes = static_cast<int>(rng.uniform_int(1, 512));
+  req.actual_runtime = rng.uniform_int(10 * kMinute, 12 * kHour);
+  req.requested_walltime = static_cast<Duration>(
+      static_cast<double>(req.actual_runtime) * rng.uniform(1.0, 2.0));
+  return req;
+}
+
+void BM_SaturatedThroughput(benchmark::State& state) {
+  const auto policy = static_cast<SchedPolicy>(state.range(0));
+  const auto n = static_cast<std::size_t>(state.range(1));
+  for (auto _ : state) {
+    Engine engine;
+    SchedulerConfig cfg;
+    cfg.policy = policy;
+    ResourceScheduler sched(engine, machine(), cfg);
+    Rng rng(3);
+    for (std::size_t i = 0; i < n; ++i) {
+      engine.schedule_at(static_cast<SimTime>(i * kMinute),
+                         [&sched, &rng] { sched.submit(random_job(rng)); },
+                         EventPriority::kSubmission);
+    }
+    engine.run();
+    benchmark::DoNotOptimize(sched.metrics().jobs_finished());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_SaturatedThroughput)
+    ->Args({static_cast<int>(SchedPolicy::kFcfs), 5000})
+    ->Args({static_cast<int>(SchedPolicy::kEasyBackfill), 5000})
+    ->Args({static_cast<int>(SchedPolicy::kConservativeBackfill), 5000});
+
+void BM_EstimateStartVsQueueDepth(benchmark::State& state) {
+  const auto depth = static_cast<std::size_t>(state.range(0));
+  Engine engine;
+  SchedulerConfig cfg;
+  cfg.backfill_depth = 1 << 20;  // do not cap; measure raw scaling
+  ResourceScheduler sched(engine, machine(), cfg);
+  Rng rng(4);
+  // Fill the machine, then stack a deep queue.
+  for (std::size_t i = 0; i < depth + 8; ++i) {
+    sched.submit(random_job(rng));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sched.estimate_start(64, 4 * kHour));
+  }
+}
+BENCHMARK(BM_EstimateStartVsQueueDepth)->Arg(16)->Arg(128)->Arg(1024);
+
+void BM_ReservationBooking(benchmark::State& state) {
+  Engine engine;
+  ResourceScheduler sched(engine, machine());
+  SimTime at = kHour;
+  for (auto _ : state) {
+    const ReservationId id = sched.reserve(at, kHour, 64);
+    benchmark::DoNotOptimize(id);
+    sched.cancel_reservation(id);
+    at += kMinute;
+  }
+}
+BENCHMARK(BM_ReservationBooking);
+
+}  // namespace
+
+BENCHMARK_MAIN();

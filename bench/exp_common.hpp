@@ -1,0 +1,51 @@
+// Shared helpers for the experiment binaries (exp_*): each binary
+// regenerates one table/figure of the reconstructed evaluation (see
+// DESIGN.md §4) and optionally dumps CSV next to its stdout table.
+#pragma once
+
+#include <iostream>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+namespace tg::exp {
+
+/// Parses `--csv[=path]`; returns the path (default `<name>.csv`) if given.
+inline std::optional<std::string> csv_path(int argc, char** argv,
+                                           const std::string& name) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--csv") return name + ".csv";
+    if (arg.rfind("--csv=", 0) == 0) return arg.substr(6);
+  }
+  return std::nullopt;
+}
+
+/// Prints the standard experiment banner.
+inline void banner(const std::string& id, const std::string& title) {
+  std::cout << "=== " << id << ": " << title << " ===\n";
+}
+
+/// Writes rows to CSV when a path was requested.
+class OptionalCsv {
+ public:
+  OptionalCsv(const std::optional<std::string>& path,
+              const std::vector<std::string>& header) {
+    if (path) {
+      writer_ = std::make_unique<CsvWriter>(*path, header);
+      std::cout << "(writing " << *path << ")\n";
+    }
+  }
+  void row(const std::vector<std::string>& cells) {
+    if (writer_) writer_->write_row(cells);
+  }
+
+ private:
+  std::unique_ptr<CsvWriter> writer_;
+};
+
+}  // namespace tg::exp

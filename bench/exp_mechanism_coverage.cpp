@@ -1,0 +1,107 @@
+// Experiment T3 — measurement-mechanism coverage.
+//
+// Two parts:
+//  (a) a static table of which record stream identifies each modality (the
+//      paper's proposal), with the measured fraction of that modality's
+//      ground-truth users the mechanism actually recovered;
+//  (b) the gateway attribute-coverage sweep: the paper's key measurement
+//      gap is that gateways only sometimes attach end-user attributes; we
+//      sweep the coverage rate and report the end-user undercount.
+#include <iostream>
+#include <map>
+#include <vector>
+
+#include "bench/exp_common.hpp"
+#include "core/scoring.hpp"
+#include "util/stats.hpp"
+#include "workload/scenario.hpp"
+
+namespace {
+
+tg::ScenarioConfig config_with_coverage(double coverage) {
+  tg::ScenarioConfig c;
+  c.seed = 42;
+  c.horizon = 180 * tg::kDay;
+  c.gateway_attribute_coverage = coverage;
+  c.gateway_adoption_ramp = 0.0;  // everyone active; isolates the gap
+  return c;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace tg;
+  exp::banner("T3", "Measurement-mechanism coverage per modality");
+
+  // --- (a) per-modality recall of the proposed mechanisms ---
+  {
+    Scenario scenario(config_with_coverage(0.9));
+    scenario.run();
+    const RuleClassifier classifier;
+    const auto labelled = scenario.predictions(classifier);
+    const auto cm = score_primary(labelled.truth, labelled.predicted);
+    Table t({"Modality", "Mechanism (record stream)", "Recall", "Precision"});
+    for (const ModalityInfo& info : taxonomy()) {
+      t.add_row({info.name, info.mechanism,
+                 Table::num(cm.recall(info.modality), 3),
+                 Table::num(cm.precision(info.modality), 3)});
+    }
+    std::cout << t << "\n";
+  }
+
+  // --- (b) gateway attribute-coverage sweep ---
+  // Three views of the gap: the attributable *job/charge* fraction tracks
+  // coverage linearly; the distinct end-user count is robust (any one
+  // attributed job identifies a user); the identification *delay* — how
+  // long a new portal user stays invisible — grows as coverage falls.
+  std::cout << "Gateway attribute coverage sweep:\n";
+  Table sweep({"Coverage", "End users (true)", "Measured", "Jobs attributed",
+               "Median days to identify"});
+  exp::OptionalCsv csv(exp::csv_path(argc, argv, "exp_mechanism_coverage"),
+                       {"coverage", "true_end_users", "measured_end_users",
+                        "attributed_job_fraction", "median_identify_days"});
+  for (const double coverage : {0.25, 0.5, 0.75, 0.9, 1.0}) {
+    Scenario scenario(config_with_coverage(coverage));
+    scenario.run();
+    const RuleClassifier classifier;
+    const ModalityReport report = scenario.report(classifier);
+    const int truth =
+        static_cast<int>(scenario.population().gateway_end_users.size());
+    const int measured = report.gateway_end_users();
+
+    long gateway_jobs = 0;
+    long attributed = 0;
+    // Identification delay: first *attributed* record of a label minus the
+    // label's activation time (ground truth from the population).
+    std::map<std::string, SimTime> first_seen;
+    std::vector<double> delays_days;
+    for (const JobRecord& r : scenario.db().jobs()) {
+      if (!r.gateway.valid()) continue;
+      ++gateway_jobs;
+      if (r.gateway_end_user.empty()) continue;
+      ++attributed;
+      auto [it, inserted] = first_seen.emplace(r.gateway_end_user, r.end_time);
+      if (!inserted) it->second = std::min(it->second, r.end_time);
+    }
+    for (const auto& eu : scenario.population().gateway_end_users) {
+      const auto it = first_seen.find(eu.label);
+      if (it == first_seen.end()) continue;
+      delays_days.push_back(to_days(it->second - eu.active_from));
+    }
+    const double job_frac =
+        gateway_jobs > 0 ? static_cast<double>(attributed) / gateway_jobs
+                         : 0.0;
+    const double median_delay = percentile(delays_days, 0.5);
+    sweep.add_row({Table::pct(coverage, 0), Table::num(std::int64_t{truth}),
+                   Table::num(std::int64_t{measured}), Table::pct(job_frac),
+                   Table::num(median_delay, 1)});
+    csv.row({Table::num(coverage, 2), std::to_string(truth),
+             std::to_string(measured), Table::num(job_frac, 4),
+             Table::num(median_delay, 3)});
+  }
+  std::cout << sweep
+            << "\nUser counts degrade slowly (one attributed job suffices to\n"
+               "identify a user) but attributable charge falls linearly with\n"
+               "coverage and new users stay invisible longer.\n";
+  return 0;
+}

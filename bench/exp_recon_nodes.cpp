@@ -1,0 +1,135 @@
+// Experiment F7 — the reconfigurable-node extension (novelty-band item):
+// a 16-node cluster runs a mixed task set while the number of
+// FPGA-augmented nodes and the reconfiguration cost are swept. Reproduces
+// the "expected trend" analysis of the reconfigurable-grid-simulator
+// literature: makespan falls as reconfigurable nodes are added until the
+// accelerable fraction is saturated, and large reconfiguration times eat
+// the hardware speedup unless configurations are reused.
+#include <iostream>
+
+#include "bench/exp_common.hpp"
+#include "recon/recon.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace tg;
+
+struct RunResult {
+  SimTime makespan = 0;
+  ReconStats stats;
+};
+
+RunResult run_cluster(int recon_nodes, Duration reconfig_time,
+                      double bitstream_mb, int total_nodes = 16,
+                      int tasks = 400,
+                      ReconPolicy policy = ReconPolicy::kAffinity) {
+  Engine engine;
+  std::vector<ReconNodeSpec> nodes;
+  for (int i = 0; i < total_nodes - recon_nodes; ++i) {
+    nodes.push_back({false, 0.0});
+  }
+  for (int i = 0; i < recon_nodes; ++i) nodes.push_back({true, 2.0});
+  // Four kernel configurations, each one area unit.
+  std::vector<ReconConfig> configs(4,
+                                   {1.0, reconfig_time, bitstream_mb * 1e6});
+  ReconCluster cluster(engine, std::move(nodes), std::move(configs), 1.0,
+                       policy);
+
+  Rng rng(99);
+  for (int i = 0; i < tasks; ++i) {
+    ReconTask t;
+    if (rng.bernoulli(0.7)) {  // accelerable mix
+      t.config = static_cast<int>(rng.uniform_int(0, 3));
+      t.speedup = 8.0;
+    } else {
+      t.config = -1;
+      t.speedup = 1.0;
+    }
+    t.gpp_runtime = rng.uniform_int(5 * kMinute, 30 * kMinute);
+    cluster.submit(std::move(t));
+  }
+  engine.run();
+  return RunResult{engine.now(), cluster.stats()};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  exp::banner("F7", "Reconfigurable-node sweep (16-node cluster, 400 tasks)");
+
+  std::cout << "(a) Makespan vs number of reconfigurable nodes "
+               "(reconfig 10 s, bitstream 32 MB):\n";
+  Table a({"Recon nodes", "Makespan (h)", "Speedup vs 0", "On recon",
+           "Reconfigs", "Config hits"});
+  exp::OptionalCsv csv(exp::csv_path(argc, argv, "exp_recon_nodes"),
+                       {"sweep", "value", "makespan_h", "on_recon",
+                        "reconfigurations"});
+  const RunResult base = run_cluster(0, 10 * kSecond, 32.0);
+  for (const int n : {0, 2, 4, 8, 12, 16}) {
+    const RunResult r = run_cluster(n, 10 * kSecond, 32.0);
+    a.add_row({Table::num(std::int64_t{n}), Table::num(to_hours(r.makespan), 2),
+               Table::num(static_cast<double>(base.makespan) /
+                              static_cast<double>(r.makespan),
+                          2) + "x",
+               Table::num(static_cast<std::int64_t>(r.stats.tasks_on_recon)),
+               Table::num(static_cast<std::int64_t>(r.stats.reconfigurations)),
+               Table::num(static_cast<std::int64_t>(r.stats.config_hits))});
+    csv.row({"recon_nodes", std::to_string(n),
+             Table::num(to_hours(r.makespan), 3),
+             std::to_string(r.stats.tasks_on_recon),
+             std::to_string(r.stats.reconfigurations)});
+  }
+  std::cout << a << "\n(b) Makespan vs reconfiguration time (8 recon "
+                    "nodes):\n";
+  Table b({"Reconfig time", "Makespan (h)", "Reconfigs",
+           "Total reconfig time (h)"});
+  for (const Duration rt : {Duration{0}, kSecond, 10 * kSecond, kMinute,
+                            5 * kMinute, 20 * kMinute}) {
+    const RunResult r = run_cluster(8, rt, 32.0);
+    b.add_row({format_duration(rt), Table::num(to_hours(r.makespan), 2),
+               Table::num(static_cast<std::int64_t>(r.stats.reconfigurations)),
+               Table::num(to_hours(r.stats.total_reconfig_time), 2)});
+    csv.row({"reconfig_time_s", Table::num(to_seconds(rt), 0),
+             Table::num(to_hours(r.makespan), 3),
+             std::to_string(r.stats.tasks_on_recon),
+             std::to_string(r.stats.reconfigurations)});
+  }
+  std::cout << b << "\n(c) Makespan vs bitstream size (8 recon nodes, "
+                    "1 Gb/s config link, reconfig 10 s):\n";
+  Table c({"Bitstream (MB)", "Makespan (h)", "Setup share"});
+  for (const double mb : {1.0, 32.0, 128.0, 512.0, 2048.0}) {
+    const RunResult r = run_cluster(8, 10 * kSecond, mb);
+    const double setup_share =
+        static_cast<double>(r.stats.total_reconfig_time) /
+        static_cast<double>(std::max<Duration>(1, r.stats.busy_time));
+    c.add_row({Table::num(mb, 0), Table::num(to_hours(r.makespan), 2),
+               Table::pct(setup_share)});
+    csv.row({"bitstream_mb", Table::num(mb, 0),
+             Table::num(to_hours(r.makespan), 3),
+             std::to_string(r.stats.tasks_on_recon),
+             std::to_string(r.stats.reconfigurations)});
+  }
+  std::cout << c << "\n(d) Placement policy comparison (8 recon nodes, "
+                    "reconfig 1 min):\n";
+  Table d({"Policy", "Makespan (h)", "Reconfigs", "Config hits",
+           "On recon"});
+  for (const ReconPolicy policy :
+       {ReconPolicy::kAffinity, ReconPolicy::kFirstFit,
+        ReconPolicy::kDedicated}) {
+    const RunResult r = run_cluster(8, kMinute, 32.0, 16, 400, policy);
+    d.add_row({to_string(policy), Table::num(to_hours(r.makespan), 2),
+               Table::num(static_cast<std::int64_t>(r.stats.reconfigurations)),
+               Table::num(static_cast<std::int64_t>(r.stats.config_hits)),
+               Table::num(static_cast<std::int64_t>(r.stats.tasks_on_recon))});
+    csv.row({"policy", to_string(policy), Table::num(to_hours(r.makespan), 3),
+             std::to_string(r.stats.tasks_on_recon),
+             std::to_string(r.stats.reconfigurations)});
+  }
+  std::cout << d
+            << "\nAffinity minimizes reconfigurations; first-fit wastes\n"
+               "hardware on plain tasks and thrashes configurations;\n"
+               "dedicated waits for hardware, which wins while the 8x\n"
+               "speedup outweighs queueing and loses once it doesn't.\n";
+  return 0;
+}

@@ -1,0 +1,26 @@
+// Example: generate the full annual usage report — the production artifact
+// the paper's measurement programme exists to feed. Simulates one
+// allocation year and prints every section (platform, headline usage,
+// modalities, per-resource delivery, fields of science, data movement).
+//
+// Run: ./build/examples/annual_report
+#include <iostream>
+
+#include "core/annual_report.hpp"
+#include "workload/scenario.hpp"
+
+int main() {
+  tg::ScenarioConfig config;
+  config.seed = 2010;  // the reporting year
+  config.horizon = tg::kYear;
+  tg::Scenario scenario(std::move(config));
+  scenario.run();
+
+  tg::AnnualReportOptions options;
+  options.from = 0;
+  options.to = scenario.engine().now() + 1;
+  std::cout << tg::generate_annual_report(scenario.platform(),
+                                          scenario.community(),
+                                          scenario.db(), options);
+  return 0;
+}

@@ -1,0 +1,39 @@
+#include "accounting/ledger.hpp"
+
+#include "util/error.hpp"
+
+namespace tg {
+
+AllocationLedger::AllocationLedger(const Community& community)
+    : community_(community), charged_(community.projects().size(), 0.0) {}
+
+void AllocationLedger::debit(ProjectId project, double nu) {
+  TG_REQUIRE(nu >= 0.0, "cannot debit a negative charge");
+  const auto idx = static_cast<std::size_t>(project.value());
+  if (idx >= charged_.size()) charged_.resize(idx + 1, 0.0);
+  charged_[idx] += nu;
+  total_charged_ += nu;
+}
+
+double AllocationLedger::balance(ProjectId project) const {
+  return community_.project(project).allocation_nu - charged(project);
+}
+
+double AllocationLedger::charged(ProjectId project) const {
+  const auto idx = static_cast<std::size_t>(project.value());
+  return idx < charged_.size() ? charged_[idx] : 0.0;
+}
+
+bool AllocationLedger::overdrawn(ProjectId project) const {
+  return balance(project) < 0.0;
+}
+
+std::size_t AllocationLedger::overdrawn_count() const {
+  std::size_t n = 0;
+  for (const Project& p : community_.projects()) {
+    if (overdrawn(p.id)) ++n;
+  }
+  return n;
+}
+
+}  // namespace tg

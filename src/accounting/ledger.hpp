@@ -1,0 +1,38 @@
+// Allocation ledger: tracks each project's normalized-unit balance.
+//
+// TeraGrid allocations were soft-enforced: projects could overdraw briefly
+// and were then throttled at renewal. We track balances and overdraft so
+// experiments can report usage against allocation, without hard-rejecting
+// submissions (matching production behaviour).
+#pragma once
+
+#include <vector>
+
+#include "infra/community.hpp"
+#include "util/ids.hpp"
+
+namespace tg {
+
+class AllocationLedger {
+ public:
+  explicit AllocationLedger(const Community& community);
+
+  /// Debits `nu` from the project's balance.
+  void debit(ProjectId project, double nu);
+
+  [[nodiscard]] double balance(ProjectId project) const;
+  [[nodiscard]] double charged(ProjectId project) const;
+  /// True if the project has used more than its award.
+  [[nodiscard]] bool overdrawn(ProjectId project) const;
+  /// Total NUs charged across all projects.
+  [[nodiscard]] double total_charged() const { return total_charged_; }
+  /// Number of overdrawn projects.
+  [[nodiscard]] std::size_t overdrawn_count() const;
+
+ private:
+  const Community& community_;
+  std::vector<double> charged_;
+  double total_charged_ = 0.0;
+};
+
+}  // namespace tg

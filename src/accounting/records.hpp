@@ -1,0 +1,67 @@
+// The record types the central accounting database collects.
+//
+// These mirror what the TeraGrid central database (TGCDB, fed by AMIE
+// packets) and auxiliary logs held: batch job records, GridFTP transfer
+// records, interactive session records, and science-gateway end-user
+// attributes. The modality classifier consumes *only* these records — it
+// never inspects live simulator state — matching the paper's premise that
+// modalities must be inferred from collected usage data.
+#pragma once
+
+#include <string>
+
+#include "des/time.hpp"
+#include "sched/job.hpp"
+#include "util/ids.hpp"
+
+namespace tg {
+
+struct JobRecord {
+  JobId job;
+  ResourceId resource;
+  UserId user;           ///< the account the job ran under (community
+                         ///< account for gateway jobs)
+  ProjectId project;
+  SimTime submit_time = 0;
+  SimTime start_time = 0;
+  SimTime end_time = 0;
+  int nodes = 0;
+  int cores_per_node = 0;
+  Duration requested_walltime = 0;
+  JobState final_state = JobState::kCompleted;
+  double charged_su = 0.0;  ///< core-hours
+  double charged_nu = 0.0;  ///< normalized units (SU x machine factor)
+  // Attributes (the paper's measurement hooks):
+  GatewayId gateway;             ///< valid if submitted via a gateway
+  std::string gateway_end_user;  ///< end-user attribute; empty if unreported
+  WorkflowId workflow;           ///< valid if part of a workflow/ensemble
+  bool interactive = false;
+  bool coallocated = false;
+  bool viz_resource = false;  ///< ran on a visualization system
+
+  [[nodiscard]] Duration wait() const { return start_time - submit_time; }
+  [[nodiscard]] Duration runtime() const { return end_time - start_time; }
+  [[nodiscard]] int width_cores() const { return nodes * cores_per_node; }
+};
+
+struct TransferRecord {
+  TransferId transfer;
+  SiteId src;
+  SiteId dst;
+  UserId user;
+  ProjectId project;
+  double bytes = 0.0;
+  SimTime submit_time = 0;
+  SimTime end_time = 0;
+};
+
+/// An interactive login/visualization session on a resource.
+struct SessionRecord {
+  UserId user;
+  ResourceId resource;
+  SimTime start_time = 0;
+  SimTime end_time = 0;
+  bool viz = false;
+};
+
+}  // namespace tg

@@ -1,0 +1,128 @@
+#include "accounting/swf.hpp"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace tg {
+
+namespace {
+
+long to_swf_status(JobState state) {
+  switch (state) {
+    case JobState::kCompleted: return 1;
+    case JobState::kFailed:
+    case JobState::kKilled: return 0;
+    case JobState::kCancelled: return 5;
+    default: return -1;
+  }
+}
+
+}  // namespace
+
+std::string to_swf_line(const JobRecord& r, long job_number) {
+  std::ostringstream os;
+  const long submit = static_cast<long>(r.submit_time / kSecond);
+  const long wait = static_cast<long>(r.wait() / kSecond);
+  const long run = static_cast<long>(r.runtime() / kSecond);
+  const long procs = r.width_cores();
+  os << job_number << ' '            // 1 job number
+     << submit << ' '                // 2 submit time
+     << wait << ' '                  // 3 wait time
+     << run << ' '                   // 4 run time
+     << procs << ' '                 // 5 allocated processors
+     << -1 << ' '                    // 6 average CPU time
+     << -1 << ' '                    // 7 used memory
+     << procs << ' '                 // 8 requested processors
+     << static_cast<long>(r.requested_walltime / kSecond) << ' '  // 9
+     << -1 << ' '                    // 10 requested memory
+     << to_swf_status(r.final_state) << ' '  // 11 status
+     << r.user.value() << ' '        // 12 user
+     << r.project.value() << ' '     // 13 group (project)
+     << -1 << ' '                    // 14 executable
+     << (r.gateway.valid() ? 1 : 0) << ' '  // 15 queue (gateway flag)
+     << r.resource.value() << ' '    // 16 partition (resource)
+     << -1 << ' '                    // 17 preceding job
+     << -1;                          // 18 think time
+  return os.str();
+}
+
+void export_swf(const UsageDatabase& db, std::ostream& out,
+                const std::string& platform_name) {
+  out << "; SWF export from tgsim\n"
+      << "; Computer: " << platform_name << "\n"
+      << "; MaxJobs: " << db.jobs().size() << "\n"
+      << "; Note: field 15 (queue) is 1 for science-gateway jobs\n"
+      << "; Note: field 16 (partition) is the tgsim resource id\n";
+  long number = 1;
+  for (const JobRecord& r : db.jobs()) {
+    out << to_swf_line(r, number++) << '\n';
+  }
+}
+
+std::vector<SwfJob> import_swf(std::istream& in) {
+  std::vector<SwfJob> out;
+  std::string line;
+  long line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    const auto first = line.find_first_not_of(" \t");
+    if (first == std::string::npos || line[first] == ';') continue;
+    std::istringstream fields(line);
+    long f[18];
+    for (int i = 0; i < 18; ++i) {
+      TG_REQUIRE(fields >> f[i],
+                 "malformed SWF line " << line_number << ": '" << line << "'");
+    }
+    SwfJob job;
+    job.job_number = f[0];
+    job.submit_seconds = f[1];
+    job.wait_seconds = f[2];
+    job.run_seconds = f[3];
+    job.allocated_procs = f[4];
+    job.requested_procs = f[7];
+    job.requested_seconds = f[8];
+    job.status = static_cast<int>(f[10]);
+    job.user = f[11];
+    job.group = f[12];
+    job.partition = f[15];
+    out.push_back(job);
+  }
+  return out;
+}
+
+JobRequest to_request(const SwfJob& job, int cores_per_node) {
+  TG_REQUIRE(cores_per_node >= 1, "cores_per_node must be >= 1");
+  JobRequest req;
+  if (job.user >= 0) req.user = UserId{static_cast<UserId::rep>(job.user)};
+  if (job.group >= 0) {
+    req.project = ProjectId{static_cast<ProjectId::rep>(job.group)};
+  }
+  const long procs =
+      std::max(1L, job.requested_procs > 0 ? job.requested_procs
+                                           : job.allocated_procs);
+  req.nodes = static_cast<int>((procs + cores_per_node - 1) / cores_per_node);
+  const long run = std::max(1L, job.run_seconds);
+  req.actual_runtime = run * kSecond;
+  const long requested =
+      job.requested_seconds > 0 ? job.requested_seconds : run;
+  req.requested_walltime = std::max<Duration>(req.actual_runtime,
+                                              requested * kSecond);
+  if (job.status == 0) {
+    if (run < requested) {
+      // Application failure at the recorded runtime.
+      req.fails = true;
+      req.fail_after = run * kSecond;
+      req.actual_runtime = req.requested_walltime;
+    } else {
+      // Ran to the wall: reproduce as a walltime kill.
+      req.actual_runtime = req.requested_walltime + kSecond;
+    }
+  }
+  return req;
+}
+
+}  // namespace tg

@@ -1,0 +1,55 @@
+// Standard Workload Format (SWF) interchange.
+//
+// The Parallel Workloads Archive's SWF is the lingua franca for batch-job
+// traces (and how TeraGrid-era accounting data circulated). This module
+// exports a UsageDatabase's job records as SWF and parses SWF text back
+// into replayable jobs, so tgsim output can be analyzed with standard
+// tools and archive traces can drive the scheduler substrate.
+//
+// SWF is one line per job with 18 whitespace-separated fields; missing
+// values are -1. Header lines start with ';'.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "accounting/usage_db.hpp"
+
+namespace tg {
+
+/// One parsed SWF job (field names follow the SWF standard).
+struct SwfJob {
+  long job_number = -1;
+  long submit_seconds = -1;
+  long wait_seconds = -1;
+  long run_seconds = -1;
+  long allocated_procs = -1;
+  long requested_procs = -1;
+  long requested_seconds = -1;
+  int status = -1;  ///< 1 completed, 0 failed/killed, 5 cancelled
+  long user = -1;
+  long group = -1;  ///< we map the project here
+  long partition = -1;  ///< we map the resource id here
+};
+
+/// Serializes one job record as an SWF line. `job_number` is 1-based per
+/// the SWF convention.
+[[nodiscard]] std::string to_swf_line(const JobRecord& record,
+                                      long job_number);
+
+/// Writes the database's job records (in record order) as an SWF file with
+/// a descriptive header.
+void export_swf(const UsageDatabase& db, std::ostream& out,
+                const std::string& platform_name = "tgsim");
+
+/// Parses SWF text; header/comment lines are skipped, malformed lines
+/// throw PreconditionError with the offending line number.
+[[nodiscard]] std::vector<SwfJob> import_swf(std::istream& in);
+
+/// Converts a parsed SWF job into a submittable request for replay on a
+/// machine with `cores_per_node` cores. Runtimes/walltimes are clamped to
+/// at least one second; processor counts round up to whole nodes.
+[[nodiscard]] JobRequest to_request(const SwfJob& job, int cores_per_node);
+
+}  // namespace tg

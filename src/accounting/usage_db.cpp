@@ -1,0 +1,97 @@
+#include "accounting/usage_db.hpp"
+
+#include "accounting/charge.hpp"
+
+namespace tg {
+
+double UsageDatabase::total_nu() const {
+  double total = 0.0;
+  for (const auto& r : jobs_) total += r.charged_nu;
+  return total;
+}
+
+std::vector<const JobRecord*> UsageDatabase::jobs_of(UserId user) const {
+  std::vector<const JobRecord*> out;
+  for (const auto& r : jobs_) {
+    if (r.user == user) out.push_back(&r);
+  }
+  return out;
+}
+
+std::vector<const JobRecord*> UsageDatabase::jobs_in(SimTime from,
+                                                     SimTime to) const {
+  std::vector<const JobRecord*> out;
+  for (const auto& r : jobs_) {
+    if (r.end_time >= from && r.end_time < to) out.push_back(&r);
+  }
+  return out;
+}
+
+Recorder::Recorder(const Platform& platform, UsageDatabase& db,
+                   AllocationLedger* ledger)
+    : platform_(platform), db_(db), ledger_(ledger) {}
+
+void Recorder::attach(SchedulerPool& pool) {
+  pool.add_on_end_all([this](const Job& job) { on_job_end(job); });
+}
+
+void Recorder::attach(ResourceScheduler& scheduler) {
+  scheduler.add_on_end([this](const Job& job) { on_job_end(job); });
+}
+
+void Recorder::attach(FlowManager& flows) {
+  flows.set_transfer_observer([this](const Flow& flow) {
+    TransferRecord r;
+    r.transfer = flow.id;
+    r.src = flow.src;
+    r.dst = flow.dst;
+    r.user = flow.user;
+    r.project = flow.project;
+    r.bytes = flow.total_bytes;
+    r.submit_time = flow.submitted;
+    r.end_time = flow.completed;
+    db_.add(std::move(r));
+  });
+}
+
+void Recorder::record_session(UserId user, ResourceId resource, SimTime start,
+                              SimTime end, bool viz) {
+  SessionRecord s;
+  s.user = user;
+  s.resource = resource;
+  s.start_time = start;
+  s.end_time = end;
+  s.viz = viz;
+  db_.add(std::move(s));
+}
+
+void Recorder::on_job_end(const Job& job) {
+  if (job.state == JobState::kCancelled) return;  // never ran, no record
+  const ComputeResource& res = platform_.compute_at(job.resource);
+  const Charge charge = charge_for(job, res);
+
+  JobRecord r;
+  r.job = job.id;
+  r.resource = job.resource;
+  r.user = job.req.user;
+  r.project = job.req.project;
+  r.submit_time = job.submit_time;
+  r.start_time = job.start_time;
+  r.end_time = job.end_time;
+  r.nodes = job.req.nodes;
+  r.cores_per_node = res.cores_per_node;
+  r.requested_walltime = job.req.requested_walltime;
+  r.final_state = job.state;
+  r.charged_su = charge.su;
+  r.charged_nu = charge.nu;
+  r.gateway = job.req.gateway;
+  r.gateway_end_user = job.req.gateway_end_user;
+  r.workflow = job.req.workflow;
+  r.interactive = job.req.interactive;
+  r.coallocated = job.req.coallocated;
+  r.viz_resource = res.interactive_viz;
+  if (ledger_ != nullptr) ledger_->debit(r.project, r.charged_nu);
+  db_.add(std::move(r));
+}
+
+}  // namespace tg

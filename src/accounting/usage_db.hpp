@@ -1,0 +1,76 @@
+// The central usage database (TGCDB analogue) and the Recorder that feeds
+// it from live simulator components.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "accounting/ledger.hpp"
+#include "accounting/records.hpp"
+#include "des/engine.hpp"
+#include "infra/community.hpp"
+#include "infra/platform.hpp"
+#include "net/flow.hpp"
+#include "sched/pool.hpp"
+
+namespace tg {
+
+/// Append-only store of usage records with simple query helpers. The
+/// modality classifier reads exactly this.
+class UsageDatabase {
+ public:
+  void add(JobRecord r) { jobs_.push_back(std::move(r)); }
+  void add(TransferRecord r) { transfers_.push_back(std::move(r)); }
+  void add(SessionRecord r) { sessions_.push_back(std::move(r)); }
+
+  [[nodiscard]] const std::vector<JobRecord>& jobs() const { return jobs_; }
+  [[nodiscard]] const std::vector<TransferRecord>& transfers() const {
+    return transfers_;
+  }
+  [[nodiscard]] const std::vector<SessionRecord>& sessions() const {
+    return sessions_;
+  }
+
+  /// Total NUs charged across all job records.
+  [[nodiscard]] double total_nu() const;
+  /// Job records for `user`, in arrival order.
+  [[nodiscard]] std::vector<const JobRecord*> jobs_of(UserId user) const;
+  /// Records whose end time falls in [from, to).
+  [[nodiscard]] std::vector<const JobRecord*> jobs_in(SimTime from,
+                                                      SimTime to) const;
+
+ private:
+  std::vector<JobRecord> jobs_;
+  std::vector<TransferRecord> transfers_;
+  std::vector<SessionRecord> sessions_;
+};
+
+/// Wires live components into the database: converts finished jobs into
+/// charged JobRecords (debiting the ledger), completed flows into
+/// TransferRecords, and exposes a session-logging entry point.
+class Recorder {
+ public:
+  Recorder(const Platform& platform, UsageDatabase& db,
+           AllocationLedger* ledger = nullptr);
+
+  /// Observes every scheduler in the pool.
+  void attach(SchedulerPool& pool);
+  /// Observes one scheduler.
+  void attach(ResourceScheduler& scheduler);
+  /// Observes completed WAN transfers.
+  void attach(FlowManager& flows);
+
+  /// Interactive sessions are logged by the session owner (the workload
+  /// generator calls this when a session ends).
+  void record_session(UserId user, ResourceId resource, SimTime start,
+                      SimTime end, bool viz);
+
+ private:
+  void on_job_end(const Job& job);
+
+  const Platform& platform_;
+  UsageDatabase& db_;
+  AllocationLedger* ledger_;
+};
+
+}  // namespace tg

@@ -1,0 +1,85 @@
+#include "core/classifier.hpp"
+
+#include "util/error.hpp"
+
+namespace tg {
+
+RuleClassifier::RuleClassifier(ClassifierThresholds thresholds)
+    : thresholds_(thresholds) {
+  TG_REQUIRE(thresholds.gateway_fraction > 0.0 &&
+                 thresholds.gateway_fraction <= 1.0,
+             "gateway fraction must be a probability");
+  TG_REQUIRE(thresholds.capability_machine_fraction > 0.0 &&
+                 thresholds.capability_machine_fraction <= 1.0,
+             "capability fraction must be a probability");
+}
+
+ModalitySet RuleClassifier::classify(const UserFeatures& f) const {
+  const ClassifierThresholds& t = thresholds_;
+  ModalitySet set;
+  const bool any_activity =
+      f.jobs > 0 || f.bytes_transferred > 0 || f.sessions > 0;
+  if (!any_activity) return set;
+
+  if (f.jobs > 0 && f.gateway_fraction >= t.gateway_fraction) {
+    set.add(Modality::kGateway);
+  }
+  if (f.jobs > 0 && f.coalloc_fraction >= t.coalloc_fraction) {
+    set.add(Modality::kTightlyCoupled);
+  }
+  if (f.viz_sessions > 0 ||
+      (f.jobs > 0 && f.viz_fraction >= t.viz_fraction)) {
+    set.add(Modality::kRemoteInteractive);
+  }
+  if (f.jobs > 0 && (f.workflow_fraction >= t.workflow_fraction ||
+                     f.burst_fraction >= t.workflow_fraction)) {
+    set.add(Modality::kWorkflowEnsemble);
+  }
+  if (f.max_machine_fraction >= t.capability_machine_fraction &&
+      f.max_width_cores >= t.capability_min_cores) {
+    set.add(Modality::kCapabilityBatch);
+  }
+  if (f.bytes_transferred >= t.data_min_bytes &&
+      f.bytes_per_nu() >= t.data_bytes_per_nu) {
+    set.add(Modality::kDataCentric);
+  }
+  const bool tiny_compute = f.total_nu <= t.exploratory_max_nu &&
+                            f.max_width_cores <= t.exploratory_max_cores;
+  const bool failure_heavy = f.jobs >= 3 &&
+                             f.failed_fraction >= t.exploratory_fail_fraction;
+  if (f.jobs > 0 && set.members.none() && (tiny_compute || failure_heavy)) {
+    set.add(Modality::kExploratory);
+  }
+  if (f.jobs > 0 && set.members.none()) {
+    set.add(Modality::kCapacityBatch);
+  }
+  if (set.members.none()) {
+    // Transfers/sessions only (no jobs): data-centric by construction.
+    set.add(Modality::kDataCentric);
+  }
+
+  // Primary attribution: the most specific mechanism wins.
+  static constexpr Modality kPrecedence[] = {
+      Modality::kGateway,          Modality::kTightlyCoupled,
+      Modality::kRemoteInteractive, Modality::kWorkflowEnsemble,
+      Modality::kCapabilityBatch,  Modality::kDataCentric,
+      Modality::kExploratory,      Modality::kCapacityBatch,
+  };
+  for (Modality m : kPrecedence) {
+    if (set.has(m)) {
+      set.primary = m;
+      break;
+    }
+  }
+  return set;
+}
+
+std::vector<ModalitySet> RuleClassifier::classify(
+    const std::vector<UserFeatures>& features) const {
+  std::vector<ModalitySet> out;
+  out.reserve(features.size());
+  for (const auto& f : features) out.push_back(classify(f));
+  return out;
+}
+
+}  // namespace tg

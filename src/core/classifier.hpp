@@ -1,0 +1,62 @@
+// The rule-based modality classifier.
+//
+// Maps per-user features to a set of modalities plus a primary attribution.
+// The rules implement the measurement mechanisms of DESIGN.md §2; every
+// threshold is exposed so the sensitivity experiment (F4) can sweep them.
+#pragma once
+
+#include <vector>
+
+#include "core/features.hpp"
+#include "core/modality.hpp"
+
+namespace tg {
+
+struct ClassifierThresholds {
+  /// A user is gateway-modality if at least this fraction of their jobs
+  /// carries a gateway tag (community accounts are ~1.0).
+  double gateway_fraction = 0.5;
+  /// Workflow/ensemble: workflow-tagged or burst fraction at least this.
+  double workflow_fraction = 0.25;
+  /// Tightly-coupled: co-allocated fraction at least this.
+  double coalloc_fraction = 0.05;
+  /// Interactive/viz: viz job fraction at least this, or any viz session.
+  double viz_fraction = 0.25;
+  /// Capability: some job reached this fraction of a machine AND at least
+  /// this many cores. (Half of a small cluster is not a hero run; the
+  /// absolute floor keeps clamped jobs on small machines out.)
+  double capability_machine_fraction = 0.5;
+  int capability_min_cores = 2048;
+  /// Data-centric: at least this many bytes moved ...
+  double data_min_bytes = 1e12;
+  /// ... and at least this many bytes per charged NU.
+  double data_bytes_per_nu = 1e9;
+  /// Exploratory: total charge below this many NUs ...
+  double exploratory_max_nu = 500.0;
+  /// ... and widest job below this many cores; or failure fraction above
+  /// exploratory_fail_fraction.
+  int exploratory_max_cores = 64;
+  double exploratory_fail_fraction = 0.4;
+};
+
+class RuleClassifier {
+ public:
+  explicit RuleClassifier(ClassifierThresholds thresholds = {});
+
+  /// Classifies one user. Users with no activity at all come back with an
+  /// empty member set.
+  [[nodiscard]] ModalitySet classify(const UserFeatures& f) const;
+
+  /// Classifies a batch of users, preserving order.
+  [[nodiscard]] std::vector<ModalitySet> classify(
+      const std::vector<UserFeatures>& features) const;
+
+  [[nodiscard]] const ClassifierThresholds& thresholds() const {
+    return thresholds_;
+  }
+
+ private:
+  ClassifierThresholds thresholds_;
+};
+
+}  // namespace tg

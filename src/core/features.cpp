@@ -1,0 +1,177 @@
+#include "core/features.hpp"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <set>
+
+#include "util/error.hpp"
+#include "util/stats.hpp"
+
+namespace tg {
+
+FeatureExtractor::FeatureExtractor(const Platform& platform,
+                                   FeatureConfig config)
+    : platform_(platform), config_(config) {
+  TG_REQUIRE(config.burst_window > 0 && config.burst_min_jobs >= 2,
+             "invalid burst parameters");
+}
+
+namespace {
+
+/// Counts jobs that belong to a burst: >= min_jobs submissions with the
+/// same (nodes, walltime) geometry inside a sliding window.
+int count_burst_jobs(const std::vector<const JobRecord*>& jobs,
+                     Duration window, int min_jobs) {
+  // Group by geometry, then sweep submit times.
+  std::map<std::pair<int, Duration>, std::vector<SimTime>> by_geometry;
+  for (const JobRecord* r : jobs) {
+    by_geometry[{r->nodes, r->requested_walltime}].push_back(r->submit_time);
+  }
+  int burst_jobs = 0;
+  for (auto& [geom, times] : by_geometry) {
+    std::sort(times.begin(), times.end());
+    std::vector<bool> in_burst(times.size(), false);
+    std::size_t lo = 0;
+    for (std::size_t hi = 0; hi < times.size(); ++hi) {
+      while (times[hi] - times[lo] > window) ++lo;
+      if (hi - lo + 1 >= static_cast<std::size_t>(min_jobs)) {
+        for (std::size_t k = lo; k <= hi; ++k) in_burst[k] = true;
+      }
+    }
+    burst_jobs += static_cast<int>(
+        std::count(in_burst.begin(), in_burst.end(), true));
+  }
+  return burst_jobs;
+}
+
+}  // namespace
+
+std::vector<UserFeatures> FeatureExtractor::extract(const UsageDatabase& db,
+                                                    SimTime from,
+                                                    SimTime to) const {
+  // Single pass over each record stream, grouping by user.
+  std::map<UserId, std::vector<const JobRecord*>> jobs_by_user;
+  std::map<UserId, std::vector<const TransferRecord*>> transfers_by_user;
+  std::map<UserId, std::vector<const SessionRecord*>> sessions_by_user;
+  for (const auto& r : db.jobs()) {
+    if (r.end_time >= from && r.end_time < to) {
+      jobs_by_user[r.user].push_back(&r);
+    }
+  }
+  for (const auto& r : db.transfers()) {
+    if (r.end_time >= from && r.end_time < to) {
+      transfers_by_user[r.user].push_back(&r);
+    }
+  }
+  for (const auto& r : db.sessions()) {
+    if (r.end_time >= from && r.end_time < to) {
+      sessions_by_user[r.user].push_back(&r);
+    }
+  }
+  std::set<UserId> users;
+  for (const auto& [u, v] : jobs_by_user) users.insert(u);
+  for (const auto& [u, v] : transfers_by_user) users.insert(u);
+  for (const auto& [u, v] : sessions_by_user) users.insert(u);
+
+  static const std::vector<const JobRecord*> kNoJobs;
+  static const std::vector<const TransferRecord*> kNoTransfers;
+  static const std::vector<const SessionRecord*> kNoSessions;
+  std::vector<UserFeatures> out;
+  out.reserve(users.size());
+  for (UserId u : users) {
+    const auto j = jobs_by_user.find(u);
+    const auto t = transfers_by_user.find(u);
+    const auto s = sessions_by_user.find(u);
+    out.push_back(compute(u, j != jobs_by_user.end() ? j->second : kNoJobs,
+                          t != transfers_by_user.end() ? t->second
+                                                       : kNoTransfers,
+                          s != sessions_by_user.end() ? s->second
+                                                      : kNoSessions));
+  }
+  return out;
+}
+
+UserFeatures FeatureExtractor::extract_user(const UsageDatabase& db,
+                                            UserId user, SimTime from,
+                                            SimTime to) const {
+  std::vector<const JobRecord*> jobs;
+  for (const auto& r : db.jobs()) {
+    if (r.user == user && r.end_time >= from && r.end_time < to) {
+      jobs.push_back(&r);
+    }
+  }
+  std::vector<const TransferRecord*> transfers;
+  for (const auto& r : db.transfers()) {
+    if (r.user == user && r.end_time >= from && r.end_time < to) {
+      transfers.push_back(&r);
+    }
+  }
+  std::vector<const SessionRecord*> sessions;
+  for (const auto& r : db.sessions()) {
+    if (r.user == user && r.end_time >= from && r.end_time < to) {
+      sessions.push_back(&r);
+    }
+  }
+  return compute(user, jobs, transfers, sessions);
+}
+
+UserFeatures FeatureExtractor::compute(
+    UserId user, const std::vector<const JobRecord*>& jobs,
+    const std::vector<const TransferRecord*>& transfers,
+    const std::vector<const SessionRecord*>& sessions) const {
+  UserFeatures f;
+  f.user = user;
+  f.jobs = static_cast<int>(jobs.size());
+
+  int gateway = 0;
+  int workflow = 0;
+  int coalloc = 0;
+  int viz = 0;
+  int failed = 0;
+  double width_sum = 0.0;
+  std::vector<double> runtimes;
+  std::set<ResourceId> resources;
+  for (const JobRecord* r : jobs) {
+    f.total_nu += r->charged_nu;
+    f.total_su += r->charged_su;
+    if (r->gateway.valid()) ++gateway;
+    if (r->workflow.valid()) ++workflow;
+    if (r->coallocated) ++coalloc;
+    if (r->interactive || r->viz_resource) ++viz;
+    if (r->final_state == JobState::kFailed) ++failed;
+    f.max_width_cores = std::max(f.max_width_cores, r->width_cores());
+    const ComputeResource& res = platform_.compute_at(r->resource);
+    f.max_machine_fraction =
+        std::max(f.max_machine_fraction,
+                 static_cast<double>(r->nodes) / res.nodes);
+    width_sum += r->width_cores();
+    runtimes.push_back(to_seconds(r->runtime()));
+    resources.insert(r->resource);
+  }
+  if (!jobs.empty()) {
+    const double n = static_cast<double>(jobs.size());
+    f.gateway_fraction = gateway / n;
+    f.workflow_fraction = workflow / n;
+    f.coalloc_fraction = coalloc / n;
+    f.viz_fraction = viz / n;
+    f.failed_fraction = failed / n;
+    f.mean_width_cores = width_sum / n;
+    f.mean_runtime_s =
+        std::accumulate(runtimes.begin(), runtimes.end(), 0.0) / n;
+    f.median_runtime_s = percentile(runtimes, 0.5);
+    f.burst_fraction =
+        count_burst_jobs(jobs, config_.burst_window, config_.burst_min_jobs) /
+        n;
+  }
+  f.distinct_resources = static_cast<int>(resources.size());
+
+  for (const TransferRecord* r : transfers) f.bytes_transferred += r->bytes;
+  for (const SessionRecord* r : sessions) {
+    ++f.sessions;
+    if (r->viz) ++f.viz_sessions;
+  }
+  return f;
+}
+
+}  // namespace tg

@@ -1,0 +1,82 @@
+// Per-user feature extraction from accounting records.
+//
+// The classifier sees users only through these features, which are computed
+// from the central database exactly as a TeraGrid analyst could — this is
+// the measurability constraint at the heart of the paper.
+#pragma once
+
+#include <vector>
+
+#include "accounting/usage_db.hpp"
+#include "des/time.hpp"
+#include "infra/platform.hpp"
+#include "util/ids.hpp"
+
+namespace tg {
+
+struct UserFeatures {
+  UserId user;
+  int jobs = 0;
+  double total_nu = 0.0;
+  double total_su = 0.0;
+  /// Fraction of jobs carrying a gateway tag (≈1 for community accounts).
+  double gateway_fraction = 0.0;
+  /// Fraction of jobs carrying a workflow tag.
+  double workflow_fraction = 0.0;
+  /// Fraction of jobs belonging to a same-geometry submission burst, the
+  /// signature of manual ensembles/sweeps (no workflow tag needed).
+  double burst_fraction = 0.0;
+  double coalloc_fraction = 0.0;
+  /// Fraction of jobs that were interactive or ran on a viz resource.
+  double viz_fraction = 0.0;
+  double failed_fraction = 0.0;
+  int max_width_cores = 0;
+  /// Max over jobs of nodes / machine nodes — capability signal.
+  double max_machine_fraction = 0.0;
+  double mean_width_cores = 0.0;
+  double mean_runtime_s = 0.0;
+  double median_runtime_s = 0.0;
+  int distinct_resources = 0;
+  double bytes_transferred = 0.0;
+  int sessions = 0;
+  int viz_sessions = 0;
+
+  [[nodiscard]] double bytes_per_nu() const {
+    return total_nu > 0.0 ? bytes_transferred / total_nu
+                          : bytes_transferred;
+  }
+};
+
+struct FeatureConfig {
+  /// Jobs with identical (nodes, requested walltime) submitted within this
+  /// window of each other form a burst.
+  Duration burst_window = 2 * kHour;
+  /// Minimum burst size for membership to count.
+  int burst_min_jobs = 8;
+};
+
+class FeatureExtractor {
+ public:
+  FeatureExtractor(const Platform& platform, FeatureConfig config = {});
+
+  /// Features for every user with at least one record whose end time falls
+  /// in [from, to). Sorted by user id.
+  [[nodiscard]] std::vector<UserFeatures> extract(const UsageDatabase& db,
+                                                  SimTime from,
+                                                  SimTime to) const;
+
+  /// Features for one user (empty-record users yield a zeroed entry).
+  [[nodiscard]] UserFeatures extract_user(const UsageDatabase& db, UserId user,
+                                          SimTime from, SimTime to) const;
+
+ private:
+  [[nodiscard]] UserFeatures compute(
+      UserId user, const std::vector<const JobRecord*>& jobs,
+      const std::vector<const TransferRecord*>& transfers,
+      const std::vector<const SessionRecord*>& sessions) const;
+
+  const Platform& platform_;
+  FeatureConfig config_;
+};
+
+}  // namespace tg

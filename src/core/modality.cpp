@@ -1,0 +1,65 @@
+#include "core/modality.hpp"
+
+#include <array>
+
+namespace tg {
+
+const char* to_string(Modality m) {
+  switch (m) {
+    case Modality::kCapacityBatch: return "Capacity batch computing";
+    case Modality::kCapabilityBatch: return "Capability (hero) runs";
+    case Modality::kGateway: return "Science-gateway use";
+    case Modality::kWorkflowEnsemble: return "Workflow / ensemble / sweep";
+    case Modality::kTightlyCoupled: return "Tightly-coupled distributed";
+    case Modality::kRemoteInteractive: return "Remote interactive / viz";
+    case Modality::kDataCentric: return "Data-centric (storage/transfer)";
+    case Modality::kExploratory: return "Exploratory / porting";
+  }
+  return "Unknown";
+}
+
+const char* short_name(Modality m) {
+  switch (m) {
+    case Modality::kCapacityBatch: return "capacity";
+    case Modality::kCapabilityBatch: return "capability";
+    case Modality::kGateway: return "gateway";
+    case Modality::kWorkflowEnsemble: return "workflow";
+    case Modality::kTightlyCoupled: return "coupled";
+    case Modality::kRemoteInteractive: return "interactive";
+    case Modality::kDataCentric: return "data";
+    case Modality::kExploratory: return "exploratory";
+  }
+  return "unknown";
+}
+
+std::span<const ModalityInfo> taxonomy() {
+  static constexpr std::array<ModalityInfo, kModalityCount> kTable{{
+      {Modality::kCapacityBatch, "Capacity batch computing",
+       "moderate-width batch jobs on a single resource",
+       "central job accounting records"},
+      {Modality::kCapabilityBatch, "Capability (hero) runs",
+       "jobs at >= 50% of a machine's nodes",
+       "job records vs machine size"},
+      {Modality::kGateway, "Science-gateway use",
+       "jobs under a community account on behalf of portal users",
+       "gateway end-user attributes on job records"},
+      {Modality::kWorkflowEnsemble, "Workflow / ensemble / sweep",
+       "bursts of related jobs, often with dependencies",
+       "workflow tags; geometry/burst clustering of job records"},
+      {Modality::kTightlyCoupled, "Tightly-coupled distributed",
+       "simultaneous co-allocated jobs on multiple resources",
+       "co-allocation reservations; overlapping job records"},
+      {Modality::kRemoteInteractive, "Remote interactive / viz",
+       "interactive sessions and jobs on visualization systems",
+       "session logs; viz-resource job records"},
+      {Modality::kDataCentric, "Data-centric (storage/transfer)",
+       "large WAN transfers and storage use, modest compute",
+       "GridFTP transfer records; storage allocations"},
+      {Modality::kExploratory, "Exploratory / porting",
+       "small short jobs, low total charge, frequent failures",
+       "job records (small totals, failure fraction)"},
+  }};
+  return kTable;
+}
+
+}  // namespace tg

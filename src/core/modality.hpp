@@ -1,0 +1,59 @@
+// The usage-modality taxonomy — the paper's central object.
+//
+// A modality is *what a user is doing with the cyberinfrastructure and how*:
+// the abstract says TeraGrid wants to measure modalities "to understand what
+// objectives our users are pursuing, how they go about achieving them, and
+// why". The taxonomy below is reconstructed from the paper's companion
+// TeraGrid literature (see DESIGN.md §2); each modality carries the
+// measurement mechanism the TeraGrid proposed for it.
+#pragma once
+
+#include <bitset>
+#include <cstdint>
+#include <span>
+
+namespace tg {
+
+enum class Modality : std::uint8_t {
+  kCapacityBatch = 0,   ///< ordinary batch production runs on one resource
+  kCapabilityBatch,     ///< hero runs at >= half a machine
+  kGateway,             ///< access through a science gateway
+  kWorkflowEnsemble,    ///< workflows, ensembles, parameter sweeps
+  kTightlyCoupled,      ///< co-allocated multi-resource computations
+  kRemoteInteractive,   ///< interactive / visualization / steering
+  kDataCentric,         ///< storage- and transfer-dominated use
+  kExploratory,         ///< porting, benchmarking, education, trial use
+};
+
+inline constexpr std::size_t kModalityCount = 8;
+
+[[nodiscard]] const char* to_string(Modality m);
+/// Short (<=12 char) label for table columns.
+[[nodiscard]] const char* short_name(Modality m);
+
+/// Static description of a modality: its behavioural signature and the
+/// measurement mechanism that identifies it in accounting data.
+struct ModalityInfo {
+  Modality modality;
+  const char* name;
+  const char* signature;
+  const char* mechanism;
+};
+
+/// The full taxonomy, in enum order.
+[[nodiscard]] std::span<const ModalityInfo> taxonomy();
+
+/// A user may exhibit several modalities; `primary` is the one their usage
+/// is attributed to in the headline tables.
+struct ModalitySet {
+  std::bitset<kModalityCount> members;
+  Modality primary = Modality::kCapacityBatch;
+
+  [[nodiscard]] bool has(Modality m) const {
+    return members.test(static_cast<std::size_t>(m));
+  }
+  void add(Modality m) { members.set(static_cast<std::size_t>(m)); }
+  [[nodiscard]] std::size_t count() const { return members.count(); }
+};
+
+}  // namespace tg

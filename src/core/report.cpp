@@ -1,0 +1,97 @@
+#include "core/report.hpp"
+
+#include <map>
+#include <set>
+
+namespace tg {
+
+int count_gateway_end_users(const UsageDatabase& db, SimTime from,
+                            SimTime to) {
+  std::set<std::string> labels;
+  for (const auto& r : db.jobs()) {
+    if (r.end_time >= from && r.end_time < to && !r.gateway_end_user.empty()) {
+      labels.insert(r.gateway_end_user);
+    }
+  }
+  return static_cast<int>(labels.size());
+}
+
+ModalityReport ModalityReport::build(const Platform& platform,
+                                     const UsageDatabase& db,
+                                     const RuleClassifier& classifier,
+                                     SimTime from, SimTime to,
+                                     FeatureConfig feature_config) {
+  const FeatureExtractor extractor(platform, feature_config);
+  const std::vector<UserFeatures> features = extractor.extract(db, from, to);
+  const std::vector<ModalitySet> sets = classifier.classify(features);
+
+  ModalityReport report;
+  for (std::size_t m = 0; m < kModalityCount; ++m) {
+    report.rows_[m].modality = static_cast<Modality>(m);
+  }
+  for (std::size_t i = 0; i < features.size(); ++i) {
+    const UserFeatures& f = features[i];
+    const ModalitySet& s = sets[i];
+    if (s.members.none()) continue;
+    ++report.total_users_;
+    report.total_jobs_ += f.jobs;
+    report.total_nu_ += f.total_nu;
+    for (std::size_t m = 0; m < kModalityCount; ++m) {
+      if (s.members.test(m)) ++report.rows_[m].users;
+    }
+    auto& prow = report.rows_[static_cast<std::size_t>(s.primary)];
+    ++prow.primary_users;
+    prow.jobs += f.jobs;
+    prow.nu += f.total_nu;
+  }
+  for (auto& row : report.rows_) {
+    row.user_share = report.total_users_ > 0
+                         ? static_cast<double>(row.primary_users) /
+                               report.total_users_
+                         : 0.0;
+    row.nu_share = report.total_nu_ > 0 ? row.nu / report.total_nu_ : 0.0;
+  }
+  report.gateway_end_users_ = count_gateway_end_users(db, from, to);
+  return report;
+}
+
+Table ModalityReport::to_table() const {
+  Table t({"Modality", "Users", "Primary", "Jobs", "NUs (M)", "User %",
+           "NU %"});
+  for (const auto& row : rows_) {
+    t.add_row({to_string(row.modality), Table::num(std::int64_t{row.users}),
+               Table::num(std::int64_t{row.primary_users}),
+               Table::num(static_cast<std::int64_t>(row.jobs)),
+               Table::num(row.nu / 1e6, 3), Table::pct(row.user_share),
+               Table::pct(row.nu_share)});
+  }
+  t.add_rule();
+  t.add_row({"Total", Table::num(std::int64_t{total_users_}), "",
+             Table::num(static_cast<std::int64_t>(total_jobs_)),
+             Table::num(total_nu_ / 1e6, 3), "", ""});
+  return t;
+}
+
+ModalityTimeSeries quarterly_series(const Platform& platform,
+                                    const UsageDatabase& db,
+                                    const RuleClassifier& classifier,
+                                    SimTime from, SimTime to,
+                                    FeatureConfig feature_config) {
+  ModalityTimeSeries series;
+  const FeatureExtractor extractor(platform, feature_config);
+  for (SimTime q = from; q < to; q += series.bucket) {
+    const SimTime qend = std::min(q + series.bucket, to);
+    const auto features = extractor.extract(db, q, qend);
+    const auto sets = classifier.classify(features);
+    std::array<int, kModalityCount> counts{};
+    for (const auto& s : sets) {
+      if (s.members.none()) continue;
+      ++counts[static_cast<std::size_t>(s.primary)];
+    }
+    series.primary_users.push_back(counts);
+    series.gateway_end_users.push_back(count_gateway_end_users(db, q, qend));
+  }
+  return series;
+}
+
+}  // namespace tg

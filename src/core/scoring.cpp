@@ -1,0 +1,98 @@
+#include "core/scoring.hpp"
+
+#include "util/error.hpp"
+
+namespace tg {
+
+void ConfusionMatrix::add(Modality truth, Modality predicted) {
+  ++counts_[static_cast<std::size_t>(truth)]
+           [static_cast<std::size_t>(predicted)];
+  ++total_;
+}
+
+long ConfusionMatrix::count(Modality truth, Modality predicted) const {
+  return counts_[static_cast<std::size_t>(truth)]
+                [static_cast<std::size_t>(predicted)];
+}
+
+double ConfusionMatrix::accuracy() const {
+  if (total_ == 0) return 0.0;
+  long correct = 0;
+  for (std::size_t m = 0; m < kModalityCount; ++m) correct += counts_[m][m];
+  return static_cast<double>(correct) / static_cast<double>(total_);
+}
+
+double ConfusionMatrix::precision(Modality m) const {
+  const auto col = static_cast<std::size_t>(m);
+  long predicted = 0;
+  for (std::size_t t = 0; t < kModalityCount; ++t) predicted += counts_[t][col];
+  if (predicted == 0) return 0.0;
+  return static_cast<double>(counts_[col][col]) /
+         static_cast<double>(predicted);
+}
+
+double ConfusionMatrix::recall(Modality m) const {
+  const auto row = static_cast<std::size_t>(m);
+  long truth = 0;
+  for (std::size_t p = 0; p < kModalityCount; ++p) truth += counts_[row][p];
+  if (truth == 0) return 0.0;
+  return static_cast<double>(counts_[row][row]) / static_cast<double>(truth);
+}
+
+double ConfusionMatrix::f1(Modality m) const {
+  const double p = precision(m);
+  const double r = recall(m);
+  return (p + r) > 0.0 ? 2.0 * p * r / (p + r) : 0.0;
+}
+
+double ConfusionMatrix::macro_f1() const {
+  double sum = 0.0;
+  int classes = 0;
+  for (std::size_t m = 0; m < kModalityCount; ++m) {
+    long truth = 0;
+    for (std::size_t p = 0; p < kModalityCount; ++p) truth += counts_[m][p];
+    if (truth == 0) continue;
+    sum += f1(static_cast<Modality>(m));
+    ++classes;
+  }
+  return classes > 0 ? sum / classes : 0.0;
+}
+
+Table ConfusionMatrix::to_table() const {
+  std::vector<std::string> header{"truth \\ predicted"};
+  for (std::size_t m = 0; m < kModalityCount; ++m) {
+    header.emplace_back(short_name(static_cast<Modality>(m)));
+  }
+  Table t(std::move(header));
+  for (std::size_t truth = 0; truth < kModalityCount; ++truth) {
+    std::vector<std::string> row{short_name(static_cast<Modality>(truth))};
+    for (std::size_t pred = 0; pred < kModalityCount; ++pred) {
+      row.push_back(Table::num(static_cast<std::int64_t>(counts_[truth][pred])));
+    }
+    t.add_row(std::move(row));
+  }
+  return t;
+}
+
+Table ConfusionMatrix::per_class_table() const {
+  Table t({"Modality", "Precision", "Recall", "F1"});
+  for (std::size_t m = 0; m < kModalityCount; ++m) {
+    const auto mod = static_cast<Modality>(m);
+    t.add_row({to_string(mod), Table::num(precision(mod), 3),
+               Table::num(recall(mod), 3), Table::num(f1(mod), 3)});
+  }
+  return t;
+}
+
+ConfusionMatrix score_primary(const std::vector<Modality>& truth,
+                              const std::vector<Modality>& predicted) {
+  TG_REQUIRE(truth.size() == predicted.size(),
+             "truth/predicted size mismatch");
+  ConfusionMatrix cm;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    cm.add(truth[i], predicted[i]);
+  }
+  return cm;
+}
+
+}  // namespace tg

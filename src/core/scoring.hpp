@@ -1,0 +1,56 @@
+// Ground-truth scoring of the classifier.
+//
+// In production the TeraGrid could never know a user's true modality — the
+// paper's motivating problem. Our synthetic population carries its
+// generating archetype, so here we can quantify how well the proposed
+// measurement mechanisms recover the truth.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "core/modality.hpp"
+#include "util/ids.hpp"
+#include "util/table.hpp"
+
+namespace tg {
+
+/// Ground-truth primary modality per user id (dense index).
+struct GroundTruth {
+  std::vector<Modality> primary;
+
+  [[nodiscard]] Modality of(UserId u) const {
+    return primary[static_cast<std::size_t>(u.value())];
+  }
+};
+
+class ConfusionMatrix {
+ public:
+  /// Accumulates one (truth, predicted-primary) observation.
+  void add(Modality truth, Modality predicted);
+
+  [[nodiscard]] long count(Modality truth, Modality predicted) const;
+  [[nodiscard]] long total() const { return total_; }
+  [[nodiscard]] double accuracy() const;
+  /// Of users predicted m, the fraction truly m.
+  [[nodiscard]] double precision(Modality m) const;
+  /// Of users truly m, the fraction predicted m.
+  [[nodiscard]] double recall(Modality m) const;
+  [[nodiscard]] double f1(Modality m) const;
+  /// Unweighted mean F1 over modalities with any true members.
+  [[nodiscard]] double macro_f1() const;
+
+  [[nodiscard]] Table to_table() const;
+  [[nodiscard]] Table per_class_table() const;
+
+ private:
+  std::array<std::array<long, kModalityCount>, kModalityCount> counts_{};
+  long total_ = 0;
+};
+
+/// Scores aligned (truth, predicted) vectors.
+[[nodiscard]] ConfusionMatrix score_primary(
+    const std::vector<Modality>& truth,
+    const std::vector<Modality>& predicted);
+
+}  // namespace tg

@@ -1,0 +1,102 @@
+#include "core/survey.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace tg {
+
+double SurveyEstimate::total_users() const {
+  double total = 0.0;
+  for (double u : users) total += u;
+  return total;
+}
+
+SurveyEstimator::SurveyEstimator(SurveyConfig config) : config_(config) {
+  TG_REQUIRE(config.sample_fraction > 0.0 && config.sample_fraction <= 1.0,
+             "sample fraction must be in (0,1]");
+  TG_REQUIRE(config.response_rate > 0.0 && config.response_rate <= 1.0,
+             "response rate must be in (0,1]");
+  TG_REQUIRE(config.misreport_rate >= 0.0 && config.misreport_rate < 1.0,
+             "misreport rate must be in [0,1)");
+  TG_REQUIRE(config.heavy_user_bias >= 0.0, "bias must be non-negative");
+}
+
+SurveyEstimate SurveyEstimator::run(const std::vector<Modality>& truth,
+                                    const std::vector<double>& usage_weight,
+                                    Rng& rng) const {
+  TG_REQUIRE(usage_weight.empty() || usage_weight.size() == truth.size(),
+             "usage weights misaligned with population");
+  SurveyEstimate est;
+  if (truth.empty()) return est;
+
+  // Normalize weights to mean 1 so heavy_user_bias scales around the base
+  // response rate.
+  double mean_weight = 1.0;
+  if (!usage_weight.empty()) {
+    double sum = 0.0;
+    for (double w : usage_weight) sum += w;
+    mean_weight = std::max(1e-12, sum / static_cast<double>(truth.size()));
+  }
+
+  std::array<int, kModalityCount> responses{};
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    if (!rng.bernoulli(config_.sample_fraction)) continue;
+    ++est.invited;
+    double response = config_.response_rate;
+    if (!usage_weight.empty() && config_.heavy_user_bias != 1.0) {
+      const double rel = usage_weight[i] / mean_weight;
+      // Interpolate the response rate toward heavy users: bias>1 means
+      // users with above-average usage respond proportionally more.
+      response *= std::pow(std::max(rel, 1e-3),
+                           std::log2(std::max(config_.heavy_user_bias, 1e-3)));
+      response = std::clamp(response, 0.0, 1.0);
+    }
+    if (!rng.bernoulli(response)) continue;
+    ++est.responded;
+    Modality reported = truth[i];
+    if (rng.bernoulli(config_.misreport_rate)) {
+      // Misreports land on a uniformly random *other* modality.
+      const auto shift = static_cast<std::size_t>(
+          rng.uniform_int(1, static_cast<std::int64_t>(kModalityCount) - 1));
+      reported = static_cast<Modality>(
+          (static_cast<std::size_t>(reported) + shift) % kModalityCount);
+    }
+    ++responses[static_cast<std::size_t>(reported)];
+  }
+
+  // Inverse-probability scaling from respondents to population. The
+  // analyst knows the invitation fraction and observed response count; the
+  // scale factor is population / respondents.
+  if (est.responded > 0) {
+    const double scale =
+        static_cast<double>(truth.size()) / static_cast<double>(est.responded);
+    for (std::size_t m = 0; m < kModalityCount; ++m) {
+      est.users[m] = responses[m] * scale;
+    }
+  }
+  return est;
+}
+
+double survey_mape(const SurveyEstimate& estimate,
+                   const std::array<int, kModalityCount>& truth_counts) {
+  double sum = 0.0;
+  int classes = 0;
+  for (std::size_t m = 0; m < kModalityCount; ++m) {
+    if (truth_counts[m] == 0) continue;
+    sum += std::fabs(estimate.users[m] - truth_counts[m]) /
+           static_cast<double>(truth_counts[m]);
+    ++classes;
+  }
+  return classes > 0 ? sum / classes : 0.0;
+}
+
+std::array<int, kModalityCount> count_by_modality(
+    const std::vector<Modality>& truth) {
+  std::array<int, kModalityCount> counts{};
+  for (Modality m : truth) ++counts[static_cast<std::size_t>(m)];
+  return counts;
+}
+
+}  // namespace tg

@@ -1,0 +1,69 @@
+// Survey-based modality estimation.
+//
+// Besides instrumenting accounting records, the TeraGrid's other proposed
+// way of learning usage modalities was to *ask*: user surveys and audits of
+// allocation proposals. This module models that mechanism so the two can
+// be compared quantitatively: a survey samples users, only some respond,
+// respondents occasionally misreport, and population counts are estimated
+// by inverse-probability scaling. The exp_survey_vs_records experiment
+// pits this against the record-based classifier.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "core/modality.hpp"
+#include "core/scoring.hpp"
+#include "util/rng.hpp"
+
+namespace tg {
+
+struct SurveyConfig {
+  /// Fraction of the user population invited.
+  double sample_fraction = 0.2;
+  /// Fraction of invitees who answer.
+  double response_rate = 0.35;
+  /// Probability a respondent reports the wrong primary modality.
+  double misreport_rate = 0.1;
+  /// Response-rate multiplier for heavy users (charge-weighted bias:
+  /// engaged users answer more often). 1.0 = unbiased.
+  double heavy_user_bias = 1.0;
+};
+
+struct SurveyEstimate {
+  /// Estimated number of users per primary modality (scaled to population).
+  std::array<double, kModalityCount> users{};
+  int invited = 0;
+  int responded = 0;
+
+  [[nodiscard]] double total_users() const;
+};
+
+/// Simulates one survey wave over a population with known true modalities.
+/// `usage_weight` (optional, same length as `truth`) drives the
+/// heavy-user response bias; pass empty for uniform response.
+class SurveyEstimator {
+ public:
+  explicit SurveyEstimator(SurveyConfig config = {});
+
+  [[nodiscard]] SurveyEstimate run(const std::vector<Modality>& truth,
+                                   const std::vector<double>& usage_weight,
+                                   Rng& rng) const;
+
+  [[nodiscard]] const SurveyConfig& config() const { return config_; }
+
+ private:
+  SurveyConfig config_;
+};
+
+/// Mean absolute percentage error of an estimate against true per-modality
+/// counts (classes with zero truth are skipped).
+[[nodiscard]] double survey_mape(
+    const SurveyEstimate& estimate,
+    const std::array<int, kModalityCount>& truth_counts);
+
+/// Helper: per-modality counts of a truth vector.
+[[nodiscard]] std::array<int, kModalityCount> count_by_modality(
+    const std::vector<Modality>& truth);
+
+}  // namespace tg

@@ -1,0 +1,136 @@
+#include "core/trend.hpp"
+
+#include <cmath>
+#include <map>
+
+#include "core/features.hpp"
+
+namespace tg {
+
+namespace {
+
+/// Primary modality per user for one window.
+std::map<UserId, Modality> classify_window(const Platform& platform,
+                                           const UsageDatabase& db,
+                                           const RuleClassifier& classifier,
+                                           SimTime from, SimTime to,
+                                           const FeatureConfig& features) {
+  const FeatureExtractor extractor(platform, features);
+  const auto feats = extractor.extract(db, from, to);
+  const auto sets = classifier.classify(feats);
+  std::map<UserId, Modality> out;
+  for (std::size_t i = 0; i < feats.size(); ++i) {
+    if (!sets[i].members.none()) out[feats[i].user] = sets[i].primary;
+  }
+  return out;
+}
+
+}  // namespace
+
+long ModalityChurn::total_transitions() const {
+  long total = 0;
+  for (const auto& row : transitions) {
+    for (long v : row) total += v;
+  }
+  return total;
+}
+
+double ModalityChurn::retention(Modality m) const {
+  const auto row = static_cast<std::size_t>(m);
+  long row_total = 0;
+  for (long v : transitions[row]) row_total += v;
+  if (row_total == 0) return 0.0;
+  return static_cast<double>(transitions[row][row]) /
+         static_cast<double>(row_total);
+}
+
+Table ModalityChurn::to_table() const {
+  std::vector<std::string> header{"q -> q+1"};
+  for (std::size_t m = 0; m < kModalityCount; ++m) {
+    header.emplace_back(short_name(static_cast<Modality>(m)));
+  }
+  header.emplace_back("left");
+  Table t(std::move(header));
+  for (std::size_t from = 0; from < kModalityCount; ++from) {
+    std::vector<std::string> row{short_name(static_cast<Modality>(from))};
+    for (std::size_t to = 0; to < kModalityCount; ++to) {
+      row.push_back(Table::num(static_cast<std::int64_t>(
+          transitions[from][to])));
+    }
+    row.push_back(Table::num(static_cast<std::int64_t>(departed[from])));
+    t.add_row(std::move(row));
+  }
+  std::vector<std::string> arrivals{"(new)"};
+  for (std::size_t m = 0; m < kModalityCount; ++m) {
+    arrivals.push_back(Table::num(static_cast<std::int64_t>(arrived[m])));
+  }
+  arrivals.emplace_back("-");
+  t.add_rule();
+  t.add_row(std::move(arrivals));
+  return t;
+}
+
+ModalityChurn compute_churn(const Platform& platform, const UsageDatabase& db,
+                            const RuleClassifier& classifier, SimTime from,
+                            SimTime to, Duration bucket,
+                            FeatureConfig features) {
+  ModalityChurn churn;
+  std::map<UserId, Modality> previous;
+  bool have_previous = false;
+  for (SimTime q = from; q + bucket <= to; q += bucket) {
+    auto current =
+        classify_window(platform, db, classifier, q, q + bucket, features);
+    if (have_previous) {
+      ++churn.quarter_pairs;
+      for (const auto& [user, was] : previous) {
+        const auto it = current.find(user);
+        if (it == current.end()) {
+          ++churn.departed[static_cast<std::size_t>(was)];
+        } else {
+          ++churn.transitions[static_cast<std::size_t>(was)]
+                             [static_cast<std::size_t>(it->second)];
+        }
+      }
+      for (const auto& [user, now] : current) {
+        if (!previous.count(user)) {
+          ++churn.arrived[static_cast<std::size_t>(now)];
+        }
+      }
+    }
+    previous = std::move(current);
+    have_previous = true;
+  }
+  return churn;
+}
+
+ModalityTrend compute_trend(const Platform& platform, const UsageDatabase& db,
+                            const RuleClassifier& classifier, SimTime from,
+                            SimTime to, Duration bucket,
+                            FeatureConfig features) {
+  ModalityTrend trend;
+  std::vector<std::array<int, kModalityCount>> series;
+  for (SimTime q = from; q + bucket <= to; q += bucket) {
+    const auto window =
+        classify_window(platform, db, classifier, q, q + bucket, features);
+    std::array<int, kModalityCount> counts{};
+    for (const auto& [user, m] : window) {
+      ++counts[static_cast<std::size_t>(m)];
+    }
+    series.push_back(counts);
+  }
+  trend.quarters = static_cast<int>(series.size());
+  if (series.size() < 2) return trend;
+  for (std::size_t m = 0; m < kModalityCount; ++m) {
+    trend.first_quarter_users[m] = series.front()[m];
+    trend.last_quarter_users[m] = series.back()[m];
+    if (series.front()[m] > 0 && series.back()[m] > 0) {
+      const double ratio = static_cast<double>(series.back()[m]) /
+                           static_cast<double>(series.front()[m]);
+      trend.quarterly_growth[m] =
+          std::pow(ratio, 1.0 / static_cast<double>(series.size() - 1)) - 1.0;
+    }
+  }
+  return trend;
+}
+
+}  // namespace tg

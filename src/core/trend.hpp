@@ -1,0 +1,63 @@
+// Quarter-over-quarter modality dynamics.
+//
+// The abstract's second clause — understand "how they go about achieving
+// [their objectives] ... so that we can make changes in the TeraGrid to
+// better support them" — needs more than a snapshot: it needs to know how
+// users *move* between modalities (exploratory users graduating to
+// capacity production, capacity users adopting ensembles, gateway-first
+// users appearing). This module computes per-quarter transition (churn)
+// matrices and modality growth rates from classified records.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "core/classifier.hpp"
+#include "core/modality.hpp"
+#include "util/table.hpp"
+
+namespace tg {
+
+/// Transition counts between consecutive reporting quarters.
+struct ModalityChurn {
+  /// [from][to] = users primarily in `from` during quarter q that are
+  /// primarily in `to` during quarter q+1 (summed over quarter pairs).
+  std::array<std::array<long, kModalityCount>, kModalityCount> transitions{};
+  /// Users active in q but not in q+1, by their quarter-q modality.
+  std::array<long, kModalityCount> departed{};
+  /// Users active in q+1 but not in q, by their quarter-(q+1) modality.
+  std::array<long, kModalityCount> arrived{};
+  int quarter_pairs = 0;
+
+  [[nodiscard]] long total_transitions() const;
+  /// Of users in `m` one quarter, the fraction still primarily `m` the
+  /// next (diagonal mass / row mass; 0 if the row is empty).
+  [[nodiscard]] double retention(Modality m) const;
+  [[nodiscard]] Table to_table() const;
+};
+
+/// Computes churn over consecutive `bucket`-sized windows of [from, to).
+[[nodiscard]] ModalityChurn compute_churn(const Platform& platform,
+                                          const UsageDatabase& db,
+                                          const RuleClassifier& classifier,
+                                          SimTime from, SimTime to,
+                                          Duration bucket = kQuarter,
+                                          FeatureConfig features = {});
+
+/// Per-modality compound quarterly growth rate of primary-user counts over
+/// the series (last vs first non-empty quarter, annualized per quarter).
+struct ModalityTrend {
+  std::array<double, kModalityCount> quarterly_growth{};  ///< e.g. 0.18 = +18%/q
+  std::array<int, kModalityCount> first_quarter_users{};
+  std::array<int, kModalityCount> last_quarter_users{};
+  int quarters = 0;
+};
+
+[[nodiscard]] ModalityTrend compute_trend(const Platform& platform,
+                                          const UsageDatabase& db,
+                                          const RuleClassifier& classifier,
+                                          SimTime from, SimTime to,
+                                          Duration bucket = kQuarter,
+                                          FeatureConfig features = {});
+
+}  // namespace tg

@@ -1,0 +1,68 @@
+#include "des/engine.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace tg {
+
+EventId Engine::schedule_at(SimTime t, Callback cb, EventPriority priority) {
+  TG_REQUIRE(t >= now_, "cannot schedule in the past: t=" << t
+                                                          << " now=" << now_);
+  TG_REQUIRE(cb != nullptr, "event callback must not be null");
+  const EventId id = next_id_++;
+  heap_.push(Item{t, static_cast<int>(priority), id, std::move(cb)});
+  live_.insert(id);
+  return id;
+}
+
+EventId Engine::schedule_in(Duration dt, Callback cb, EventPriority priority) {
+  TG_REQUIRE(dt >= 0, "negative delay " << dt);
+  return schedule_at(now_ + dt, std::move(cb), priority);
+}
+
+bool Engine::cancel(EventId id) {
+  // Lazy cancellation: the heap item remains and is skipped on pop.
+  return live_.erase(id) > 0;
+}
+
+bool Engine::step() {
+  while (!heap_.empty()) {
+    // priority_queue exposes only a const top(); the cast is safe because we
+    // pop the element immediately after moving from it.
+    Item item = std::move(const_cast<Item&>(heap_.top()));
+    heap_.pop();
+    if (live_.erase(item.id) == 0) continue;  // cancelled
+    TG_CHECK(item.time >= now_, "event queue went backwards");
+    now_ = item.time;
+    ++processed_;
+    item.cb();
+    return true;
+  }
+  return false;
+}
+
+std::size_t Engine::run() {
+  stopped_ = false;
+  std::size_t n = 0;
+  while (!stopped_ && step()) ++n;
+  return n;
+}
+
+std::size_t Engine::run_until(SimTime t) {
+  TG_REQUIRE(t >= now_, "run_until into the past");
+  stopped_ = false;
+  std::size_t n = 0;
+  while (!stopped_ && !heap_.empty()) {
+    // Peek through cancelled items to find the next live event time.
+    while (!heap_.empty() && live_.count(heap_.top().id) == 0) {
+      heap_.pop();
+    }
+    if (heap_.empty() || heap_.top().time > t) break;
+    if (step()) ++n;
+  }
+  if (!stopped_) now_ = std::max(now_, t);
+  return n;
+}
+
+}  // namespace tg

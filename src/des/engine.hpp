@@ -1,0 +1,94 @@
+// The discrete-event simulation engine.
+//
+// A single-threaded, deterministic event loop: events are (time, priority,
+// sequence, callback) tuples processed in strictly non-decreasing time
+// order; ties break by priority (lower runs first) and then by scheduling
+// order, so a given seed always produces an identical trace.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "des/time.hpp"
+
+namespace tg {
+
+/// Handle for cancelling a scheduled event.
+using EventId = std::uint64_t;
+inline constexpr EventId kInvalidEvent = 0;
+
+/// Priority classes: completions run before submissions at the same tick so
+/// freed resources are visible to arriving work.
+enum class EventPriority : int {
+  kCompletion = 0,
+  kDefault = 10,
+  kSubmission = 20,
+  kReporting = 100,
+};
+
+class Engine {
+ public:
+  using Callback = std::function<void()>;
+
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  /// Schedules `cb` at absolute time `t` (must be >= now()).
+  EventId schedule_at(SimTime t, Callback cb,
+                      EventPriority priority = EventPriority::kDefault);
+
+  /// Schedules `cb` after `dt` ticks (must be >= 0).
+  EventId schedule_in(Duration dt, Callback cb,
+                      EventPriority priority = EventPriority::kDefault);
+
+  /// Cancels a pending event. Returns false if already fired or cancelled.
+  bool cancel(EventId id);
+
+  /// Runs until the queue drains or stop() is called. Returns #events fired.
+  std::size_t run();
+
+  /// Processes every event with time <= `t`, then advances the clock to `t`.
+  std::size_t run_until(SimTime t);
+
+  /// Requests the current run()/run_until() to return after the in-flight
+  /// callback completes.
+  void stop() { stopped_ = true; }
+
+  [[nodiscard]] std::size_t pending() const { return live_.size(); }
+  [[nodiscard]] std::uint64_t events_processed() const { return processed_; }
+
+ private:
+  struct Item {
+    SimTime time;
+    int priority;
+    EventId id;  // doubles as the FIFO tiebreaker
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Item& a, const Item& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      if (a.priority != b.priority) return a.priority > b.priority;
+      return a.id > b.id;
+    }
+  };
+
+  /// Pops and runs the next live event; returns false if none remain.
+  bool step();
+
+  std::priority_queue<Item, std::vector<Item>, Later> heap_;
+  /// Ids of scheduled-but-not-yet-fired events; cancellation removes the
+  /// id here and the heap entry is skipped lazily on pop.
+  std::unordered_set<EventId> live_;
+  SimTime now_ = 0;
+  EventId next_id_ = 1;
+  std::uint64_t processed_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace tg

@@ -1,0 +1,27 @@
+#include "des/time.hpp"
+
+#include <cstdio>
+
+namespace tg {
+
+std::string format_duration(Duration d) {
+  const char* sign = d < 0 ? "-" : "";
+  if (d < 0) d = -d;
+  const std::int64_t days = d / kDay;
+  const std::int64_t hours = (d % kDay) / kHour;
+  const std::int64_t mins = (d % kHour) / kMinute;
+  const std::int64_t secs = (d % kMinute) / kSecond;
+  char buf[64];
+  if (days > 0) {
+    std::snprintf(buf, sizeof(buf), "%s%lldd %02lld:%02lld:%02lld", sign,
+                  static_cast<long long>(days), static_cast<long long>(hours),
+                  static_cast<long long>(mins), static_cast<long long>(secs));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%s%02lld:%02lld:%02lld", sign,
+                  static_cast<long long>(hours), static_cast<long long>(mins),
+                  static_cast<long long>(secs));
+  }
+  return buf;
+}
+
+}  // namespace tg

@@ -1,0 +1,47 @@
+// Simulated time.
+//
+// SimTime is an integer count of milliseconds since simulation start.
+// Integer time keeps event ordering exact and runs bit-reproducible; a
+// millisecond granularity is fine for a grid where the shortest interesting
+// interval is a network round trip and the longest is a yearly allocation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace tg {
+
+using SimTime = std::int64_t;  ///< milliseconds since simulation start
+using Duration = std::int64_t; ///< milliseconds
+
+inline constexpr Duration kMillisecond = 1;
+inline constexpr Duration kSecond = 1000 * kMillisecond;
+inline constexpr Duration kMinute = 60 * kSecond;
+inline constexpr Duration kHour = 60 * kMinute;
+inline constexpr Duration kDay = 24 * kHour;
+inline constexpr Duration kWeek = 7 * kDay;
+/// Reporting quarter: 91 days, so 4 quarters ~= 1 year.
+inline constexpr Duration kQuarter = 91 * kDay;
+inline constexpr Duration kYear = 365 * kDay;
+
+/// Converts wall seconds (possibly fractional) to SimTime ticks, rounding.
+[[nodiscard]] constexpr Duration from_seconds(double seconds) {
+  return static_cast<Duration>(seconds * static_cast<double>(kSecond) + 0.5);
+}
+
+[[nodiscard]] constexpr double to_seconds(Duration d) {
+  return static_cast<double>(d) / static_cast<double>(kSecond);
+}
+
+[[nodiscard]] constexpr double to_hours(Duration d) {
+  return static_cast<double>(d) / static_cast<double>(kHour);
+}
+
+[[nodiscard]] constexpr double to_days(Duration d) {
+  return static_cast<double>(d) / static_cast<double>(kDay);
+}
+
+/// "1d 03:25:07"-style rendering for logs and tables.
+[[nodiscard]] std::string format_duration(Duration d);
+
+}  // namespace tg

@@ -1,0 +1,45 @@
+#include "gateway/gateway.hpp"
+
+#include "util/error.hpp"
+
+namespace tg {
+
+Gateway::Gateway(Engine& engine, SchedulerPool& pool, GatewayId id,
+                 GatewayConfig config)
+    : engine_(engine),
+      pool_(pool),
+      id_(id),
+      config_(std::move(config)),
+      target_picker_(config_.target_weights.empty()
+                         ? std::vector<double>(config_.targets.size(), 1.0)
+                         : config_.target_weights) {
+  TG_REQUIRE(!config_.targets.empty(), "gateway " << config_.name
+                                                  << " has no targets");
+  TG_REQUIRE(config_.target_weights.empty() ||
+                 config_.target_weights.size() == config_.targets.size(),
+             "gateway target/weight size mismatch");
+  TG_REQUIRE(config_.attribute_coverage >= 0.0 &&
+                 config_.attribute_coverage <= 1.0,
+             "attribute coverage must be a probability");
+}
+
+JobId Gateway::submit(const std::string& end_user, const GatewayJobSpec& spec,
+                      Rng& rng) {
+  const ResourceId target = config_.targets[target_picker_.sample(rng)];
+  JobRequest req;
+  req.user = config_.community_account;
+  req.project = config_.project;
+  req.nodes = spec.nodes;
+  req.requested_walltime = spec.requested_walltime;
+  req.actual_runtime = spec.actual_runtime;
+  req.fails = spec.fails;
+  req.fail_after = spec.fail_after;
+  req.gateway = id_;
+  if (rng.bernoulli(config_.attribute_coverage)) {
+    req.gateway_end_user = end_user;
+  }
+  ++submitted_;
+  return pool_.at(target).submit(std::move(req));
+}
+
+}  // namespace tg

@@ -1,0 +1,69 @@
+// Science-gateway model.
+//
+// A gateway (nanoHUB-style) runs all jobs under one *community account* and
+// charges one community allocation; the identity of the human behind each
+// job is carried — when the gateway implements it — as a per-job end-user
+// attribute. That attribute is the paper's measurement mechanism for the
+// gateway modality, and its incomplete coverage is the measurement gap the
+// paper discusses; `attribute_coverage` models it directly.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "des/engine.hpp"
+#include "sched/pool.hpp"
+#include "util/distributions.hpp"
+#include "util/ids.hpp"
+#include "util/rng.hpp"
+
+namespace tg {
+
+struct GatewayConfig {
+  std::string name;
+  /// The community account all gateway jobs run under.
+  UserId community_account;
+  ProjectId project;
+  /// Probability that a job record carries the end-user attribute.
+  double attribute_coverage = 0.95;
+  /// Resources the gateway submits to, with selection weights.
+  std::vector<ResourceId> targets;
+  std::vector<double> target_weights;
+};
+
+/// Geometry of one gateway job, decided by the calling workload model.
+struct GatewayJobSpec {
+  int nodes = 1;
+  Duration requested_walltime = kHour;
+  Duration actual_runtime = 30 * kMinute;
+  bool fails = false;
+  Duration fail_after = 0;
+};
+
+class Gateway {
+ public:
+  Gateway(Engine& engine, SchedulerPool& pool, GatewayId id,
+          GatewayConfig config);
+
+  /// Submits a job on behalf of `end_user` (an opaque label such as
+  /// "nanohub:4711"). The target resource is sampled from the configured
+  /// weights; the end-user attribute is attached with probability
+  /// `attribute_coverage`.
+  JobId submit(const std::string& end_user, const GatewayJobSpec& spec,
+               Rng& rng);
+
+  [[nodiscard]] GatewayId id() const { return id_; }
+  [[nodiscard]] const GatewayConfig& config() const { return config_; }
+  [[nodiscard]] std::uint64_t jobs_submitted() const { return submitted_; }
+
+ private:
+  Engine& engine_;
+  SchedulerPool& pool_;
+  GatewayId id_;
+  GatewayConfig config_;
+  Discrete target_picker_;
+  std::uint64_t submitted_ = 0;
+};
+
+}  // namespace tg

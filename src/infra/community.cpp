@@ -1,0 +1,52 @@
+#include "infra/community.hpp"
+
+#include "util/error.hpp"
+
+namespace tg {
+
+const char* to_string(FieldOfScience f) {
+  switch (f) {
+    case FieldOfScience::kPhysics: return "Physics";
+    case FieldOfScience::kChemistry: return "Chemistry";
+    case FieldOfScience::kBiosciences: return "Biosciences";
+    case FieldOfScience::kEngineering: return "Engineering";
+    case FieldOfScience::kGeosciences: return "Geosciences";
+    case FieldOfScience::kAstronomy: return "Astronomy";
+    case FieldOfScience::kComputerScience: return "Computer Science";
+    case FieldOfScience::kSocialSciences: return "Social Sciences";
+    case FieldOfScience::kOther: return "Other";
+  }
+  return "Unknown";
+}
+
+ProjectId Community::add_project(std::string name, FieldOfScience field,
+                                 double allocation_nu) {
+  TG_REQUIRE(allocation_nu >= 0.0, "allocation must be non-negative");
+  const ProjectId id{static_cast<ProjectId::rep>(projects_.size())};
+  projects_.push_back(Project{id, std::move(name), field, allocation_nu});
+  return id;
+}
+
+UserId Community::add_user(std::string name, ProjectId project) {
+  TG_REQUIRE(project.valid() &&
+                 static_cast<std::size_t>(project.value()) < projects_.size(),
+             "user references unknown project");
+  const UserId id{static_cast<UserId::rep>(users_.size())};
+  users_.push_back(User{id, project, std::move(name)});
+  return id;
+}
+
+const Project& Community::project(ProjectId id) const {
+  TG_REQUIRE(id.valid() &&
+                 static_cast<std::size_t>(id.value()) < projects_.size(),
+             "unknown project " << id);
+  return projects_[static_cast<std::size_t>(id.value())];
+}
+
+const User& Community::user(UserId id) const {
+  TG_REQUIRE(id.valid() && static_cast<std::size_t>(id.value()) < users_.size(),
+             "unknown user " << id);
+  return users_[static_cast<std::size_t>(id.value())];
+}
+
+}  // namespace tg

@@ -1,0 +1,65 @@
+// The user community: users grouped into allocated projects.
+//
+// A project corresponds to a TeraGrid allocation (a PI's award of normalized
+// units); users charge jobs against their project. Fields of science are
+// carried for reporting parity with TeraGrid annual reports.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/ids.hpp"
+
+namespace tg {
+
+enum class FieldOfScience : std::uint8_t {
+  kPhysics,
+  kChemistry,
+  kBiosciences,
+  kEngineering,
+  kGeosciences,
+  kAstronomy,
+  kComputerScience,
+  kSocialSciences,
+  kOther,
+};
+
+[[nodiscard]] const char* to_string(FieldOfScience f);
+
+struct Project {
+  ProjectId id;
+  std::string name;
+  FieldOfScience field = FieldOfScience::kOther;
+  /// Awarded normalized units for the allocation year.
+  double allocation_nu = 0.0;
+};
+
+struct User {
+  UserId id;
+  ProjectId project;
+  std::string name;
+};
+
+/// Registry of users and projects. Ids are dense indices, so lookups are
+/// O(1) vector accesses.
+class Community {
+ public:
+  ProjectId add_project(std::string name, FieldOfScience field,
+                        double allocation_nu);
+  UserId add_user(std::string name, ProjectId project);
+
+  [[nodiscard]] const std::vector<Project>& projects() const {
+    return projects_;
+  }
+  [[nodiscard]] const std::vector<User>& users() const { return users_; }
+  [[nodiscard]] const Project& project(ProjectId id) const;
+  [[nodiscard]] const User& user(UserId id) const;
+  [[nodiscard]] std::size_t user_count() const { return users_.size(); }
+
+ private:
+  std::vector<Project> projects_;
+  std::vector<User> users_;
+};
+
+}  // namespace tg

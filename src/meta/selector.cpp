@@ -1,0 +1,52 @@
+#include "meta/selector.hpp"
+
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace tg {
+
+bool ResourceSelector::eligible(const ComputeResource& res, int nodes,
+                                Duration walltime) const {
+  if (nodes > res.nodes) return false;
+  if (walltime > res.max_walltime) return false;
+  if (exclude_viz_ && res.interactive_viz) return false;
+  return true;
+}
+
+ResourceId ResourceSelector::select(
+    const SchedulerPool& pool, int nodes, Duration walltime,
+    const std::vector<ResourceId>& candidates) const {
+  const std::vector<ResourceId> all =
+      candidates.empty() ? pool.resource_ids() : candidates;
+  ResourceId best;
+  SimTime best_start = std::numeric_limits<SimTime>::max();
+  for (ResourceId id : all) {
+    const ResourceScheduler& sched = pool.at(id);
+    if (!eligible(sched.resource(), nodes, walltime)) continue;
+    const SimTime est = sched.estimate_start(nodes, walltime);
+    if (est >= 0 && est < best_start) {
+      best_start = est;
+      best = id;
+    }
+  }
+  TG_REQUIRE(best.valid(),
+             "no eligible resource for a " << nodes << "-node job");
+  return best;
+}
+
+std::vector<SimTime> ResourceSelector::estimates(
+    const SchedulerPool& pool, int nodes, Duration walltime,
+    const std::vector<ResourceId>& candidates) const {
+  std::vector<SimTime> out;
+  out.reserve(candidates.size());
+  for (ResourceId id : candidates) {
+    const ResourceScheduler& sched = pool.at(id);
+    out.push_back(eligible(sched.resource(), nodes, walltime)
+                      ? sched.estimate_start(nodes, walltime)
+                      : -1);
+  }
+  return out;
+}
+
+}  // namespace tg

@@ -1,0 +1,182 @@
+#include "recon/recon.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace tg {
+
+const char* to_string(ReconPolicy p) {
+  switch (p) {
+    case ReconPolicy::kAffinity: return "affinity";
+    case ReconPolicy::kFirstFit: return "first-fit";
+    case ReconPolicy::kDedicated: return "dedicated";
+  }
+  return "unknown";
+}
+
+ReconCluster::ReconCluster(Engine& engine, std::vector<ReconNodeSpec> nodes,
+                           std::vector<ReconConfig> configs,
+                           double bitstream_link_gbps, ReconPolicy policy)
+    : engine_(engine),
+      policy_(policy),
+      configs_(std::move(configs)),
+      bitstream_bps_(bitstream_link_gbps * 1e9 / 8.0) {
+  TG_REQUIRE(!nodes.empty(), "cluster needs nodes");
+  TG_REQUIRE(bitstream_link_gbps > 0.0, "bitstream link must be positive");
+  nodes_.reserve(nodes.size());
+  for (const auto& spec : nodes) {
+    TG_REQUIRE(!spec.reconfigurable || spec.area > 0.0,
+               "reconfigurable node needs area");
+    nodes_.push_back(Node{spec, false, {}, 0.0});
+  }
+}
+
+void ReconCluster::submit(ReconTask task) {
+  TG_REQUIRE(task.config < static_cast<int>(configs_.size()),
+             "task demands unknown configuration " << task.config);
+  TG_REQUIRE(task.gpp_runtime > 0, "task runtime must be positive");
+  TG_REQUIRE(task.speedup >= 1.0, "hardware speedup must be >= 1");
+  queue_.push_back(std::move(task));
+  dispatch();
+}
+
+bool ReconCluster::holds_config(std::size_t node, int config) const {
+  TG_REQUIRE(node < nodes_.size(), "node index out of range");
+  const auto& res = nodes_[node].resident;
+  return std::find(res.begin(), res.end(), config) != res.end();
+}
+
+int ReconCluster::pick_node(const ReconTask& task) const {
+  const bool hw_task = task.config >= 0 && task.speedup > 1.0;
+  const double need_area =
+      task.config >= 0 ? configs_[static_cast<std::size_t>(task.config)].area
+                       : 0.0;
+  int idle_recon = -1;          // any idle reconfigurable node
+  int idle_recon_no_evict = -1; // one that can load the config w/o eviction
+  int idle_gpp = -1;
+  int idle_any = -1;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const Node& n = nodes_[i];
+    if (n.busy) continue;
+    if (idle_any < 0) idle_any = static_cast<int>(i);
+    if (n.spec.reconfigurable) {
+      if (policy_ == ReconPolicy::kAffinity && task.config >= 0 &&
+          std::find(n.resident.begin(), n.resident.end(), task.config) !=
+              n.resident.end()) {
+        return static_cast<int>(i);  // affinity hit — best choice
+      }
+      if (idle_recon < 0) idle_recon = static_cast<int>(i);
+      if (idle_recon_no_evict < 0 &&
+          n.area_used + need_area <= n.spec.area) {
+        idle_recon_no_evict = static_cast<int>(i);
+      }
+    } else if (idle_gpp < 0) {
+      idle_gpp = static_cast<int>(i);
+    }
+  }
+  // Affinity's second preference: a node that keeps other configurations
+  // resident (no eviction) — spreading configs instead of thrashing one
+  // node's area.
+  const int best_recon =
+      policy_ == ReconPolicy::kAffinity && idle_recon_no_evict >= 0
+          ? idle_recon_no_evict
+          : idle_recon;
+  switch (policy_) {
+    case ReconPolicy::kFirstFit:
+      return idle_any;
+    case ReconPolicy::kDedicated:
+      return hw_task ? best_recon : idle_gpp;
+    case ReconPolicy::kAffinity:
+      // Hardware-accelerable tasks prefer a reconfigurable node; plain
+      // tasks prefer a GPP so hardware stays free.
+      if (hw_task) return best_recon >= 0 ? best_recon : idle_gpp;
+      return idle_gpp >= 0 ? idle_gpp : best_recon;
+  }
+  return -1;
+}
+
+void ReconCluster::dispatch() {
+  // List scheduling: place the first runnable task in queue order, repeat.
+  // Under kDedicated a blocked hardware task must not head-of-line-block
+  // software tasks (and vice versa), so the whole queue is scanned.
+  bool placed = true;
+  while (placed && !queue_.empty()) {
+    placed = false;
+    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+      const int node = pick_node(*it);
+      if (node < 0) continue;
+      ReconTask task = std::move(*it);
+      queue_.erase(it);
+      run_on(static_cast<std::size_t>(node), std::move(task));
+      placed = true;
+      break;
+    }
+  }
+}
+
+Duration ReconCluster::load_config(Node& node, int config) {
+  const auto it =
+      std::find(node.resident.begin(), node.resident.end(), config);
+  if (it != node.resident.end()) {
+    // Refresh LRU position; no cost.
+    node.resident.erase(it);
+    node.resident.push_front(config);
+    ++stats_.config_hits;
+    return 0;
+  }
+  const ReconConfig& cfg = configs_[static_cast<std::size_t>(config)];
+  TG_REQUIRE(cfg.area <= node.spec.area,
+             "configuration larger than node area");
+  while (node.area_used + cfg.area > node.spec.area) {
+    TG_CHECK(!node.resident.empty(), "area accounting corrupted");
+    const int victim = node.resident.back();
+    node.resident.pop_back();
+    node.area_used -= configs_[static_cast<std::size_t>(victim)].area;
+  }
+  node.resident.push_front(config);
+  node.area_used += cfg.area;
+  ++stats_.reconfigurations;
+  const Duration transfer =
+      from_seconds(cfg.bitstream_bytes / bitstream_bps_);
+  const Duration setup = transfer + cfg.reconfig_time;
+  stats_.total_reconfig_time += setup;
+  return setup;
+}
+
+void ReconCluster::run_on(std::size_t node_idx, ReconTask task) {
+  Node& node = nodes_[node_idx];
+  TG_CHECK(!node.busy, "dispatch chose a busy node");
+  node.busy = true;
+  ++busy_count_;
+
+  Duration setup = 0;
+  Duration runtime = task.gpp_runtime;
+  bool on_recon = false;
+  if (node.spec.reconfigurable && task.config >= 0) {
+    setup = load_config(node, task.config);
+    runtime = std::max<Duration>(
+        kMillisecond,
+        static_cast<Duration>(static_cast<double>(task.gpp_runtime) /
+                              task.speedup));
+    on_recon = true;
+  }
+  const Duration total = setup + runtime;
+  engine_.schedule_in(total, [this, node_idx, task, total, on_recon] {
+    Node& n = nodes_[node_idx];
+    n.busy = false;
+    --busy_count_;
+    ++stats_.tasks_done;
+    if (on_recon) {
+      ++stats_.tasks_on_recon;
+    } else {
+      ++stats_.tasks_on_gpp;
+    }
+    stats_.busy_time += total;
+    stats_.last_completion = engine_.now();
+    if (on_done_) on_done_(task, engine_.now());
+    dispatch();
+  });
+}
+
+}  // namespace tg

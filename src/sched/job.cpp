@@ -1,0 +1,26 @@
+#include "sched/job.hpp"
+
+#include <algorithm>
+
+namespace tg {
+
+const char* to_string(JobState s) {
+  switch (s) {
+    case JobState::kQueued: return "queued";
+    case JobState::kRunning: return "running";
+    case JobState::kCompleted: return "completed";
+    case JobState::kFailed: return "failed";
+    case JobState::kKilled: return "killed";
+    case JobState::kCancelled: return "cancelled";
+  }
+  return "unknown";
+}
+
+double Job::bounded_slowdown() const {
+  if (start_time < 0 || end_time < 0) return 0.0;
+  const double run = std::max<double>(to_seconds(runtime()), 10.0);
+  const double waitS = to_seconds(wait());
+  return std::max(1.0, (waitS + run) / run);
+}
+
+}  // namespace tg

@@ -1,0 +1,69 @@
+// Batch job model.
+//
+// A JobRequest is what a user (or middleware acting for one) submits; a Job
+// is the scheduler's live record of it. The request carries provenance tags
+// (gateway, workflow, co-allocation) that flow into accounting records —
+// these are exactly the attributes the paper proposes to measure modalities
+// from.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "des/time.hpp"
+#include "util/ids.hpp"
+
+namespace tg {
+
+enum class JobState : std::uint8_t {
+  kQueued,
+  kRunning,
+  kCompleted,  ///< ran to normal completion
+  kFailed,     ///< application failure mid-run
+  kKilled,     ///< hit requested walltime before finishing
+  kCancelled,  ///< removed from the queue before starting
+};
+
+[[nodiscard]] const char* to_string(JobState s);
+
+struct JobRequest {
+  UserId user;
+  ProjectId project;
+  int nodes = 1;
+  Duration requested_walltime = kHour;
+  /// True compute demand; the job completes after this much runtime unless
+  /// the requested walltime kills it first.
+  Duration actual_runtime = kHour;
+  /// Application failure injection: terminates after `fail_after` with
+  /// state kFailed.
+  bool fails = false;
+  Duration fail_after = 0;
+
+  // --- provenance, copied into accounting records ---
+  GatewayId gateway;             ///< valid if submitted through a gateway
+  std::string gateway_end_user;  ///< gateway attribute; may be empty (gap)
+  WorkflowId workflow;           ///< valid if part of a workflow/ensemble
+  bool interactive = false;      ///< interactive/viz session job
+  bool coallocated = false;      ///< part of a cross-site co-allocation
+};
+
+struct Job {
+  JobId id;
+  ResourceId resource;
+  JobRequest req;
+  SimTime submit_time = 0;
+  SimTime start_time = -1;
+  SimTime end_time = -1;
+  JobState state = JobState::kQueued;
+
+  [[nodiscard]] Duration wait() const {
+    return start_time >= 0 ? start_time - submit_time : -1;
+  }
+  [[nodiscard]] Duration runtime() const {
+    return (start_time >= 0 && end_time >= 0) ? end_time - start_time : -1;
+  }
+  /// Bounded slowdown with a 10-second floor on runtime (standard metric).
+  [[nodiscard]] double bounded_slowdown() const;
+};
+
+}  // namespace tg

@@ -1,0 +1,24 @@
+#include "sched/metrics.hpp"
+
+namespace tg {
+
+void SchedulerMetrics::record_finished(Duration wait, Duration runtime,
+                                       int nodes, int cores,
+                                       double bounded_slowdown, bool killed,
+                                       bool failed) {
+  ++finished_;
+  if (killed) ++killed_;
+  if (failed) ++failed_;
+  wait_.add(to_seconds(wait));
+  slowdown_.add(bounded_slowdown);
+  delivered_ += to_seconds(runtime) * static_cast<double>(nodes) *
+                static_cast<double>(cores);
+}
+
+double SchedulerMetrics::utilization(int total_cores, SimTime horizon) const {
+  if (horizon <= 0 || total_cores <= 0) return 0.0;
+  return delivered_ /
+         (static_cast<double>(total_cores) * to_seconds(horizon));
+}
+
+}  // namespace tg

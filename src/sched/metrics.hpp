@@ -1,0 +1,36 @@
+// Per-resource scheduling metrics, accumulated as jobs finish.
+#pragma once
+
+#include <cstdint>
+
+#include "des/time.hpp"
+#include "util/stats.hpp"
+
+namespace tg {
+
+class SchedulerMetrics {
+ public:
+  void record_finished(Duration wait, Duration runtime, int nodes, int cores,
+                       double bounded_slowdown, bool killed, bool failed);
+
+  [[nodiscard]] std::uint64_t jobs_finished() const { return finished_; }
+  [[nodiscard]] std::uint64_t jobs_killed() const { return killed_; }
+  [[nodiscard]] std::uint64_t jobs_failed() const { return failed_; }
+  [[nodiscard]] const RunningStats& wait_seconds() const { return wait_; }
+  [[nodiscard]] const RunningStats& slowdown() const { return slowdown_; }
+  /// Core-seconds actually delivered to applications.
+  [[nodiscard]] double delivered_core_seconds() const { return delivered_; }
+
+  /// Utilization of `total_cores` over [0, horizon].
+  [[nodiscard]] double utilization(int total_cores, SimTime horizon) const;
+
+ private:
+  std::uint64_t finished_ = 0;
+  std::uint64_t killed_ = 0;
+  std::uint64_t failed_ = 0;
+  RunningStats wait_;
+  RunningStats slowdown_;
+  double delivered_ = 0.0;
+};
+
+}  // namespace tg

@@ -1,0 +1,89 @@
+#include "sched/profile.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace tg {
+
+Profile::Profile(SimTime now, int free_nodes)
+    : now_(now), capacity_(free_nodes) {
+  TG_REQUIRE(free_nodes >= 0, "negative capacity");
+}
+
+void Profile::subtract(SimTime from, SimTime to, int nodes) {
+  if (nodes == 0 || to <= from) return;
+  from = std::max(from, now_);
+  if (to <= from) return;
+  deltas_[from] -= nodes;
+  deltas_[to] += nodes;
+}
+
+void Profile::add_fence(SimTime t) {
+  if (t < now_) return;
+  const auto it = std::lower_bound(fences_.begin(), fences_.end(), t);
+  if (it != fences_.end() && *it == t) return;
+  fences_.insert(it, t);
+}
+
+int Profile::free_at(SimTime t) const {
+  int free = capacity_;
+  for (const auto& [time, delta] : deltas_) {
+    if (time > t) break;
+    free += delta;
+  }
+  return free;
+}
+
+SimTime Profile::earliest_fit(int nodes, Duration duration,
+                              SimTime earliest) const {
+  TG_REQUIRE(nodes >= 0 && duration >= 0, "bad fit query");
+  earliest = std::max(earliest, now_);
+  if (nodes > capacity_) return -1;
+
+  // Single forward sweep over the merged (delta breakpoints, fences)
+  // event stream, tracking the earliest candidate start `s` of a
+  // continuously-feasible run. O(B + F).
+  SimTime s = -1;
+  int free = capacity_;
+  const auto note_feasible = [&](SimTime at) {
+    if (free >= nodes) {
+      if (s < 0) s = std::max(at, earliest);
+    } else {
+      s = -1;
+    }
+  };
+  note_feasible(now_);
+
+  auto d = deltas_.begin();
+  auto f = std::upper_bound(fences_.begin(), fences_.end(), earliest);
+  while (d != deltas_.end() || f != fences_.end()) {
+    const bool take_delta =
+        f == fences_.end() || (d != deltas_.end() && d->first <= *f);
+    const SimTime t = take_delta ? d->first : *f;
+    // The run [s, t) is feasible; done if the job fits before this event.
+    if (s >= 0 && s + duration <= t) return s;
+    if (take_delta) {
+      // Merge all deltas at time t (map keys are unique, so just one).
+      free += d->second;
+      ++d;
+      // A fence at exactly t must also be processed before continuing.
+      if (f != fences_.end() && *f == t) {
+        if (s >= 0 && s < t) s = -1;  // would straddle the fence
+        ++f;
+      }
+      note_feasible(t);
+    } else {
+      // Fence: a candidate run may not straddle it; restart at the fence.
+      if (s >= 0 && s < t) s = -1;
+      ++f;
+      note_feasible(t);
+    }
+  }
+  // Tail region: free == capacity_ >= nodes forever.
+  if (s < 0) s = earliest;
+  return s;
+}
+
+}  // namespace tg

@@ -1,0 +1,45 @@
+// Node-availability profile: piecewise-constant free-node count over future
+// time, used by all scheduling policies to find feasible start times.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "des/time.hpp"
+
+namespace tg {
+
+class Profile {
+ public:
+  /// Creates a profile with `free_nodes` free everywhere from `now` on.
+  Profile(SimTime now, int free_nodes);
+
+  /// Removes `nodes` of capacity during [from, to). `to` may be far future.
+  void subtract(SimTime from, SimTime to, int nodes);
+
+  /// Adds a fence at `t`: no job interval may straddle it (used for
+  /// periodic full-machine drains).
+  void add_fence(SimTime t);
+
+  /// Free nodes at instant `t` (t >= now).
+  [[nodiscard]] int free_at(SimTime t) const;
+
+  /// Earliest start >= `earliest` at which `nodes` are free for the whole
+  /// interval [s, s+duration) and no fence lies strictly inside it.
+  /// Returns -1 if no feasible start exists (never happens while
+  /// nodes <= machine size, since the far future is always free).
+  [[nodiscard]] SimTime earliest_fit(int nodes, Duration duration,
+                                     SimTime earliest) const;
+
+  [[nodiscard]] SimTime origin() const { return now_; }
+  [[nodiscard]] int capacity() const { return capacity_; }
+
+ private:
+  SimTime now_;
+  int capacity_;
+  /// Delta encoding: free(t) = capacity + sum of deltas at times <= t.
+  std::map<SimTime, int> deltas_;
+  std::vector<SimTime> fences_;  // kept sorted
+};
+
+}  // namespace tg

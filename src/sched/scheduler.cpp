@@ -1,0 +1,442 @@
+#include "sched/scheduler.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace tg {
+
+const char* to_string(SchedPolicy p) {
+  switch (p) {
+    case SchedPolicy::kFcfs: return "FCFS";
+    case SchedPolicy::kEasyBackfill: return "EASY";
+    case SchedPolicy::kConservativeBackfill: return "Conservative";
+  }
+  return "unknown";
+}
+
+namespace {
+/// Fences are materialized over this planning horizon past `now`; nothing
+/// on a TeraGrid machine plans further ahead than this.
+constexpr Duration kFenceHorizon = 120 * kDay;
+}  // namespace
+
+ResourceScheduler::ResourceScheduler(Engine& engine,
+                                     const ComputeResource& resource,
+                                     SchedulerConfig config)
+    : engine_(engine),
+      resource_(resource),
+      config_(config),
+      free_nodes_(resource.nodes),
+      // Job ids are globally unique: the resource id is folded into the
+      // high bits so accounting can key on JobId alone.
+      next_job_(static_cast<JobId::rep>(resource.id.value() + 1) << 40) {
+  TG_REQUIRE(resource.nodes > 0, "resource has no nodes");
+  TG_REQUIRE(config.capability_fraction > 0.0 &&
+                 config.capability_fraction <= 1.0,
+             "capability_fraction must be in (0,1]");
+  TG_REQUIRE(!config.fair_share || config.fair_share_half_life > 0,
+             "fair-share half-life must be positive");
+}
+
+int ResourceScheduler::capability_threshold() const {
+  return static_cast<int>(config_.capability_fraction * resource_.nodes + 0.999);
+}
+
+Duration ResourceScheduler::planned_duration(const Job& job) const {
+  return job.req.requested_walltime;
+}
+
+JobId ResourceScheduler::submit(JobRequest request) {
+  TG_REQUIRE(request.nodes >= 1 && request.nodes <= resource_.nodes,
+             "job width " << request.nodes << " invalid for "
+                          << resource_.name << " (" << resource_.nodes
+                          << " nodes)");
+  TG_REQUIRE(request.requested_walltime > 0 &&
+                 request.requested_walltime <= resource_.max_walltime,
+             "requested walltime " << request.requested_walltime
+                                   << " outside limits of " << resource_.name);
+  TG_REQUIRE(request.actual_runtime > 0, "actual runtime must be positive");
+
+  const JobId id{next_job_++};
+  Job job;
+  job.id = id;
+  job.resource = resource_.id;
+  job.req = std::move(request);
+  job.submit_time = engine_.now();
+  job.state = JobState::kQueued;
+  jobs_.emplace(id, std::move(job));
+  queue_.push_back(id);
+  schedule_pass();
+  return id;
+}
+
+bool ResourceScheduler::cancel(JobId id) {
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end() || it->second.state != JobState::kQueued) return false;
+  queue_.erase(std::remove(queue_.begin(), queue_.end(), id), queue_.end());
+  Job job = std::move(it->second);
+  jobs_.erase(it);
+  job.state = JobState::kCancelled;
+  job.end_time = engine_.now();
+  for (const auto& cb : on_end_) cb(job);
+  return true;
+}
+
+ReservationId ResourceScheduler::reserve(SimTime start, Duration duration,
+                                         int nodes) {
+  TG_REQUIRE(start >= engine_.now(), "reservation in the past");
+  TG_REQUIRE(duration > 0, "reservation duration must be positive");
+  TG_REQUIRE(nodes >= 1 && nodes <= resource_.nodes,
+             "reservation width invalid");
+  // Feasibility against running jobs + existing reservations + fences.
+  // Queued jobs never block a reservation: they have no committed start.
+  const Profile profile = base_profile();
+  if (profile.earliest_fit(nodes, duration, start) != start) {
+    return ReservationId{};  // invalid — window not free
+  }
+  const ReservationId id{next_reservation_++};
+  Reservation r;
+  r.id = id;
+  r.start = start;
+  r.end = start + duration;
+  r.nodes = nodes;
+  reservations_.emplace(id, r);
+  // Default (not completion) priority: at a tick where a running job's
+  // planned end coincides with the reservation start, the job's release
+  // must be processed before this acquisition.
+  engine_.schedule_at(start, [this, id] { on_reservation_start(id); },
+                      EventPriority::kDefault);
+  // A new blocking window can invalidate planned backfill; re-plan.
+  schedule_pass();
+  return id;
+}
+
+JobId ResourceScheduler::attach_to_reservation(ReservationId id,
+                                               JobRequest request) {
+  auto it = reservations_.find(id);
+  TG_REQUIRE(it != reservations_.end(), "unknown reservation " << id);
+  Reservation& r = it->second;
+  TG_REQUIRE(!r.started, "reservation already started");
+  TG_REQUIRE(!r.attached_job.valid(), "reservation already has a job");
+  TG_REQUIRE(request.nodes <= r.nodes,
+             "job wider than reservation (" << request.nodes << " > "
+                                            << r.nodes << ")");
+  TG_REQUIRE(request.requested_walltime <= r.end - r.start,
+             "job walltime exceeds reservation window");
+
+  const JobId jid{next_job_++};
+  Job job;
+  job.id = jid;
+  job.resource = resource_.id;
+  job.req = std::move(request);
+  job.submit_time = engine_.now();
+  job.state = JobState::kQueued;
+  jobs_.emplace(jid, std::move(job));
+  r.attached_job = jid;
+  job_reservation_.emplace(jid, id);
+  return jid;
+}
+
+bool ResourceScheduler::cancel_reservation(ReservationId id) {
+  const auto it = reservations_.find(id);
+  if (it == reservations_.end() || it->second.started) return false;
+  if (it->second.attached_job.valid()) {
+    const auto jit = jobs_.find(it->second.attached_job);
+    if (jit != jobs_.end()) {
+      Job job = std::move(jit->second);
+      jobs_.erase(jit);
+      job_reservation_.erase(job.id);
+      job.state = JobState::kCancelled;
+      job.end_time = engine_.now();
+      for (const auto& cb : on_end_) cb(job);
+    }
+  }
+  reservations_.erase(it);
+  schedule_pass();
+  return true;
+}
+
+Profile ResourceScheduler::base_profile() const {
+  const SimTime now = engine_.now();
+  Profile profile(now, resource_.nodes);
+  for (const auto& [id, job] : jobs_) {
+    if (job.state != JobState::kRunning) continue;
+    if (job_reservation_.count(id)) continue;  // nodes held by reservation
+    // A job holds its nodes until its completion event is *processed*; a
+    // planned end <= now (event pending this tick, or overdue kill) must
+    // still occupy the profile or a same-tick pass would overcommit.
+    const SimTime planned_end =
+        std::max(job.start_time + planned_duration(job), now + 1);
+    profile.subtract(now, planned_end, job.req.nodes);
+  }
+  for (const auto& [id, r] : reservations_) {
+    if (r.finished) continue;
+    const SimTime end = r.started ? std::max(r.end, now + 1) : r.end;
+    profile.subtract(std::max(r.start, now), end, r.nodes);
+  }
+  if (config_.drain_period > 0) {
+    const SimTime first =
+        ((now / config_.drain_period) + 1) * config_.drain_period;
+    for (SimTime f = first; f <= now + kFenceHorizon;
+         f += config_.drain_period) {
+      profile.add_fence(f);
+    }
+  }
+  return profile;
+}
+
+double ResourceScheduler::fair_share_usage(UserId user, SimTime now) const {
+  const auto it = usage_.find(user);
+  if (it == usage_.end()) return 0.0;
+  const auto [value, at] = it->second;
+  const double decay = std::exp2(
+      -static_cast<double>(now - at) /
+      static_cast<double>(config_.fair_share_half_life));
+  return value * decay;
+}
+
+void ResourceScheduler::charge_fair_share(UserId user, double core_seconds,
+                                          SimTime now) {
+  const double current = fair_share_usage(user, now);
+  usage_[user] = {current + core_seconds, now};
+}
+
+std::vector<JobId> ResourceScheduler::ordered_queue() const {
+  std::vector<JobId> order(queue_.begin(), queue_.end());
+  if (config_.fair_share) {
+    const SimTime now = engine_.now();
+    std::stable_sort(order.begin(), order.end(), [&](JobId a, JobId b) {
+      return fair_share_usage(jobs_.at(a).req.user, now) <
+             fair_share_usage(jobs_.at(b).req.user, now);
+    });
+  }
+  if (config_.drain_period > 0) {
+    const int thresh = capability_threshold();
+    std::stable_partition(order.begin(), order.end(), [&](JobId id) {
+      return jobs_.at(id).req.nodes >= thresh;
+    });
+  }
+  return order;
+}
+
+void ResourceScheduler::schedule_pass() {
+  if (in_pass_) return;  // start_job callbacks may re-enter via submit
+  in_pass_ = true;
+  const SimTime now = engine_.now();
+
+  const auto start_by_id = [&](JobId id) {
+    queue_.erase(std::remove(queue_.begin(), queue_.end(), id), queue_.end());
+    start_job(jobs_.at(id), /*from_reservation=*/false);
+  };
+
+  Profile profile = base_profile();
+  std::vector<JobId> order = ordered_queue();
+
+  switch (config_.policy) {
+    case SchedPolicy::kFcfs: {
+      for (JobId id : order) {
+        const Job& job = jobs_.at(id);
+        const Duration dur = planned_duration(job);
+        if (profile.earliest_fit(job.req.nodes, dur, now) != now) break;
+        profile.subtract(now, now + dur, job.req.nodes);
+        start_by_id(id);
+      }
+      break;
+    }
+    case SchedPolicy::kEasyBackfill: {
+      // Start jobs in order while they fit immediately.
+      std::size_t head = 0;
+      while (head < order.size()) {
+        const Job& job = jobs_.at(order[head]);
+        const Duration dur = planned_duration(job);
+        if (profile.earliest_fit(job.req.nodes, dur, now) != now) break;
+        profile.subtract(now, now + dur, job.req.nodes);
+        start_by_id(order[head]);
+        ++head;
+      }
+      if (head < order.size()) {
+        // Reserve the head job's slot, then backfill anything that fits
+        // now without disturbing it.
+        const Job& headjob = jobs_.at(order[head]);
+        const Duration hdur = planned_duration(headjob);
+        const SimTime shadow =
+            profile.earliest_fit(headjob.req.nodes, hdur, now);
+        TG_CHECK(shadow >= 0, "head job cannot ever fit");
+        profile.subtract(shadow, shadow + hdur, headjob.req.nodes);
+        const std::size_t scan_end = std::min(
+            order.size(),
+            head + 1 + static_cast<std::size_t>(config_.backfill_depth));
+        for (std::size_t i = head + 1; i < scan_end; ++i) {
+          const Job& job = jobs_.at(order[i]);
+          const Duration dur = planned_duration(job);
+          if (profile.earliest_fit(job.req.nodes, dur, now) == now) {
+            profile.subtract(now, now + dur, job.req.nodes);
+            start_by_id(order[i]);
+          }
+        }
+      }
+      break;
+    }
+    case SchedPolicy::kConservativeBackfill: {
+      const std::size_t scan_end = std::min(
+          order.size(), static_cast<std::size_t>(config_.backfill_depth));
+      for (std::size_t i = 0; i < scan_end; ++i) {
+        const JobId id = order[i];
+        const Job& job = jobs_.at(id);
+        const Duration dur = planned_duration(job);
+        const SimTime s = profile.earliest_fit(job.req.nodes, dur, now);
+        TG_CHECK(s >= 0, "job cannot ever fit");
+        profile.subtract(s, s + dur, job.req.nodes);
+        if (s == now) start_by_id(id);
+      }
+      break;
+    }
+  }
+  in_pass_ = false;
+
+  // If the head job's start is gated by something that fires no callback
+  // (a drain fence, a reservation window opening), arrange a wakeup pass —
+  // otherwise an idle-but-fenced machine would never reconsider its queue.
+  if (!queue_.empty()) {
+    const std::vector<JobId> remaining = ordered_queue();
+    const Job& head = jobs_.at(remaining.front());
+    const Profile fresh = base_profile();
+    const SimTime t =
+        fresh.earliest_fit(head.req.nodes, planned_duration(head), now);
+    if (t > now) {
+      if (wakeup_ != kInvalidEvent) engine_.cancel(wakeup_);
+      wakeup_ = engine_.schedule_at(t, [this] {
+        wakeup_ = kInvalidEvent;
+        schedule_pass();
+      });
+    }
+  }
+}
+
+void ResourceScheduler::start_job(Job& job, bool from_reservation) {
+  TG_CHECK(job.state == JobState::kQueued, "starting non-queued job");
+  if (!from_reservation) {
+    TG_CHECK(free_nodes_ >= job.req.nodes, "overcommitted " << resource_.name);
+    free_nodes_ -= job.req.nodes;
+  }
+  job.state = JobState::kRunning;
+  job.start_time = engine_.now();
+  ++running_count_;
+
+  Duration dur = std::min(job.req.actual_runtime, job.req.requested_walltime);
+  if (job.req.fails) {
+    dur = std::min(dur, std::max<Duration>(job.req.fail_after, kMillisecond));
+  }
+  const JobId id = job.id;
+  end_events_[id] = engine_.schedule_in(
+      dur, [this, id] { finish_job(id); }, EventPriority::kCompletion);
+  for (const auto& cb : on_start_) cb(job);
+}
+
+void ResourceScheduler::finish_job(JobId id) {
+  auto it = jobs_.find(id);
+  TG_CHECK(it != jobs_.end(), "finishing unknown job " << id);
+  Job job = std::move(it->second);
+  jobs_.erase(it);
+  end_events_.erase(id);
+  --running_count_;
+
+  job.end_time = engine_.now();
+  const Duration ran = job.end_time - job.start_time;
+  if (job.req.fails && ran < job.req.actual_runtime &&
+      ran < job.req.requested_walltime) {
+    job.state = JobState::kFailed;
+  } else if (job.req.actual_runtime > job.req.requested_walltime) {
+    job.state = JobState::kKilled;
+  } else {
+    job.state = JobState::kCompleted;
+  }
+
+  // Release nodes. Reservation-attached jobs release through their
+  // reservation (ending it early).
+  const auto rit = job_reservation_.find(id);
+  if (rit != job_reservation_.end()) {
+    const ReservationId res = rit->second;
+    job_reservation_.erase(rit);
+    auto& r = reservations_.at(res);
+    TG_CHECK(r.started && !r.finished, "job finished outside its reservation");
+    r.finished = true;
+    free_nodes_ += r.nodes;
+    reservations_.erase(res);
+  } else {
+    free_nodes_ += job.req.nodes;
+  }
+  TG_CHECK(free_nodes_ <= resource_.nodes, "node accounting corrupted");
+
+  metrics_.record_finished(job.wait(), ran, job.req.nodes,
+                           resource_.cores_per_node, job.bounded_slowdown(),
+                           job.state == JobState::kKilled,
+                           job.state == JobState::kFailed);
+  if (config_.fair_share) {
+    charge_fair_share(job.req.user,
+                      to_seconds(ran) * job.req.nodes *
+                          resource_.cores_per_node,
+                      job.end_time);
+  }
+  for (const auto& cb : on_end_) cb(job);
+  schedule_pass();
+}
+
+void ResourceScheduler::on_reservation_start(ReservationId id) {
+  auto it = reservations_.find(id);
+  if (it == reservations_.end()) return;  // cancelled meanwhile
+  Reservation& r = it->second;
+  r.started = true;
+  TG_CHECK(free_nodes_ >= r.nodes,
+           "reservation window not honoured on " << resource_.name);
+  free_nodes_ -= r.nodes;
+  if (r.attached_job.valid()) {
+    start_job(jobs_.at(r.attached_job), /*from_reservation=*/true);
+  }
+  engine_.schedule_at(r.end, [this, id] { on_reservation_end(id); },
+                      EventPriority::kCompletion);
+}
+
+void ResourceScheduler::on_reservation_end(ReservationId id) {
+  const auto it = reservations_.find(id);
+  if (it == reservations_.end()) return;  // released early by its job
+  Reservation& r = it->second;
+  TG_CHECK(r.started, "reservation ended before starting");
+  if (r.attached_job.valid() && jobs_.count(r.attached_job)) {
+    // The attached job is still running at window end; it was validated to
+    // fit, so this means its end event is at exactly this tick — let the
+    // job's own finish release the nodes.
+    return;
+  }
+  r.finished = true;
+  free_nodes_ += r.nodes;
+  reservations_.erase(it);
+  schedule_pass();
+}
+
+SimTime ResourceScheduler::estimate_start(int nodes, Duration walltime) const {
+  TG_REQUIRE(nodes >= 1 && nodes <= resource_.nodes,
+             "estimate width invalid for " << resource_.name);
+  Profile profile = base_profile();
+  const SimTime now = engine_.now();
+  const std::vector<JobId> order = ordered_queue();
+  const std::size_t scan_end = std::min(
+      order.size(), static_cast<std::size_t>(config_.backfill_depth));
+  for (std::size_t i = 0; i < scan_end; ++i) {
+    const Job& job = jobs_.at(order[i]);
+    const Duration dur = planned_duration(job);
+    const SimTime s = profile.earliest_fit(job.req.nodes, dur, now);
+    if (s >= 0) profile.subtract(s, s + dur, job.req.nodes);
+  }
+  return profile.earliest_fit(nodes, walltime, now);
+}
+
+const Job& ResourceScheduler::job(JobId id) const {
+  const auto it = jobs_.find(id);
+  TG_REQUIRE(it != jobs_.end(), "job " << id << " is not live");
+  return it->second;
+}
+
+}  // namespace tg

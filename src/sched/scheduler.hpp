@@ -1,0 +1,150 @@
+// Space-shared batch scheduling for one compute resource.
+//
+// Supports the three classic policies (FCFS, EASY backfill, conservative
+// backfill), advance reservations (used by the metascheduler for cross-site
+// co-allocation), and periodic drain fences with capability-job priority —
+// the "weekly clearing followed by full-machine runs" policy NICS ran on
+// Kraken. Planning always uses the *requested* walltime; jobs that finish
+// early trigger a new scheduling pass, which is where backfill wins.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "des/engine.hpp"
+#include "infra/platform.hpp"
+#include "sched/job.hpp"
+#include "sched/metrics.hpp"
+#include "sched/profile.hpp"
+
+namespace tg {
+
+enum class SchedPolicy : std::uint8_t {
+  kFcfs,
+  kEasyBackfill,
+  kConservativeBackfill,
+};
+
+[[nodiscard]] const char* to_string(SchedPolicy p);
+
+struct SchedulerConfig {
+  SchedPolicy policy = SchedPolicy::kEasyBackfill;
+  /// If > 0, the machine is fully drained every `drain_period` (no job may
+  /// run across a fence), and capability jobs get queue priority.
+  Duration drain_period = 0;
+  /// Jobs with nodes >= capability_fraction * machine nodes are
+  /// "capability" jobs for drain prioritization.
+  double capability_fraction = 0.5;
+  /// Backfill policies examine at most this many queued jobs per pass
+  /// (production schedulers cap their lookahead the same way).
+  int backfill_depth = 128;
+  /// Fair-share queue ordering: users with less recent (exponentially
+  /// decayed) usage go first. FIFO among equal users.
+  bool fair_share = false;
+  /// Half-life of the fair-share usage decay.
+  Duration fair_share_half_life = 7 * kDay;
+};
+
+struct Reservation {
+  ReservationId id;
+  SimTime start = 0;
+  SimTime end = 0;
+  int nodes = 0;
+  bool started = false;
+  bool finished = false;
+  JobId attached_job;  ///< optional job launched at reservation start
+};
+
+class ResourceScheduler {
+ public:
+  using JobCallback = std::function<void(const Job&)>;
+
+  ResourceScheduler(Engine& engine, const ComputeResource& resource,
+                    SchedulerConfig config = {});
+
+  ResourceScheduler(const ResourceScheduler&) = delete;
+  ResourceScheduler& operator=(const ResourceScheduler&) = delete;
+
+  /// Submits a job to the queue. Validates width/walltime against the
+  /// machine limits (throws PreconditionError on violation).
+  JobId submit(JobRequest request);
+
+  /// Cancels a queued job. Returns false if unknown or already running.
+  bool cancel(JobId id);
+
+  /// Places an advance reservation for `nodes` during [start, start+dur).
+  /// Fails (returns invalid id) if the window conflicts with existing
+  /// commitments of running jobs or other reservations.
+  ReservationId reserve(SimTime start, Duration duration, int nodes);
+
+  /// Attaches a job to a pending reservation; it starts exactly at the
+  /// reservation start on the reserved nodes. The job's width/walltime must
+  /// fit inside the reservation.
+  JobId attach_to_reservation(ReservationId id, JobRequest request);
+
+  /// Cancels a reservation that has not started. Returns false otherwise.
+  bool cancel_reservation(ReservationId id);
+
+  /// Conservative estimate of the earliest start of a hypothetical job,
+  /// accounting for running jobs, reservations, fences and the current
+  /// queue. This is what TeraGrid "time-to-start" advisors exposed.
+  [[nodiscard]] SimTime estimate_start(int nodes, Duration walltime) const;
+
+  void add_on_start(JobCallback cb) { on_start_.push_back(std::move(cb)); }
+  void add_on_end(JobCallback cb) { on_end_.push_back(std::move(cb)); }
+
+  [[nodiscard]] const ComputeResource& resource() const { return resource_; }
+  [[nodiscard]] const SchedulerConfig& config() const { return config_; }
+  [[nodiscard]] int free_nodes() const { return free_nodes_; }
+  [[nodiscard]] std::size_t queue_length() const { return queue_.size(); }
+  [[nodiscard]] std::size_t running_jobs() const { return running_count_; }
+  [[nodiscard]] const SchedulerMetrics& metrics() const { return metrics_; }
+
+  /// Live (queued or running) job lookup; throws if unknown/finished.
+  [[nodiscard]] const Job& job(JobId id) const;
+
+  /// Decayed core-seconds consumed by `user` as of `now` (fair-share
+  /// accounting; always 0 when fair_share is disabled or user unknown).
+  [[nodiscard]] double fair_share_usage(UserId user, SimTime now) const;
+
+ private:
+  void schedule_pass();
+  /// Builds the availability profile from running jobs, reservations and
+  /// fences (queued jobs excluded).
+  [[nodiscard]] Profile base_profile() const;
+  /// Starts a queued job now (caller removed it from the queue).
+  void start_job(Job& job, bool from_reservation);
+  void finish_job(JobId id);
+  void on_reservation_start(ReservationId id);
+  void on_reservation_end(ReservationId id);
+  /// Queue indices in scheduling order (capability first when draining,
+  /// fair-share within).
+  [[nodiscard]] std::vector<JobId> ordered_queue() const;
+  [[nodiscard]] int capability_threshold() const;
+  [[nodiscard]] Duration planned_duration(const Job& job) const;
+  void charge_fair_share(UserId user, double core_seconds, SimTime now);
+
+  Engine& engine_;
+  ComputeResource resource_;
+  SchedulerConfig config_;
+  std::map<JobId, Job> jobs_;  // queued + running
+  std::deque<JobId> queue_;    // FIFO arrival order
+  std::map<JobId, EventId> end_events_;
+  std::map<ReservationId, Reservation> reservations_;
+  std::map<JobId, ReservationId> job_reservation_;
+  std::vector<JobCallback> on_start_;
+  std::vector<JobCallback> on_end_;
+  /// Fair-share bookkeeping: decayed usage value and its reference time.
+  mutable std::map<UserId, std::pair<double, SimTime>> usage_;
+  SchedulerMetrics metrics_;
+  int free_nodes_ = 0;
+  std::size_t running_count_ = 0;
+  JobId::rep next_job_ = 0;
+  ReservationId::rep next_reservation_ = 0;
+  EventId wakeup_ = kInvalidEvent;
+  bool in_pass_ = false;
+};
+
+}  // namespace tg

@@ -1,0 +1,37 @@
+#include "util/csv.hpp"
+
+#include "util/error.hpp"
+
+namespace tg {
+
+CsvWriter::CsvWriter(const std::string& path,
+                     const std::vector<std::string>& header)
+    : out_(path), columns_(header.size()) {
+  TG_REQUIRE(!header.empty(), "CSV header must be non-empty");
+  write_row(header);
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+  TG_REQUIRE(cells.size() == columns_,
+             "CSV row has " << cells.size() << " cells, expected " << columns_);
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << escape(cells[i]);
+  }
+  out_ << '\n';
+}
+
+std::string CsvWriter::escape(const std::string& field) {
+  const bool needs_quote =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quote) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace tg

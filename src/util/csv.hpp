@@ -1,0 +1,31 @@
+// Minimal RFC-4180-ish CSV writer for experiment series output.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace tg {
+
+/// Writes rows to a CSV file; fields containing commas/quotes/newlines are
+/// quoted. The file is flushed and closed on destruction (RAII).
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header row.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+  void write_row(const std::vector<std::string>& cells);
+
+  [[nodiscard]] bool ok() const { return static_cast<bool>(out_); }
+
+  [[nodiscard]] static std::string escape(const std::string& field);
+
+ private:
+  std::ofstream out_;
+  std::size_t columns_;
+};
+
+}  // namespace tg

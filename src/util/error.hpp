@@ -1,0 +1,55 @@
+// Error-handling helpers: precondition checks that throw with context.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace tg {
+
+/// Thrown when a TG_REQUIRE precondition fails.
+class PreconditionError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// Thrown when a TG_CHECK internal invariant fails.
+class InvariantError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+inline std::string format_check_message(const char* kind, const char* expr,
+                                        const char* file, int line,
+                                        const std::string& extra) {
+  std::ostringstream os;
+  os << kind << " failed: (" << expr << ") at " << file << ":" << line;
+  if (!extra.empty()) os << " — " << extra;
+  return os.str();
+}
+}  // namespace detail
+
+}  // namespace tg
+
+/// Validates a caller-supplied precondition; throws tg::PreconditionError.
+#define TG_REQUIRE(expr, msg)                                               \
+  do {                                                                      \
+    if (!(expr)) {                                                          \
+      std::ostringstream tg_require_os_;                                    \
+      tg_require_os_ << msg;                                                \
+      throw ::tg::PreconditionError(::tg::detail::format_check_message(     \
+          "precondition", #expr, __FILE__, __LINE__, tg_require_os_.str())); \
+    }                                                                       \
+  } while (false)
+
+/// Validates an internal invariant; throws tg::InvariantError.
+#define TG_CHECK(expr, msg)                                                \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      std::ostringstream tg_check_os_;                                     \
+      tg_check_os_ << msg;                                                 \
+      throw ::tg::InvariantError(::tg::detail::format_check_message(       \
+          "invariant", #expr, __FILE__, __LINE__, tg_check_os_.str()));    \
+    }                                                                      \
+  } while (false)

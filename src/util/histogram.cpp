@@ -1,0 +1,92 @@
+#include "util/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace tg {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), width_((hi - lo) / static_cast<double>(bins)), counts_(bins, 0.0) {
+  TG_REQUIRE(bins > 0, "Histogram needs at least one bin");
+  TG_REQUIRE(hi > lo, "Histogram range must be non-empty");
+}
+
+void Histogram::add(double x, double weight) {
+  auto idx = static_cast<std::int64_t>(std::floor((x - lo_) / width_));
+  idx = std::clamp<std::int64_t>(idx, 0,
+                                 static_cast<std::int64_t>(counts_.size()) - 1);
+  counts_[static_cast<std::size_t>(idx)] += weight;
+  total_ += weight;
+}
+
+double Histogram::bin_lo(std::size_t i) const {
+  return lo_ + width_ * static_cast<double>(i);
+}
+
+double Histogram::bin_hi(std::size_t i) const {
+  return lo_ + width_ * static_cast<double>(i + 1);
+}
+
+std::vector<std::pair<double, double>> Histogram::cdf() const {
+  std::vector<std::pair<double, double>> out;
+  out.reserve(counts_.size());
+  double cum = 0.0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    cum += counts_[i];
+    out.emplace_back(bin_hi(i), total_ > 0 ? cum / total_ : 0.0);
+  }
+  return out;
+}
+
+Log2Histogram::Log2Histogram(std::size_t max_bins) : counts_(max_bins, 0.0) {
+  TG_REQUIRE(max_bins > 0, "Log2Histogram needs at least one bin");
+}
+
+void Log2Histogram::add(double x, double weight) {
+  std::size_t idx = 0;
+  if (x >= 1.0) {
+    idx = static_cast<std::size_t>(std::floor(std::log2(x)));
+    idx = std::min(idx, counts_.size() - 1);
+  }
+  counts_[idx] += weight;
+  total_ += weight;
+}
+
+double Log2Histogram::bin_lo(std::size_t i) const {
+  return std::ldexp(1.0, static_cast<int>(i));
+}
+
+std::vector<std::pair<double, double>> Log2Histogram::cdf() const {
+  std::vector<std::pair<double, double>> out;
+  out.reserve(counts_.size());
+  double cum = 0.0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    cum += counts_[i];
+    out.emplace_back(bin_lo(i + 1), total_ > 0 ? cum / total_ : 0.0);
+  }
+  return out;
+}
+
+std::size_t Log2Histogram::used_bins() const {
+  for (std::size_t i = counts_.size(); i > 0; --i) {
+    if (counts_[i - 1] > 0) return i;
+  }
+  return 0;
+}
+
+std::string sparkline(const std::vector<double>& values) {
+  static constexpr const char* kBlocks[] = {" ", "▁", "▂", "▃", "▄", "▅", "▆", "▇", "█"};
+  if (values.empty()) return "";
+  const double mx = *std::max_element(values.begin(), values.end());
+  std::string out;
+  for (double v : values) {
+    const int level =
+        mx > 0 ? static_cast<int>(std::lround(v / mx * 8.0)) : 0;
+    out += kBlocks[std::clamp(level, 0, 8)];
+  }
+  return out;
+}
+
+}  // namespace tg

@@ -1,0 +1,61 @@
+// Strong identifier types used across the library.
+//
+// Every entity in the simulation (user, project, site, resource, job, ...)
+// is referred to by a small integer id. Using a distinct C++ type per entity
+// prevents the classic bug of passing a user id where a job id is expected;
+// the wrapper compiles away entirely.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <ostream>
+
+namespace tg {
+
+/// A strongly-typed integer identifier. `Tag` is a phantom type that makes
+/// ids of different entities incompatible; `Rep` is the underlying integer.
+/// Default-constructed ids are invalid (negative).
+template <class Tag, class Rep = std::int32_t>
+class Id {
+ public:
+  using rep = Rep;
+
+  constexpr Id() = default;
+  constexpr explicit Id(Rep value) : value_(value) {}
+
+  [[nodiscard]] constexpr Rep value() const { return value_; }
+  [[nodiscard]] constexpr bool valid() const { return value_ >= 0; }
+
+  friend constexpr bool operator==(Id, Id) = default;
+  friend constexpr auto operator<=>(Id, Id) = default;
+
+  friend std::ostream& operator<<(std::ostream& os, Id id) {
+    return os << id.value_;
+  }
+
+ private:
+  Rep value_ = -1;
+};
+
+using UserId = Id<struct UserIdTag>;
+using ProjectId = Id<struct ProjectIdTag>;
+using SiteId = Id<struct SiteIdTag>;
+using ResourceId = Id<struct ResourceIdTag>;
+using JobId = Id<struct JobIdTag, std::int64_t>;
+using GatewayId = Id<struct GatewayIdTag>;
+using WorkflowId = Id<struct WorkflowIdTag, std::int64_t>;
+using TransferId = Id<struct TransferIdTag, std::int64_t>;
+using ReservationId = Id<struct ReservationIdTag, std::int64_t>;
+using LinkId = Id<struct LinkIdTag>;
+
+}  // namespace tg
+
+namespace std {
+template <class Tag, class Rep>
+struct hash<tg::Id<Tag, Rep>> {
+  size_t operator()(tg::Id<Tag, Rep> id) const noexcept {
+    return std::hash<Rep>{}(id.value());
+  }
+};
+}  // namespace std

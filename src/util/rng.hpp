@@ -1,0 +1,64 @@
+// Deterministic pseudo-random number generation.
+//
+// The simulator must be bit-reproducible for a given seed across platforms,
+// so we implement xoshiro256** (public domain, Blackman & Vigna) rather than
+// relying on implementation-defined std:: distributions. Independent
+// substreams are derived with SplitMix64 so that adding a new consumer of
+// randomness never perturbs existing streams.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace tg {
+
+/// SplitMix64: used for seeding and stream derivation.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** generator. Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four words of state from `seed` via SplitMix64.
+  explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~result_type{0}; }
+
+  result_type operator()() { return next(); }
+
+  /// Next raw 64-bit output.
+  std::uint64_t next();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  bool bernoulli(double p);
+
+  /// Derives an independent child stream. `stream_tag` distinguishes
+  /// consumers; the same (parent state, tag) always yields the same child.
+  [[nodiscard]] Rng fork(std::uint64_t stream_tag) const;
+
+  /// Convenience: derive a child stream from a label, e.g. fork("sched").
+  [[nodiscard]] Rng fork(std::string_view label) const;
+
+ private:
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace tg

@@ -1,0 +1,87 @@
+// TrafficGenerator: turns the synthetic population into open-loop load on
+// the whole platform — direct batch submissions, gateway sessions,
+// workflow/ensemble campaigns, co-allocations, viz sessions, WAN transfers
+// and exploratory bursts. Every actor stops *initiating* work at the
+// horizon; in-flight work is allowed to finish naturally.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "accounting/usage_db.hpp"
+#include "des/engine.hpp"
+#include "gateway/gateway.hpp"
+#include "meta/coalloc.hpp"
+#include "net/flow.hpp"
+#include "sched/pool.hpp"
+#include "util/rng.hpp"
+#include "workflow/engine.hpp"
+#include "workload/population.hpp"
+
+namespace tg {
+
+class TrafficGenerator {
+ public:
+  TrafficGenerator(Engine& engine, const Platform& platform,
+                   SchedulerPool& pool, FlowManager* flows,
+                   WorkflowEngine& workflows, CoAllocator& coalloc,
+                   std::vector<std::unique_ptr<Gateway>>& gateways,
+                   Recorder& recorder, const Population& population,
+                   ArchetypeParams params, Duration horizon, Rng rng);
+
+  /// Schedules the first arrival of every actor. Call once, then run the
+  /// engine.
+  void start();
+
+  /// Campaigns initiated per modality (generator-side ground truth).
+  [[nodiscard]] const std::array<std::uint64_t, kModalityCount>& campaigns()
+      const {
+    return campaigns_;
+  }
+
+ private:
+  void schedule_account_arrival(std::size_t user_idx);
+  void run_account_campaign(std::size_t user_idx);
+  void schedule_gateway_arrival(std::size_t end_user_idx);
+  void run_gateway_session(std::size_t end_user_idx);
+
+  // Per-modality campaign bodies.
+  void campaign_capacity(const SyntheticUser& user, Rng& rng);
+  void campaign_capability(const SyntheticUser& user, Rng& rng);
+  void campaign_workflow(const SyntheticUser& user, Rng& rng);
+  void campaign_coupled(const SyntheticUser& user, Rng& rng);
+  void campaign_viz(const SyntheticUser& user, Rng& rng);
+  void campaign_data(const SyntheticUser& user, Rng& rng);
+  void campaign_exploratory(const SyntheticUser& user, Rng& rng);
+
+  /// Builds a batch request with realistic walltime over-request and
+  /// occasional under-request (kill).
+  JobRequest make_request(const SyntheticUser& user, ResourceId resource,
+                          int cores, Duration actual, double fail_prob,
+                          double kill_prob, Rng& rng) const;
+  /// Submits at a delay, guarded by the horizon.
+  void submit_later(Duration delay, ResourceId resource, JobRequest request);
+
+  [[nodiscard]] ProjectId project_of(UserId user) const;
+  [[nodiscard]] Rng& user_rng(std::size_t user_idx);
+  [[nodiscard]] Rng& end_user_rng(std::size_t idx);
+
+  Engine& engine_;
+  const Platform& platform_;
+  SchedulerPool& pool_;
+  FlowManager* flows_;
+  WorkflowEngine& workflows_;
+  CoAllocator& coalloc_;
+  std::vector<std::unique_ptr<Gateway>>& gateways_;
+  Recorder& recorder_;
+  const Population& population_;
+  ArchetypeParams params_;
+  Duration horizon_;
+  std::vector<Rng> user_rngs_;
+  std::vector<Rng> end_user_rngs_;
+  std::array<std::uint64_t, kModalityCount> campaigns_{};
+};
+
+}  // namespace tg

@@ -1,0 +1,36 @@
+// Trace replay: drive a scheduler from an SWF trace instead of the
+// synthetic generators — the standard way to validate scheduling policies
+// against archived production workloads.
+#pragma once
+
+#include <vector>
+
+#include "accounting/swf.hpp"
+#include "des/engine.hpp"
+#include "sched/scheduler.hpp"
+
+namespace tg {
+
+struct ReplayOptions {
+  /// Jobs wider than the machine are clamped to full-machine width when
+  /// true; skipped when false.
+  bool clamp_width = true;
+  /// Requested walltimes above the machine limit are clamped when true;
+  /// such jobs are skipped when false.
+  bool clamp_walltime = true;
+  /// Replay at most this many jobs (0 = all).
+  std::size_t limit = 0;
+};
+
+struct ReplayStats {
+  std::size_t submitted = 0;
+  std::size_t skipped = 0;
+};
+
+/// Schedules every trace job for submission at its recorded submit time.
+/// Call before Engine::run(); the engine then replays the trace.
+ReplayStats replay_trace(Engine& engine, ResourceScheduler& scheduler,
+                         const std::vector<SwfJob>& trace,
+                         ReplayOptions options = {});
+
+}  // namespace tg

@@ -1,0 +1,74 @@
+#include "workload/scenario.hpp"
+
+#include "util/error.hpp"
+
+namespace tg {
+
+Scenario::Scenario(ScenarioConfig config)
+    : config_(std::move(config)),
+      platform_(config_.mini_platform ? mini_platform() : teragrid_2010()),
+      population_([&] {
+        Rng rng(config_.seed);
+        PopulationConfig pc;
+        pc.mix = config_.mix;
+        pc.gateways = config_.gateways;
+        pc.gateway_attribute_coverage = config_.gateway_attribute_coverage;
+        pc.gateway_adoption_ramp = config_.gateway_adoption_ramp;
+        pc.horizon = config_.horizon;
+        pc.users_per_project = config_.users_per_project;
+        return build_population(platform_, pc, rng);
+      }()),
+      ledger_(population_.community) {
+  pool_ = std::make_unique<SchedulerPool>(engine_, platform_, config_.sched);
+  if (config_.enable_flows) {
+    flows_ = std::make_unique<FlowManager>(engine_, platform_);
+  }
+  recorder_ = std::make_unique<Recorder>(platform_, db_, &ledger_);
+  recorder_->attach(*pool_);
+  if (flows_) recorder_->attach(*flows_);
+  workflows_ =
+      std::make_unique<WorkflowEngine>(engine_, *pool_, flows_.get());
+  coalloc_ = std::make_unique<CoAllocator>(engine_, *pool_);
+  for (std::size_t g = 0; g < population_.gateway_configs.size(); ++g) {
+    gateways_.push_back(std::make_unique<Gateway>(
+        engine_, *pool_, GatewayId{static_cast<GatewayId::rep>(g)},
+        population_.gateway_configs[g]));
+  }
+  Rng traffic_rng = Rng(config_.seed).fork("traffic");
+  generator_ = std::make_unique<TrafficGenerator>(
+      engine_, platform_, *pool_, flows_.get(), *workflows_, *coalloc_,
+      gateways_, *recorder_, population_, config_.archetypes,
+      config_.horizon, traffic_rng);
+}
+
+void Scenario::run() {
+  TG_REQUIRE(!ran_, "Scenario::run() called twice");
+  ran_ = true;
+  generator_->start();
+  engine_.run_until(config_.horizon);
+  // Drain: queued and running work completes, nothing new is initiated
+  // (the generator guards every submission with the horizon).
+  engine_.run();
+}
+
+ModalityReport Scenario::report(const RuleClassifier& classifier) const {
+  return ModalityReport::build(platform_, db_, classifier, 0,
+                               engine_.now() + 1, config_.features);
+}
+
+Scenario::LabelledPredictions Scenario::predictions(
+    const RuleClassifier& classifier) const {
+  const FeatureExtractor extractor(platform_, config_.features);
+  const auto features = extractor.extract(db_, 0, engine_.now() + 1);
+  const auto sets = classifier.classify(features);
+  LabelledPredictions out;
+  for (std::size_t i = 0; i < features.size(); ++i) {
+    if (sets[i].members.none()) continue;
+    out.users.push_back(features[i].user);
+    out.truth.push_back(population_.truth.of(features[i].user));
+    out.predicted.push_back(sets[i].primary);
+  }
+  return out;
+}
+
+}  // namespace tg

@@ -1,0 +1,103 @@
+// The Simulation facade: one object that builds the platform, population,
+// middleware and accounting, runs the clock, and exposes the database and
+// ground truth for analysis. Examples, tests and every experiment binary go
+// through this.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "accounting/usage_db.hpp"
+#include "core/classifier.hpp"
+#include "core/report.hpp"
+#include "des/engine.hpp"
+#include "gateway/gateway.hpp"
+#include "meta/coalloc.hpp"
+#include "net/flow.hpp"
+#include "sched/pool.hpp"
+#include "workflow/engine.hpp"
+#include "workload/generator.hpp"
+#include "workload/population.hpp"
+
+namespace tg {
+
+struct ScenarioConfig {
+  std::uint64_t seed = 42;
+  Duration horizon = kYear;
+  PopulationMix mix;
+  ArchetypeParams archetypes;
+  SchedulerConfig sched;
+  int gateways = 3;
+  double gateway_attribute_coverage = 0.9;
+  double gateway_adoption_ramp = 0.6;
+  double users_per_project = 3.0;
+  bool enable_flows = true;
+  FeatureConfig features;
+  /// Use the tiny 2-resource platform instead of the TeraGrid preset
+  /// (integration tests).
+  bool mini_platform = false;
+};
+
+class Scenario {
+ public:
+  explicit Scenario(ScenarioConfig config);
+
+  Scenario(const Scenario&) = delete;
+  Scenario& operator=(const Scenario&) = delete;
+
+  /// Runs the simulated clock to the horizon, then drains remaining events
+  /// (jobs already queued/running finish; nothing new is initiated).
+  void run();
+
+  [[nodiscard]] const ScenarioConfig& config() const { return config_; }
+  [[nodiscard]] const Platform& platform() const { return platform_; }
+  [[nodiscard]] Engine& engine() { return engine_; }
+  [[nodiscard]] const Engine& engine() const { return engine_; }
+  [[nodiscard]] const Community& community() const {
+    return population_.community;
+  }
+  [[nodiscard]] const Population& population() const { return population_; }
+  [[nodiscard]] const GroundTruth& truth() const { return population_.truth; }
+  [[nodiscard]] const UsageDatabase& db() const { return db_; }
+  [[nodiscard]] const AllocationLedger& ledger() const { return ledger_; }
+  [[nodiscard]] SchedulerPool& pool() { return *pool_; }
+  [[nodiscard]] const SchedulerPool& pool() const { return *pool_; }
+  [[nodiscard]] const WorkflowEngine& workflows() const { return *workflows_; }
+  [[nodiscard]] const TrafficGenerator& generator() const {
+    return *generator_;
+  }
+  [[nodiscard]] FlowManager* flows() { return flows_.get(); }
+
+  /// Convenience: the headline modality report over the full horizon.
+  [[nodiscard]] ModalityReport report(
+      const RuleClassifier& classifier) const;
+
+  /// Aligned (truth, predicted-primary) vectors over active account users,
+  /// for classifier scoring. Users with no recorded activity are skipped.
+  struct LabelledPredictions {
+    std::vector<Modality> truth;
+    std::vector<Modality> predicted;
+    std::vector<UserId> users;
+  };
+  [[nodiscard]] LabelledPredictions predictions(
+      const RuleClassifier& classifier) const;
+
+ private:
+  ScenarioConfig config_;
+  Platform platform_;
+  Engine engine_;
+  Population population_;
+  std::unique_ptr<SchedulerPool> pool_;
+  std::unique_ptr<FlowManager> flows_;
+  UsageDatabase db_;
+  AllocationLedger ledger_;
+  std::unique_ptr<Recorder> recorder_;
+  std::unique_ptr<WorkflowEngine> workflows_;
+  std::unique_ptr<CoAllocator> coalloc_;
+  std::vector<std::unique_ptr<Gateway>> gateways_;
+  std::unique_ptr<TrafficGenerator> generator_;
+  bool ran_ = false;
+};
+
+}  // namespace tg

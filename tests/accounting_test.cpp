@@ -1,0 +1,192 @@
+#include <gtest/gtest.h>
+
+#include "accounting/charge.hpp"
+#include "accounting/ledger.hpp"
+#include "accounting/usage_db.hpp"
+#include "infra/platform.hpp"
+#include "util/error.hpp"
+
+namespace tg {
+namespace {
+
+ComputeResource res_with(double charge_factor, int cores = 8) {
+  ComputeResource r;
+  r.id = ResourceId{0};
+  r.site = SiteId{0};
+  r.name = "m";
+  r.nodes = 16;
+  r.cores_per_node = cores;
+  r.charge_factor = charge_factor;
+  return r;
+}
+
+Job ran_job(int nodes, Duration runtime) {
+  Job j;
+  j.id = JobId{1};
+  j.resource = ResourceId{0};
+  j.req.nodes = nodes;
+  j.req.requested_walltime = runtime;
+  j.req.actual_runtime = runtime;
+  j.submit_time = 0;
+  j.start_time = 0;
+  j.end_time = runtime;
+  j.state = JobState::kCompleted;
+  return j;
+}
+
+TEST(Charge, CoreHoursTimesFactor) {
+  const auto res = res_with(1.5);
+  const Charge c = charge_for(ran_job(4, 2 * kHour), res);
+  EXPECT_DOUBLE_EQ(c.su, 4 * 8 * 2.0);
+  EXPECT_DOUBLE_EQ(c.nu, 4 * 8 * 2.0 * 1.5);
+}
+
+TEST(Charge, KilledJobChargedForTimeHeld) {
+  const auto res = res_with(1.0);
+  Job j = ran_job(2, 3 * kHour);
+  j.req.actual_runtime = 5 * kHour;  // wanted more
+  j.state = JobState::kKilled;
+  const Charge c = charge_for(j, res);
+  EXPECT_DOUBLE_EQ(c.su, 2 * 8 * 3.0);
+}
+
+TEST(Charge, UnranJobRejected) {
+  const auto res = res_with(1.0);
+  Job j = ran_job(1, kHour);
+  j.start_time = -1;
+  EXPECT_THROW((void)charge_for(j, res), PreconditionError);
+}
+
+TEST(Ledger, DebitAndBalance) {
+  Community c;
+  const ProjectId p = c.add_project("P", FieldOfScience::kPhysics, 1000.0);
+  AllocationLedger ledger(c);
+  EXPECT_DOUBLE_EQ(ledger.balance(p), 1000.0);
+  ledger.debit(p, 400.0);
+  EXPECT_DOUBLE_EQ(ledger.balance(p), 600.0);
+  EXPECT_DOUBLE_EQ(ledger.charged(p), 400.0);
+  EXPECT_FALSE(ledger.overdrawn(p));
+  ledger.debit(p, 700.0);
+  EXPECT_TRUE(ledger.overdrawn(p));
+  EXPECT_DOUBLE_EQ(ledger.total_charged(), 1100.0);
+  EXPECT_EQ(ledger.overdrawn_count(), 1u);
+  EXPECT_THROW(ledger.debit(p, -1.0), PreconditionError);
+}
+
+TEST(Ledger, LateProjectsAccepted) {
+  Community c;
+  const ProjectId p1 = c.add_project("P1", FieldOfScience::kOther, 10.0);
+  AllocationLedger ledger(c);
+  // A project created after the ledger still works.
+  const ProjectId p2 = c.add_project("P2", FieldOfScience::kOther, 10.0);
+  ledger.debit(p2, 5.0);
+  EXPECT_DOUBLE_EQ(ledger.balance(p2), 5.0);
+  EXPECT_DOUBLE_EQ(ledger.charged(p1), 0.0);
+}
+
+struct RecorderFixture : ::testing::Test {
+  Platform platform = mini_platform();
+  Engine engine;
+  SchedulerPool pool{engine, platform};
+  Community community;
+  ProjectId project = community.add_project("P", FieldOfScience::kOther, 1e6);
+  UserId user = community.add_user("u", project);
+  AllocationLedger ledger{community};
+  UsageDatabase db;
+  Recorder recorder{platform, db, &ledger};
+
+  JobRequest request(int nodes, Duration runtime) {
+    JobRequest r;
+    r.user = user;
+    r.project = project;
+    r.nodes = nodes;
+    r.requested_walltime = runtime;
+    r.actual_runtime = runtime;
+    return r;
+  }
+};
+
+TEST_F(RecorderFixture, JobRecordWrittenAndLedgerDebited) {
+  recorder.attach(pool);
+  const ResourceId target = platform.compute()[0].id;
+  pool.at(target).submit(request(4, 2 * kHour));
+  engine.run();
+  ASSERT_EQ(db.jobs().size(), 1u);
+  const JobRecord& r = db.jobs()[0];
+  EXPECT_EQ(r.user, user);
+  EXPECT_EQ(r.resource, target);
+  EXPECT_EQ(r.nodes, 4);
+  EXPECT_EQ(r.final_state, JobState::kCompleted);
+  EXPECT_DOUBLE_EQ(r.charged_su, 4 * 8 * 2.0);
+  EXPECT_DOUBLE_EQ(r.charged_nu, r.charged_su * 1.0);
+  EXPECT_DOUBLE_EQ(ledger.charged(project), r.charged_nu);
+  EXPECT_DOUBLE_EQ(db.total_nu(), r.charged_nu);
+}
+
+TEST_F(RecorderFixture, CancelledJobsLeaveNoRecord) {
+  recorder.attach(pool);
+  const ResourceId target = platform.compute()[0].id;
+  pool.at(target).submit(request(16, kHour));
+  const JobId queued = pool.at(target).submit(request(16, kHour));
+  pool.at(target).cancel(queued);
+  engine.run();
+  EXPECT_EQ(db.jobs().size(), 1u);
+}
+
+TEST_F(RecorderFixture, TransferRecordFromFlow) {
+  FlowManager flows(engine, platform);
+  recorder.attach(flows);
+  flows.start_transfer(platform.sites()[0].id, platform.sites()[1].id, 1e9,
+                       user, project);
+  engine.run();
+  ASSERT_EQ(db.transfers().size(), 1u);
+  EXPECT_EQ(db.transfers()[0].bytes, 1e9);
+  EXPECT_EQ(db.transfers()[0].user, user);
+  EXPECT_GT(db.transfers()[0].end_time, db.transfers()[0].submit_time);
+}
+
+TEST_F(RecorderFixture, SessionRecord) {
+  recorder.record_session(user, platform.compute()[0].id, 0, kHour, true);
+  ASSERT_EQ(db.sessions().size(), 1u);
+  EXPECT_TRUE(db.sessions()[0].viz);
+  EXPECT_EQ(db.sessions()[0].end_time, kHour);
+}
+
+TEST_F(RecorderFixture, QueryHelpers) {
+  recorder.attach(pool);
+  const ResourceId target = platform.compute()[0].id;
+  pool.at(target).submit(request(1, kHour));
+  pool.at(target).submit(request(1, 2 * kHour));
+  JobRequest other = request(1, kHour);
+  other.user = community.add_user("v", project);
+  pool.at(target).submit(other);
+  engine.run();
+  EXPECT_EQ(db.jobs_of(user).size(), 2u);
+  EXPECT_EQ(db.jobs_of(other.user).size(), 1u);
+  // Window [0, 1h+1) captures the two 1-hour jobs.
+  EXPECT_EQ(db.jobs_in(0, kHour + 1).size(), 2u);
+  EXPECT_EQ(db.jobs_in(kHour + 1, kDay).size(), 1u);
+}
+
+TEST_F(RecorderFixture, GatewayAttributesFlowThrough) {
+  recorder.attach(pool);
+  const ResourceId target = platform.compute()[0].id;
+  JobRequest r = request(1, kHour);
+  r.gateway = GatewayId{2};
+  r.gateway_end_user = "portal:alice";
+  r.workflow = WorkflowId{5};
+  r.interactive = true;
+  r.coallocated = true;
+  pool.at(target).submit(std::move(r));
+  engine.run();
+  ASSERT_EQ(db.jobs().size(), 1u);
+  const JobRecord& rec = db.jobs()[0];
+  EXPECT_EQ(rec.gateway, GatewayId{2});
+  EXPECT_EQ(rec.gateway_end_user, "portal:alice");
+  EXPECT_EQ(rec.workflow, WorkflowId{5});
+  EXPECT_TRUE(rec.interactive);
+  EXPECT_TRUE(rec.coallocated);
+}
+
+}  // namespace
+}  // namespace tg

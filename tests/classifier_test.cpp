@@ -1,0 +1,239 @@
+#include "core/classifier.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/scoring.hpp"
+#include "util/error.hpp"
+
+namespace tg {
+namespace {
+
+UserFeatures base_features(int jobs = 10, double nu = 5000.0) {
+  UserFeatures f;
+  f.user = UserId{1};
+  f.jobs = jobs;
+  f.total_nu = nu;
+  f.max_width_cores = 256;
+  f.mean_width_cores = 128;
+  f.max_machine_fraction = 0.1;
+  f.mean_runtime_s = 4 * 3600;
+  return f;
+}
+
+TEST(Classifier, NoActivityYieldsEmptySet) {
+  const RuleClassifier c;
+  const ModalitySet s = c.classify(UserFeatures{});
+  EXPECT_TRUE(s.members.none());
+}
+
+TEST(Classifier, PlainBatchIsCapacity) {
+  const RuleClassifier c;
+  const ModalitySet s = c.classify(base_features());
+  EXPECT_TRUE(s.has(Modality::kCapacityBatch));
+  EXPECT_EQ(s.primary, Modality::kCapacityBatch);
+  EXPECT_EQ(s.count(), 1u);
+}
+
+TEST(Classifier, GatewayByAttributeFraction) {
+  const RuleClassifier c;
+  UserFeatures f = base_features();
+  f.gateway_fraction = 0.9;
+  const ModalitySet s = c.classify(f);
+  EXPECT_TRUE(s.has(Modality::kGateway));
+  EXPECT_EQ(s.primary, Modality::kGateway);
+}
+
+TEST(Classifier, GatewayBelowThresholdIgnored) {
+  const RuleClassifier c;
+  UserFeatures f = base_features();
+  f.gateway_fraction = 0.2;
+  EXPECT_FALSE(c.classify(f).has(Modality::kGateway));
+}
+
+TEST(Classifier, CapabilityNeedsFractionAndAbsoluteWidth) {
+  const RuleClassifier c;
+  UserFeatures f = base_features();
+  f.max_machine_fraction = 0.8;
+  f.max_width_cores = 4096;
+  EXPECT_EQ(c.classify(f).primary, Modality::kCapabilityBatch);
+  // Half of a tiny machine is not capability.
+  f.max_width_cores = 128;
+  EXPECT_FALSE(c.classify(f).has(Modality::kCapabilityBatch));
+  // A wide job on a huge machine at small fraction is not capability.
+  f.max_width_cores = 4096;
+  f.max_machine_fraction = 0.2;
+  EXPECT_FALSE(c.classify(f).has(Modality::kCapabilityBatch));
+}
+
+TEST(Classifier, WorkflowByTagOrBurst) {
+  const RuleClassifier c;
+  UserFeatures f = base_features();
+  f.workflow_fraction = 0.5;
+  EXPECT_TRUE(c.classify(f).has(Modality::kWorkflowEnsemble));
+  f = base_features();
+  f.burst_fraction = 0.5;
+  EXPECT_TRUE(c.classify(f).has(Modality::kWorkflowEnsemble));
+  f.burst_fraction = 0.1;
+  EXPECT_FALSE(c.classify(f).has(Modality::kWorkflowEnsemble));
+}
+
+TEST(Classifier, TightlyCoupledByCoallocation) {
+  const RuleClassifier c;
+  UserFeatures f = base_features();
+  f.coalloc_fraction = 0.1;
+  const ModalitySet s = c.classify(f);
+  EXPECT_TRUE(s.has(Modality::kTightlyCoupled));
+  EXPECT_EQ(s.primary, Modality::kTightlyCoupled);
+}
+
+TEST(Classifier, InteractiveBySessionsOrVizJobs) {
+  const RuleClassifier c;
+  UserFeatures f = base_features();
+  f.viz_sessions = 1;
+  EXPECT_TRUE(c.classify(f).has(Modality::kRemoteInteractive));
+  f = base_features();
+  f.viz_fraction = 0.5;
+  EXPECT_TRUE(c.classify(f).has(Modality::kRemoteInteractive));
+}
+
+TEST(Classifier, DataCentricNeedsVolumeAndRatio) {
+  const RuleClassifier c;
+  UserFeatures f = base_features(5, 100.0);
+  f.bytes_transferred = 5e12;
+  EXPECT_TRUE(c.classify(f).has(Modality::kDataCentric));
+  // Heavy compute users moving data are not data-centric (low bytes/NU).
+  f = base_features(100, 1e7);
+  f.bytes_transferred = 5e12;
+  EXPECT_FALSE(c.classify(f).has(Modality::kDataCentric));
+  // Small transfers don't qualify either.
+  f = base_features(5, 100.0);
+  f.bytes_transferred = 1e9;
+  EXPECT_FALSE(c.classify(f).has(Modality::kDataCentric));
+}
+
+TEST(Classifier, TransfersOnlyUserIsDataCentric) {
+  const RuleClassifier c;
+  UserFeatures f;
+  f.bytes_transferred = 1e12;
+  const ModalitySet s = c.classify(f);
+  EXPECT_TRUE(s.has(Modality::kDataCentric));
+  EXPECT_EQ(s.primary, Modality::kDataCentric);
+}
+
+TEST(Classifier, ExploratoryByTinyTotals) {
+  const RuleClassifier c;
+  UserFeatures f;
+  f.jobs = 5;
+  f.total_nu = 50.0;
+  f.max_width_cores = 8;
+  const ModalitySet s = c.classify(f);
+  EXPECT_TRUE(s.has(Modality::kExploratory));
+  EXPECT_EQ(s.primary, Modality::kExploratory);
+}
+
+TEST(Classifier, ExploratoryByFailureRate) {
+  const RuleClassifier c;
+  UserFeatures f = base_features(10, 200.0);
+  f.max_width_cores = 8;
+  f.failed_fraction = 0.6;
+  EXPECT_TRUE(c.classify(f).has(Modality::kExploratory));
+}
+
+TEST(Classifier, ExploratoryDoesNotOverrideSpecificModalities) {
+  const RuleClassifier c;
+  UserFeatures f;
+  f.jobs = 3;
+  f.total_nu = 10.0;
+  f.max_width_cores = 2;
+  f.gateway_fraction = 1.0;
+  const ModalitySet s = c.classify(f);
+  EXPECT_TRUE(s.has(Modality::kGateway));
+  EXPECT_FALSE(s.has(Modality::kExploratory));
+}
+
+TEST(Classifier, MultiModalityUserGetsPrecedencePrimary) {
+  const RuleClassifier c;
+  UserFeatures f = base_features();
+  f.workflow_fraction = 0.5;
+  f.max_machine_fraction = 0.9;
+  f.max_width_cores = 8192;
+  f.viz_fraction = 0.5;
+  const ModalitySet s = c.classify(f);
+  EXPECT_EQ(s.count(), 3u);
+  EXPECT_EQ(s.primary, Modality::kRemoteInteractive);  // precedence order
+}
+
+TEST(Classifier, BatchClassifyPreservesOrder) {
+  const RuleClassifier c;
+  std::vector<UserFeatures> fs;
+  UserFeatures a = base_features();
+  a.gateway_fraction = 1.0;
+  fs.push_back(a);
+  fs.push_back(base_features());
+  const auto sets = c.classify(fs);
+  ASSERT_EQ(sets.size(), 2u);
+  EXPECT_EQ(sets[0].primary, Modality::kGateway);
+  EXPECT_EQ(sets[1].primary, Modality::kCapacityBatch);
+}
+
+TEST(Classifier, ThresholdValidation) {
+  ClassifierThresholds t;
+  t.gateway_fraction = 0.0;
+  EXPECT_THROW(RuleClassifier{t}, PreconditionError);
+  t = ClassifierThresholds{};
+  t.capability_machine_fraction = 1.5;
+  EXPECT_THROW(RuleClassifier{t}, PreconditionError);
+}
+
+TEST(Modality, NamesComplete) {
+  for (std::size_t m = 0; m < kModalityCount; ++m) {
+    EXPECT_STRNE(to_string(static_cast<Modality>(m)), "Unknown");
+    EXPECT_STRNE(short_name(static_cast<Modality>(m)), "unknown");
+  }
+  EXPECT_EQ(taxonomy().size(), kModalityCount);
+  for (std::size_t m = 0; m < kModalityCount; ++m) {
+    EXPECT_EQ(static_cast<std::size_t>(taxonomy()[m].modality), m);
+    EXPECT_NE(taxonomy()[m].mechanism, nullptr);
+  }
+}
+
+TEST(Scoring, ConfusionMatrixBasics) {
+  ConfusionMatrix cm;
+  cm.add(Modality::kGateway, Modality::kGateway);
+  cm.add(Modality::kGateway, Modality::kCapacityBatch);
+  cm.add(Modality::kCapacityBatch, Modality::kCapacityBatch);
+  EXPECT_EQ(cm.total(), 3);
+  EXPECT_NEAR(cm.accuracy(), 2.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(cm.recall(Modality::kGateway), 0.5);
+  EXPECT_DOUBLE_EQ(cm.precision(Modality::kGateway), 1.0);
+  EXPECT_DOUBLE_EQ(cm.precision(Modality::kCapacityBatch), 0.5);
+  EXPECT_NEAR(cm.f1(Modality::kGateway), 2 * 0.5 / 1.5, 1e-12);
+}
+
+TEST(Scoring, MacroF1SkipsAbsentClasses) {
+  ConfusionMatrix cm;
+  cm.add(Modality::kGateway, Modality::kGateway);
+  EXPECT_DOUBLE_EQ(cm.macro_f1(), 1.0);
+  EXPECT_DOUBLE_EQ(cm.precision(Modality::kDataCentric), 0.0);
+  EXPECT_DOUBLE_EQ(cm.recall(Modality::kDataCentric), 0.0);
+  EXPECT_DOUBLE_EQ(cm.f1(Modality::kDataCentric), 0.0);
+}
+
+TEST(Scoring, ScorePrimaryAlignment) {
+  const auto cm = score_primary({Modality::kGateway, Modality::kExploratory},
+                                {Modality::kGateway, Modality::kGateway});
+  EXPECT_EQ(cm.total(), 2);
+  EXPECT_DOUBLE_EQ(cm.accuracy(), 0.5);
+  EXPECT_THROW((void)score_primary({Modality::kGateway}, {}), PreconditionError);
+}
+
+TEST(Scoring, EmptyMatrix) {
+  ConfusionMatrix cm;
+  EXPECT_DOUBLE_EQ(cm.accuracy(), 0.0);
+  EXPECT_DOUBLE_EQ(cm.macro_f1(), 0.0);
+  EXPECT_FALSE(cm.to_table().to_string().empty());
+  EXPECT_FALSE(cm.per_class_table().to_string().empty());
+}
+
+}  // namespace
+}  // namespace tg

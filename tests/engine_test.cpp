@@ -1,0 +1,211 @@
+#include "des/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace tg {
+namespace {
+
+TEST(Engine, StartsAtZero) {
+  Engine e;
+  EXPECT_EQ(e.now(), 0);
+  EXPECT_EQ(e.pending(), 0u);
+}
+
+TEST(Engine, FiresInTimeOrder) {
+  Engine e;
+  std::vector<int> order;
+  e.schedule_at(30, [&] { order.push_back(3); });
+  e.schedule_at(10, [&] { order.push_back(1); });
+  e.schedule_at(20, [&] { order.push_back(2); });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(e.now(), 30);
+}
+
+TEST(Engine, FifoAmongTies) {
+  Engine e;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    e.schedule_at(10, [&order, i] { order.push_back(i); });
+  }
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Engine, PriorityBreaksTies) {
+  Engine e;
+  std::vector<std::string> order;
+  e.schedule_at(5, [&] { order.push_back("submission"); },
+                EventPriority::kSubmission);
+  e.schedule_at(5, [&] { order.push_back("completion"); },
+                EventPriority::kCompletion);
+  e.run();
+  EXPECT_EQ(order, (std::vector<std::string>{"completion", "submission"}));
+}
+
+TEST(Engine, ScheduleInIsRelative) {
+  Engine e;
+  SimTime seen = -1;
+  e.schedule_at(100, [&] {
+    e.schedule_in(50, [&] { seen = e.now(); });
+  });
+  e.run();
+  EXPECT_EQ(seen, 150);
+}
+
+TEST(Engine, RejectsPastScheduling) {
+  Engine e;
+  e.schedule_at(100, [] {});
+  e.run();
+  EXPECT_THROW(e.schedule_at(50, [] {}), PreconditionError);
+  EXPECT_THROW(e.schedule_in(-1, [] {}), PreconditionError);
+}
+
+TEST(Engine, RejectsNullCallback) {
+  Engine e;
+  EXPECT_THROW(e.schedule_at(1, nullptr), PreconditionError);
+}
+
+TEST(Engine, CancelPreventsFiring) {
+  Engine e;
+  bool fired = false;
+  const EventId id = e.schedule_at(10, [&] { fired = true; });
+  EXPECT_TRUE(e.cancel(id));
+  e.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Engine, CancelTwiceFails) {
+  Engine e;
+  const EventId id = e.schedule_at(10, [] {});
+  EXPECT_TRUE(e.cancel(id));
+  EXPECT_FALSE(e.cancel(id));
+  EXPECT_FALSE(e.cancel(kInvalidEvent));
+  EXPECT_FALSE(e.cancel(999999));
+}
+
+TEST(Engine, CancelAfterFireFails) {
+  Engine e;
+  const EventId id = e.schedule_at(10, [] {});
+  e.run();
+  EXPECT_FALSE(e.cancel(id));
+}
+
+TEST(Engine, RunUntilStopsAtBoundary) {
+  Engine e;
+  std::vector<SimTime> fired;
+  e.schedule_at(10, [&] { fired.push_back(10); });
+  e.schedule_at(20, [&] { fired.push_back(20); });
+  e.schedule_at(30, [&] { fired.push_back(30); });
+  const std::size_t n = e.run_until(20);
+  EXPECT_EQ(n, 2u);
+  EXPECT_EQ(e.now(), 20);  // clock advances to the boundary
+  EXPECT_EQ(fired, (std::vector<SimTime>{10, 20}));
+  e.run();
+  EXPECT_EQ(fired.back(), 30);
+}
+
+TEST(Engine, RunUntilAdvancesClockWithNoEvents) {
+  Engine e;
+  e.run_until(500);
+  EXPECT_EQ(e.now(), 500);
+  EXPECT_THROW(e.run_until(400), PreconditionError);
+}
+
+TEST(Engine, EventsScheduledDuringRunAreProcessed) {
+  Engine e;
+  int chain = 0;
+  std::function<void()> step = [&] {
+    if (++chain < 10) e.schedule_in(5, step);
+  };
+  e.schedule_at(0, step);
+  e.run();
+  EXPECT_EQ(chain, 10);
+  EXPECT_EQ(e.now(), 45);
+}
+
+TEST(Engine, StopHaltsProcessing) {
+  Engine e;
+  int count = 0;
+  for (int i = 0; i < 10; ++i) {
+    e.schedule_at(i, [&] {
+      if (++count == 3) e.stop();
+    });
+  }
+  e.run();
+  EXPECT_EQ(count, 3);
+  EXPECT_EQ(e.pending(), 7u);
+  e.run();  // resumes
+  EXPECT_EQ(count, 10);
+}
+
+TEST(Engine, PendingExcludesCancelled) {
+  Engine e;
+  const EventId a = e.schedule_at(10, [] {});
+  e.schedule_at(20, [] {});
+  EXPECT_EQ(e.pending(), 2u);
+  e.cancel(a);
+  EXPECT_EQ(e.pending(), 1u);
+}
+
+TEST(Engine, ProcessedCounter) {
+  Engine e;
+  for (int i = 0; i < 5; ++i) e.schedule_at(i, [] {});
+  e.run();
+  EXPECT_EQ(e.events_processed(), 5u);
+}
+
+TEST(Engine, RunUntilSkipsCancelledHead) {
+  Engine e;
+  bool fired = false;
+  const EventId a = e.schedule_at(5, [&] { fired = true; });
+  e.schedule_at(50, [] {});
+  e.cancel(a);
+  e.run_until(10);
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(e.now(), 10);
+  EXPECT_EQ(e.pending(), 1u);
+}
+
+TEST(TimeFormat, Renders) {
+  EXPECT_EQ(format_duration(0), "00:00:00");
+  EXPECT_EQ(format_duration(kHour + 2 * kMinute + 3 * kSecond), "01:02:03");
+  EXPECT_EQ(format_duration(2 * kDay + kHour), "2d 01:00:00");
+  EXPECT_EQ(format_duration(-kMinute), "-00:01:00");
+}
+
+TEST(TimeConversions, RoundTrip) {
+  EXPECT_EQ(from_seconds(1.5), 1500);
+  EXPECT_DOUBLE_EQ(to_seconds(2500), 2.5);
+  EXPECT_DOUBLE_EQ(to_hours(kDay), 24.0);
+  EXPECT_DOUBLE_EQ(to_days(kWeek), 7.0);
+}
+
+// Property sweep: interleaved schedule/cancel patterns keep ordering.
+class EngineChurn : public ::testing::TestWithParam<int> {};
+
+TEST_P(EngineChurn, MonotoneFiringTimes) {
+  Engine e;
+  std::vector<SimTime> fired;
+  const int n = GetParam();
+  std::vector<EventId> ids;
+  for (int i = 0; i < n; ++i) {
+    const SimTime t = (i * 7919) % 1000;  // scrambled times
+    ids.push_back(e.schedule_at(t, [&fired, &e] { fired.push_back(e.now()); }));
+  }
+  for (int i = 0; i < n; i += 3) e.cancel(ids[static_cast<std::size_t>(i)]);
+  e.run();
+  for (std::size_t i = 1; i < fired.size(); ++i) {
+    ASSERT_LE(fired[i - 1], fired[i]);
+  }
+  EXPECT_EQ(fired.size(), static_cast<std::size_t>(n - (n + 2) / 3));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, EngineChurn, ::testing::Values(10, 100, 1000));
+
+}  // namespace
+}  // namespace tg

@@ -1,0 +1,66 @@
+#include "util/ids.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <type_traits>
+#include <unordered_set>
+
+namespace tg {
+namespace {
+
+TEST(Ids, DefaultIsInvalid) {
+  UserId u;
+  EXPECT_FALSE(u.valid());
+  EXPECT_EQ(u.value(), -1);
+}
+
+TEST(Ids, ExplicitConstructionIsValid) {
+  const UserId u{7};
+  EXPECT_TRUE(u.valid());
+  EXPECT_EQ(u.value(), 7);
+}
+
+TEST(Ids, ComparisonAndOrdering) {
+  EXPECT_EQ(UserId{3}, UserId{3});
+  EXPECT_NE(UserId{3}, UserId{4});
+  EXPECT_LT(UserId{3}, UserId{4});
+  EXPECT_GT(UserId{9}, UserId{4});
+}
+
+TEST(Ids, DistinctTagTypesDoNotMix) {
+  // Compile-time property: UserId and ProjectId are unrelated types.
+  static_assert(!std::is_convertible_v<UserId, ProjectId>);
+  static_assert(!std::is_convertible_v<ProjectId, UserId>);
+  static_assert(!std::is_convertible_v<int, UserId>);
+}
+
+TEST(Ids, SixtyFourBitReps) {
+  const JobId j{(1LL << 50) + 5};
+  EXPECT_EQ(j.value(), (1LL << 50) + 5);
+  static_assert(std::is_same_v<JobId::rep, std::int64_t>);
+  static_assert(std::is_same_v<UserId::rep, std::int32_t>);
+}
+
+TEST(Ids, Hashable) {
+  std::unordered_set<UserId> set;
+  set.insert(UserId{1});
+  set.insert(UserId{2});
+  set.insert(UserId{1});
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_TRUE(set.count(UserId{2}));
+}
+
+TEST(Ids, Streamable) {
+  std::ostringstream os;
+  os << UserId{42} << " " << JobId{};
+  EXPECT_EQ(os.str(), "42 -1");
+}
+
+TEST(Ids, ZeroIsValid) {
+  EXPECT_TRUE(UserId{0}.valid());
+  EXPECT_FALSE(UserId{-5}.valid());
+}
+
+}  // namespace
+}  // namespace tg

@@ -1,0 +1,129 @@
+#include "infra/platform.hpp"
+
+#include <gtest/gtest.h>
+
+#include "infra/community.hpp"
+#include "util/error.hpp"
+
+namespace tg {
+namespace {
+
+TEST(Platform, AddAndLookupSite) {
+  Platform p;
+  const SiteId a = p.add_site("A");
+  const SiteId b = p.add_site("B");
+  EXPECT_EQ(p.site(a).name, "A");
+  EXPECT_EQ(p.site(b).name, "B");
+  EXPECT_EQ(p.sites().size(), 2u);
+  EXPECT_THROW((void)p.site(SiteId{5}), PreconditionError);
+  EXPECT_THROW((void)p.site(SiteId{}), PreconditionError);
+}
+
+TEST(Platform, AddComputeValidates) {
+  Platform p;
+  const SiteId s = p.add_site("A");
+  ComputeResource r;
+  r.site = s;
+  r.name = "C";
+  r.nodes = 0;
+  r.cores_per_node = 8;
+  EXPECT_THROW(p.add_compute(r), PreconditionError);
+  r.nodes = 4;
+  r.site = SiteId{9};
+  EXPECT_THROW(p.add_compute(r), PreconditionError);
+  r.site = s;
+  const ResourceId id = p.add_compute(r);
+  EXPECT_TRUE(p.is_compute(id));
+  EXPECT_EQ(p.compute_at(id).total_cores(), 32);
+}
+
+TEST(Platform, StorageIdsDisjointFromCompute) {
+  Platform p;
+  const SiteId s = p.add_site("A");
+  ComputeResource c;
+  c.site = s;
+  c.name = "C";
+  c.nodes = 1;
+  c.cores_per_node = 1;
+  const ResourceId cid = p.add_compute(c);
+  StorageResource st;
+  st.site = s;
+  st.name = "S";
+  const ResourceId sid = p.add_storage(st);
+  EXPECT_TRUE(p.is_compute(cid));
+  EXPECT_FALSE(p.is_compute(sid));
+  EXPECT_EQ(p.storage_at(sid).name, "S");
+  EXPECT_THROW((void)p.storage_at(cid), PreconditionError);
+  EXPECT_THROW((void)p.compute_at(sid), PreconditionError);
+}
+
+TEST(Platform, LinkValidation) {
+  Platform p;
+  const SiteId a = p.add_site("A");
+  const SiteId b = p.add_site("B");
+  EXPECT_THROW(p.add_link(a, a, 10.0), PreconditionError);
+  EXPECT_THROW(p.add_link(a, b, 0.0), PreconditionError);
+  const LinkId l = p.add_link(a, b, 10.0, 5 * kMillisecond);
+  EXPECT_EQ(p.link(l).gbps, 10.0);
+}
+
+TEST(Platform, ComputeByName) {
+  Platform p = mini_platform();
+  EXPECT_EQ(p.compute_by_name("ClusterA").nodes, 16);
+  EXPECT_THROW((void)p.compute_by_name("nope"), PreconditionError);
+}
+
+TEST(TeraGridPreset, HasExpectedShape) {
+  const Platform p = teragrid_2010();
+  EXPECT_EQ(p.sites().size(), 11u);
+  EXPECT_EQ(p.compute().size(), 13u);
+  EXPECT_EQ(p.storage().size(), 4u);
+  EXPECT_GE(p.links().size(), 10u);
+  // Kraken is the biggest machine.
+  const auto& kraken = p.compute_by_name("Kraken");
+  for (const auto& r : p.compute()) {
+    EXPECT_LE(r.total_cores(), kraken.total_cores());
+  }
+  // Exactly two viz systems.
+  int viz = 0;
+  for (const auto& r : p.compute()) viz += r.interactive_viz ? 1 : 0;
+  EXPECT_EQ(viz, 2);
+  EXPECT_GT(p.total_cores(), 20000);
+}
+
+TEST(TeraGridPreset, AllResourcesReachable) {
+  const Platform p = teragrid_2010();
+  // Every site with a resource connects to the hub (spoke topology) —
+  // verified indirectly via the links table.
+  for (const auto& r : p.compute()) {
+    bool linked = false;
+    for (const auto& l : p.links()) {
+      if (l.a == r.site || l.b == r.site) linked = true;
+    }
+    EXPECT_TRUE(linked) << r.name;
+  }
+}
+
+TEST(Community, ProjectsAndUsers) {
+  Community c;
+  const ProjectId p1 = c.add_project("P1", FieldOfScience::kPhysics, 1e6);
+  const UserId u1 = c.add_user("alice", p1);
+  const UserId u2 = c.add_user("bob", p1);
+  EXPECT_EQ(c.user_count(), 2u);
+  EXPECT_EQ(c.user(u1).name, "alice");
+  EXPECT_EQ(c.user(u2).project, p1);
+  EXPECT_EQ(c.project(p1).field, FieldOfScience::kPhysics);
+  EXPECT_THROW(c.add_user("x", ProjectId{7}), PreconditionError);
+  EXPECT_THROW((void)c.project(ProjectId{3}), PreconditionError);
+  EXPECT_THROW((void)c.user(UserId{9}), PreconditionError);
+  EXPECT_THROW(c.add_project("neg", FieldOfScience::kOther, -1.0),
+               PreconditionError);
+}
+
+TEST(Community, FieldNames) {
+  EXPECT_STREQ(to_string(FieldOfScience::kPhysics), "Physics");
+  EXPECT_STREQ(to_string(FieldOfScience::kOther), "Other");
+}
+
+}  // namespace
+}  // namespace tg

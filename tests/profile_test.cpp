@@ -1,0 +1,164 @@
+#include "sched/profile.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace tg {
+namespace {
+
+TEST(Profile, EmptyProfileFitsImmediately) {
+  Profile p(0, 100);
+  EXPECT_EQ(p.earliest_fit(50, kHour, 0), 0);
+  EXPECT_EQ(p.earliest_fit(100, kHour, 0), 0);
+  EXPECT_EQ(p.free_at(0), 100);
+  EXPECT_EQ(p.free_at(kYear), 100);
+}
+
+TEST(Profile, TooWideNeverFits) {
+  Profile p(0, 100);
+  EXPECT_EQ(p.earliest_fit(101, kHour, 0), -1);
+}
+
+TEST(Profile, SubtractReducesFree) {
+  Profile p(0, 100);
+  p.subtract(0, kHour, 60);
+  EXPECT_EQ(p.free_at(0), 40);
+  EXPECT_EQ(p.free_at(kHour - 1), 40);
+  EXPECT_EQ(p.free_at(kHour), 100);
+}
+
+TEST(Profile, FitWaitsForRelease) {
+  Profile p(0, 100);
+  p.subtract(0, kHour, 60);
+  EXPECT_EQ(p.earliest_fit(40, kHour, 0), 0);
+  EXPECT_EQ(p.earliest_fit(41, kHour, 0), kHour);
+}
+
+TEST(Profile, FitSlipsIntoGap) {
+  // Busy [0,1h) and [2h,3h); a 1-hour job of full width fits exactly in
+  // the gap [1h,2h).
+  Profile p(0, 10);
+  p.subtract(0, kHour, 10);
+  p.subtract(2 * kHour, 3 * kHour, 10);
+  EXPECT_EQ(p.earliest_fit(10, kHour, 0), kHour);
+  // A longer job must wait past the second block.
+  EXPECT_EQ(p.earliest_fit(10, kHour + 1, 0), 3 * kHour);
+}
+
+TEST(Profile, EarliestParameterRespected) {
+  Profile p(0, 10);
+  EXPECT_EQ(p.earliest_fit(5, kHour, 30 * kMinute), 30 * kMinute);
+}
+
+TEST(Profile, OverlappingSubtracts) {
+  Profile p(0, 10);
+  p.subtract(0, 2 * kHour, 4);
+  p.subtract(kHour, 3 * kHour, 4);
+  EXPECT_EQ(p.free_at(0), 6);
+  EXPECT_EQ(p.free_at(kHour), 2);
+  EXPECT_EQ(p.free_at(2 * kHour), 6);
+  EXPECT_EQ(p.free_at(3 * kHour), 10);
+  // 6 nodes free during [0,1h) already fits a 5-node job.
+  EXPECT_EQ(p.earliest_fit(5, kHour, 0), 0);
+  EXPECT_EQ(p.earliest_fit(6, kHour, 0), 0);
+  EXPECT_EQ(p.earliest_fit(7, kHour, 0), 3 * kHour);
+}
+
+TEST(Profile, SubtractBeforeNowClamps) {
+  Profile p(kHour, 10);
+  p.subtract(0, 2 * kHour, 5);  // starts before profile origin
+  EXPECT_EQ(p.free_at(kHour), 5);
+  EXPECT_EQ(p.free_at(2 * kHour), 10);
+}
+
+TEST(Profile, ZeroNodeAndEmptyIntervalNoops) {
+  Profile p(0, 10);
+  p.subtract(0, kHour, 0);
+  p.subtract(kHour, kHour, 5);
+  p.subtract(2 * kHour, kHour, 5);  // to < from
+  EXPECT_EQ(p.free_at(0), 10);
+  EXPECT_EQ(p.free_at(kHour), 10);
+}
+
+TEST(Profile, FenceBlocksStraddlingJob) {
+  Profile p(0, 10);
+  p.add_fence(kHour);
+  // A 2-hour job cannot span the fence: it must start at the fence.
+  EXPECT_EQ(p.earliest_fit(10, 2 * kHour, 0), kHour);
+  // A 1-hour job fits before the fence.
+  EXPECT_EQ(p.earliest_fit(10, kHour, 0), 0);
+  // A 30-minute job starting at 45min would straddle; from 0 it's fine.
+  EXPECT_EQ(p.earliest_fit(10, 30 * kMinute, 45 * kMinute), kHour);
+}
+
+TEST(Profile, MultipleFences) {
+  Profile p(0, 10);
+  p.add_fence(kHour);
+  p.add_fence(2 * kHour);
+  p.add_fence(2 * kHour);  // duplicate ignored
+  EXPECT_EQ(p.earliest_fit(5, 90 * kMinute, 0), 2 * kHour);
+  EXPECT_EQ(p.earliest_fit(5, 30 * kMinute, 90 * kMinute), 90 * kMinute);
+}
+
+TEST(Profile, FenceBeforeNowIgnored) {
+  Profile p(kHour, 10);
+  p.add_fence(0);
+  EXPECT_EQ(p.earliest_fit(10, kDay, kHour), kHour);
+}
+
+TEST(Profile, FenceInteractsWithBusyInterval) {
+  Profile p(0, 10);
+  p.subtract(0, kHour, 10);  // busy first hour
+  p.add_fence(90 * kMinute);
+  // 1h job: free at 1h, but would straddle the 1.5h fence -> starts there.
+  EXPECT_EQ(p.earliest_fit(10, kHour, 0), 90 * kMinute);
+  // 30m job fits right at 1h.
+  EXPECT_EQ(p.earliest_fit(10, 30 * kMinute, 0), kHour);
+}
+
+TEST(Profile, RejectsBadQueries) {
+  Profile p(0, 10);
+  EXPECT_THROW((void)p.earliest_fit(-1, kHour, 0), PreconditionError);
+  EXPECT_THROW((void)p.earliest_fit(1, -1, 0), PreconditionError);
+  EXPECT_THROW(Profile(0, -5), PreconditionError);
+}
+
+// Property: earliest_fit's answer is always actually feasible, and no
+// earlier feasible start exists on a sampled grid.
+class ProfileProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ProfileProperty, FitIsFeasibleAndMinimal) {
+  Rng rng(GetParam());
+  Profile p(0, 64);
+  for (int i = 0; i < 30; ++i) {
+    const SimTime from = rng.uniform_int(0, 100 * kHour);
+    const Duration len = rng.uniform_int(kMinute, 20 * kHour);
+    p.subtract(from, from + len, static_cast<int>(rng.uniform_int(1, 32)));
+  }
+  for (int i = 0; i < 3; ++i) {
+    p.add_fence(rng.uniform_int(0, 120 * kHour));
+  }
+  const auto feasible = [&](SimTime s, int nodes, Duration dur) {
+    if (s < 0) return false;
+    for (SimTime t = s; t < s + dur; t += 7 * kMinute) {
+      if (p.free_at(t) < nodes) return false;
+    }
+    if (p.free_at(s + dur - 1) < nodes) return false;
+    return true;
+  };
+  for (int q = 0; q < 50; ++q) {
+    const int nodes = static_cast<int>(rng.uniform_int(1, 64));
+    const Duration dur = rng.uniform_int(kMinute, 10 * kHour);
+    const SimTime s = p.earliest_fit(nodes, dur, 0);
+    ASSERT_TRUE(feasible(s, nodes, dur))
+        << "infeasible answer s=" << s << " nodes=" << nodes << " dur=" << dur;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ProfileProperty,
+                         ::testing::Values(11ULL, 22ULL, 33ULL, 44ULL, 55ULL));
+
+}  // namespace
+}  // namespace tg

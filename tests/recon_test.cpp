@@ -1,0 +1,240 @@
+#include "recon/recon.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace tg {
+namespace {
+
+std::vector<ReconNodeSpec> mixed_nodes(int gpp, int recon, double area = 2.0) {
+  std::vector<ReconNodeSpec> nodes;
+  for (int i = 0; i < gpp; ++i) nodes.push_back({false, 0.0});
+  for (int i = 0; i < recon; ++i) nodes.push_back({true, area});
+  return nodes;
+}
+
+std::vector<ReconConfig> two_configs(Duration reconfig = 10 * kSecond,
+                                     double bytes = 1e6) {
+  return {{1.0, reconfig, bytes}, {1.0, reconfig, bytes}};
+}
+
+ReconTask hw_task(int config, Duration runtime, double speedup) {
+  ReconTask t;
+  t.config = config;
+  t.gpp_runtime = runtime;
+  t.speedup = speedup;
+  return t;
+}
+
+TEST(Recon, PlainTaskRunsOnGpp) {
+  Engine e;
+  ReconCluster cluster(e, mixed_nodes(1, 1), two_configs());
+  cluster.submit(hw_task(-1, kMinute, 1.0));
+  e.run();
+  EXPECT_EQ(cluster.stats().tasks_done, 1u);
+  EXPECT_EQ(cluster.stats().tasks_on_gpp, 1u);
+  EXPECT_EQ(cluster.stats().reconfigurations, 0u);
+  EXPECT_EQ(e.now(), kMinute);
+}
+
+TEST(Recon, HardwareTaskPrefersReconNode) {
+  Engine e;
+  ReconCluster cluster(e, mixed_nodes(1, 1), two_configs(10 * kSecond, 0.0),
+                       1.0);
+  cluster.submit(hw_task(0, 10 * kMinute, 10.0));
+  e.run();
+  EXPECT_EQ(cluster.stats().tasks_on_recon, 1u);
+  // 10 s reconfig + 1 min accelerated runtime.
+  EXPECT_EQ(e.now(), 10 * kSecond + kMinute);
+  EXPECT_EQ(cluster.stats().reconfigurations, 1u);
+}
+
+TEST(Recon, ConfigReusedWithoutReconfiguration) {
+  Engine e;
+  ReconCluster cluster(e, mixed_nodes(0, 1), two_configs());
+  cluster.submit(hw_task(0, kMinute, 2.0));
+  cluster.submit(hw_task(0, kMinute, 2.0));
+  e.run();
+  EXPECT_EQ(cluster.stats().reconfigurations, 1u);  // only the first
+  EXPECT_EQ(cluster.stats().config_hits, 1u);
+  EXPECT_TRUE(cluster.holds_config(0, 0));
+}
+
+TEST(Recon, BitstreamTransferAddsLatency) {
+  Engine e;
+  // 1 Gb/s link, 125 MB bitstream -> 1 s; no reconfig time.
+  ReconCluster cluster(e, mixed_nodes(0, 1), {{1.0, 0, 125e6}}, 1.0);
+  cluster.submit(hw_task(0, kMinute, 60.0));  // runs in 1 s accelerated
+  e.run();
+  EXPECT_EQ(e.now(), 2 * kSecond);
+  EXPECT_EQ(cluster.stats().total_reconfig_time, kSecond);
+}
+
+TEST(Recon, LruEvictionWhenAreaExhausted) {
+  Engine e;
+  // Node area 1.0; each config takes 1.0 -> loading the second evicts the
+  // first.
+  ReconCluster cluster(e, mixed_nodes(0, 1, 1.0), two_configs());
+  cluster.submit(hw_task(0, kMinute, 2.0));
+  cluster.submit(hw_task(1, kMinute, 2.0));
+  cluster.submit(hw_task(0, kMinute, 2.0));  // config 0 evicted -> reload
+  e.run();
+  EXPECT_EQ(cluster.stats().reconfigurations, 3u);
+  EXPECT_TRUE(cluster.holds_config(0, 0));
+  EXPECT_FALSE(cluster.holds_config(0, 1));
+}
+
+TEST(Recon, LargeAreaCachesBothConfigs) {
+  Engine e;
+  ReconCluster cluster(e, mixed_nodes(0, 1, 2.0), two_configs());
+  cluster.submit(hw_task(0, kMinute, 2.0));
+  cluster.submit(hw_task(1, kMinute, 2.0));
+  cluster.submit(hw_task(0, kMinute, 2.0));
+  e.run();
+  EXPECT_EQ(cluster.stats().reconfigurations, 2u);
+  EXPECT_TRUE(cluster.holds_config(0, 0));
+  EXPECT_TRUE(cluster.holds_config(0, 1));
+}
+
+TEST(Recon, AffinitySchedulingPicksNodeWithConfig) {
+  Engine e;
+  // Two recon nodes. Warm node 0 with config 0, node 1 with config 1,
+  // then a burst of config-0 tasks must find the warm node.
+  ReconCluster cluster(e, mixed_nodes(0, 2, 1.0), two_configs());
+  cluster.submit(hw_task(0, kMinute, 2.0));
+  cluster.submit(hw_task(1, kMinute, 2.0));
+  e.run();
+  const auto reconfigs_after_warmup = cluster.stats().reconfigurations;
+  cluster.submit(hw_task(0, kMinute, 2.0));
+  cluster.submit(hw_task(1, kMinute, 2.0));
+  e.run();
+  EXPECT_EQ(cluster.stats().reconfigurations, reconfigs_after_warmup);
+}
+
+TEST(Recon, QueueDrainsInOrder) {
+  Engine e;
+  ReconCluster cluster(e, mixed_nodes(1, 0), {});
+  for (int i = 0; i < 5; ++i) cluster.submit(hw_task(-1, kMinute, 1.0));
+  EXPECT_EQ(cluster.queued(), 4u);
+  EXPECT_EQ(cluster.busy_nodes(), 1u);
+  e.run();
+  EXPECT_EQ(cluster.stats().tasks_done, 5u);
+  EXPECT_EQ(e.now(), 5 * kMinute);
+  EXPECT_EQ(cluster.queued(), 0u);
+  EXPECT_EQ(cluster.busy_nodes(), 0u);
+}
+
+TEST(Recon, GppFallbackWhenReconBusy) {
+  Engine e;
+  ReconCluster cluster(e, mixed_nodes(1, 1), two_configs(0, 0.0));
+  // Two accelerable tasks: one takes the recon node, the second falls back
+  // to the GPP rather than waiting.
+  cluster.submit(hw_task(0, 10 * kMinute, 10.0));
+  cluster.submit(hw_task(0, 10 * kMinute, 10.0));
+  e.run();
+  EXPECT_EQ(cluster.stats().tasks_on_recon, 1u);
+  EXPECT_EQ(cluster.stats().tasks_on_gpp, 1u);
+  EXPECT_EQ(e.now(), 10 * kMinute);  // GPP task dominates
+}
+
+TEST(Recon, Validation) {
+  Engine e;
+  EXPECT_THROW(ReconCluster(e, {}, {}), PreconditionError);
+  EXPECT_THROW(ReconCluster(e, mixed_nodes(1, 0), {}, 0.0),
+               PreconditionError);
+  ReconCluster cluster(e, mixed_nodes(1, 0), {});
+  EXPECT_THROW(cluster.submit(hw_task(5, kMinute, 1.0)), PreconditionError);
+  EXPECT_THROW(cluster.submit(hw_task(-1, 0, 1.0)), PreconditionError);
+  EXPECT_THROW(cluster.submit(hw_task(-1, kMinute, 0.5)), PreconditionError);
+  EXPECT_THROW((void)cluster.holds_config(9, 0), PreconditionError);
+}
+
+TEST(Recon, ConfigLargerThanNodeAreaRejected) {
+  Engine e;
+  ReconCluster cluster(e, mixed_nodes(0, 1, 0.5), {{1.0, 0, 0.0}});
+  // Dispatch happens synchronously on submit; the oversized configuration
+  // is rejected there.
+  EXPECT_THROW(cluster.submit(hw_task(0, kMinute, 2.0)), PreconditionError);
+}
+
+
+TEST(ReconPolicy, FirstFitIgnoresAffinity) {
+  // Warm node 0 with config 0 and node 1 with config 1, then submit a
+  // config-0 task: first-fit takes node 0 by position, not affinity — so
+  // warm node 1 with config 0... instead verify via reconfiguration counts
+  // on an alternating stream where affinity wins clearly.
+  const auto reconfigs_with = [](ReconPolicy policy) {
+    Engine e;
+    ReconCluster cluster(e, mixed_nodes(0, 2, 1.0), two_configs(0, 0.0), 1.0,
+                         policy);
+    for (int i = 0; i < 40; ++i) {
+      cluster.submit(hw_task(i % 2, kMinute, 2.0));
+      e.run();  // serialize so both nodes are idle at each submit
+    }
+    return cluster.stats().reconfigurations;
+  };
+  // Affinity settles into one config per node: 2 reconfigurations total.
+  EXPECT_EQ(reconfigs_with(ReconPolicy::kAffinity), 2u);
+  // First-fit always grabs node 0, thrashing its single config slot.
+  EXPECT_GT(reconfigs_with(ReconPolicy::kFirstFit), 20u);
+}
+
+TEST(ReconPolicy, DedicatedKeepsHardwareTasksOffGpps) {
+  Engine e;
+  ReconCluster cluster(e, mixed_nodes(2, 1), two_configs(0, 0.0), 1.0,
+                       ReconPolicy::kDedicated);
+  for (int i = 0; i < 6; ++i) cluster.submit(hw_task(0, 10 * kMinute, 10.0));
+  e.run();
+  EXPECT_EQ(cluster.stats().tasks_on_recon, 6u);
+  EXPECT_EQ(cluster.stats().tasks_on_gpp, 0u);
+}
+
+TEST(ReconPolicy, DedicatedAvoidsHeadOfLineBlocking) {
+  // One recon node busy with a long hw task; a plain task behind a queued
+  // hw task must still start on the idle GPP immediately.
+  Engine e;
+  ReconCluster cluster(e, mixed_nodes(1, 1), two_configs(0, 0.0), 1.0,
+                       ReconPolicy::kDedicated);
+  cluster.submit(hw_task(0, 100 * kMinute, 8.0));  // occupies recon node
+  cluster.submit(hw_task(1, 100 * kMinute, 8.0));  // queued behind it
+  cluster.submit(hw_task(-1, kMinute, 1.0));       // plain task
+  EXPECT_EQ(cluster.busy_nodes(), 2u);  // recon + GPP both running
+  e.run();
+  EXPECT_EQ(cluster.stats().tasks_on_gpp, 1u);
+}
+
+TEST(ReconPolicy, Names) {
+  EXPECT_STREQ(to_string(ReconPolicy::kAffinity), "affinity");
+  EXPECT_STREQ(to_string(ReconPolicy::kFirstFit), "first-fit");
+  EXPECT_STREQ(to_string(ReconPolicy::kDedicated), "dedicated");
+}
+
+// Trend property (the "expected trend" of the simulator literature):
+// adding reconfigurable nodes reduces makespan monotonically-ish for an
+// accelerable workload.
+class ReconScaling : public ::testing::TestWithParam<int> {};
+
+TEST_P(ReconScaling, MoreReconNodesNeverSlower) {
+  const auto run_with = [](int recon_nodes) {
+    Engine e;
+    ReconCluster cluster(e, mixed_nodes(4 - 0, recon_nodes, 2.0),
+                         two_configs(kSecond, 0.0));
+    Rng rng(7);
+    for (int i = 0; i < 40; ++i) {
+      cluster.submit(hw_task(static_cast<int>(rng.uniform_int(0, 1)),
+                             10 * kMinute, 8.0));
+    }
+    e.run();
+    return e.now();
+  };
+  const SimTime base = run_with(GetParam());
+  const SimTime more = run_with(GetParam() + 2);
+  EXPECT_LE(more, base);
+}
+
+INSTANTIATE_TEST_SUITE_P(Nodes, ReconScaling, ::testing::Values(0, 2, 4));
+
+}  // namespace
+}  // namespace tg

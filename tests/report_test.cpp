@@ -1,0 +1,120 @@
+#include "core/report.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tg {
+namespace {
+
+class ReportFixture : public ::testing::Test {
+ protected:
+  Platform platform = mini_platform();
+  UsageDatabase db;
+  RuleClassifier classifier;
+
+  void add_job(UserId user, int nodes, double nu, SimTime end,
+               const std::string& gw_user = "",
+               GatewayId gw = GatewayId{}) {
+    JobRecord r;
+    r.resource = platform.compute()[0].id;
+    r.user = user;
+    r.nodes = nodes;
+    r.cores_per_node = 8;
+    r.submit_time = end - kHour;
+    r.start_time = end - kHour;
+    r.end_time = end;
+    r.requested_walltime = kHour;
+    r.charged_nu = nu;
+    r.charged_su = nu;
+    r.gateway = gw;
+    r.gateway_end_user = gw_user;
+    db.add(r);
+  }
+};
+
+TEST_F(ReportFixture, CountsUsersJobsAndNu) {
+  for (int i = 0; i < 30; ++i) add_job(UserId{1}, 8, 1000.0, (i + 1) * kHour);
+  for (int i = 0; i < 3; ++i) add_job(UserId{2}, 1, 10.0, (i + 1) * kHour);
+  const auto report =
+      ModalityReport::build(platform, db, classifier, 0, kYear);
+  EXPECT_EQ(report.total_users(), 2);
+  EXPECT_EQ(report.total_jobs(), 33);
+  EXPECT_NEAR(report.total_nu(), 30030.0, 1e-9);
+  const auto& capacity = report.row(Modality::kCapacityBatch);
+  EXPECT_EQ(capacity.primary_users, 1);
+  EXPECT_EQ(capacity.jobs, 30);
+  const auto& exploratory = report.row(Modality::kExploratory);
+  EXPECT_EQ(exploratory.primary_users, 1);
+  EXPECT_NEAR(capacity.nu_share + exploratory.nu_share, 1.0, 1e-9);
+  EXPECT_NEAR(capacity.user_share, 0.5, 1e-9);
+}
+
+TEST_F(ReportFixture, GatewayEndUserCounting) {
+  add_job(UserId{9}, 1, 1.0, kHour, "hub:alice", GatewayId{0});
+  add_job(UserId{9}, 1, 1.0, 2 * kHour, "hub:bob", GatewayId{0});
+  add_job(UserId{9}, 1, 1.0, 3 * kHour, "hub:alice", GatewayId{0});
+  add_job(UserId{9}, 1, 1.0, 4 * kHour, "", GatewayId{0});  // coverage gap
+  EXPECT_EQ(count_gateway_end_users(db, 0, kYear), 2);
+  EXPECT_EQ(count_gateway_end_users(db, 0, 90 * kMinute), 1);
+  const auto report =
+      ModalityReport::build(platform, db, classifier, 0, kYear);
+  EXPECT_EQ(report.gateway_end_users(), 2);
+  EXPECT_EQ(report.row(Modality::kGateway).primary_users, 1);
+}
+
+TEST_F(ReportFixture, EmptyDatabase) {
+  const auto report =
+      ModalityReport::build(platform, db, classifier, 0, kYear);
+  EXPECT_EQ(report.total_users(), 0);
+  EXPECT_EQ(report.total_jobs(), 0);
+  EXPECT_FALSE(report.to_table().to_string().empty());
+}
+
+TEST_F(ReportFixture, SharesSumToOne) {
+  for (int u = 0; u < 10; ++u) {
+    for (int j = 0; j < 5 + u; ++j) {
+      add_job(UserId{u}, 1 + u, 100.0 * (u + 1), (j + 1) * kHour);
+    }
+  }
+  const auto report =
+      ModalityReport::build(platform, db, classifier, 0, kYear);
+  double user_share = 0.0;
+  double nu_share = 0.0;
+  for (const auto& row : report.rows()) {
+    user_share += row.user_share;
+    nu_share += row.nu_share;
+  }
+  EXPECT_NEAR(user_share, 1.0, 1e-9);
+  EXPECT_NEAR(nu_share, 1.0, 1e-9);
+}
+
+TEST_F(ReportFixture, QuarterlySeriesBuckets) {
+  // User 1 active in Q1 only; user 2 active in Q1 and Q2.
+  add_job(UserId{1}, 8, 1000.0, 10 * kDay);
+  add_job(UserId{2}, 8, 1000.0, 20 * kDay);
+  add_job(UserId{2}, 8, 1000.0, 100 * kDay);
+  const auto series =
+      quarterly_series(platform, db, classifier, 0, 2 * kQuarter);
+  ASSERT_EQ(series.primary_users.size(), 2u);
+  int q1 = 0;
+  int q2 = 0;
+  for (std::size_t m = 0; m < kModalityCount; ++m) {
+    q1 += series.primary_users[0][m];
+    q2 += series.primary_users[1][m];
+  }
+  EXPECT_EQ(q1, 2);
+  EXPECT_EQ(q2, 1);
+}
+
+TEST_F(ReportFixture, QuarterlyGatewayGrowth) {
+  add_job(UserId{9}, 1, 1.0, 10 * kDay, "hub:a", GatewayId{0});
+  add_job(UserId{9}, 1, 1.0, 100 * kDay, "hub:a", GatewayId{0});
+  add_job(UserId{9}, 1, 1.0, 101 * kDay, "hub:b", GatewayId{0});
+  const auto series =
+      quarterly_series(platform, db, classifier, 0, 2 * kQuarter);
+  ASSERT_EQ(series.gateway_end_users.size(), 2u);
+  EXPECT_EQ(series.gateway_end_users[0], 1);
+  EXPECT_EQ(series.gateway_end_users[1], 2);
+}
+
+}  // namespace
+}  // namespace tg

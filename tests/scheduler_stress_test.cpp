@@ -1,0 +1,192 @@
+// Randomized stress tests for the scheduler: mixed submissions,
+// cancellations, reservations (some with attached jobs), failure/kill
+// injection and drain fences, across all policies. Invariants checked:
+// node accounting never overcommits, every job reaches a terminal state,
+// the machine returns to fully-free, and runs are deterministic.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "sched/scheduler.hpp"
+#include "util/rng.hpp"
+
+namespace tg {
+namespace {
+
+struct StressParams {
+  SchedPolicy policy;
+  Duration drain_period;
+  std::uint64_t seed;
+};
+
+class SchedulerStress : public ::testing::TestWithParam<StressParams> {};
+
+TEST_P(SchedulerStress, InvariantsHoldUnderChurn) {
+  const StressParams params = GetParam();
+  ComputeResource res;
+  res.id = ResourceId{0};
+  res.site = SiteId{0};
+  res.name = "stress";
+  res.nodes = 64;
+  res.cores_per_node = 8;
+  res.max_walltime = 24 * kHour;
+
+  Engine engine;
+  SchedulerConfig cfg;
+  cfg.policy = params.policy;
+  cfg.drain_period = params.drain_period;
+  ResourceScheduler sched(engine, res, cfg);
+
+  // Track node usage from the observer's viewpoint.
+  int nodes_in_use = 0;
+  int max_in_use = 0;
+  std::map<JobId, int> running_width;
+  int started = 0;
+  int ended = 0;
+  sched.add_on_start([&](const Job& j) {
+    ++started;
+    nodes_in_use += j.req.nodes;
+    max_in_use = std::max(max_in_use, nodes_in_use);
+    ASSERT_LE(nodes_in_use, res.nodes) << "observer sees overcommit";
+    running_width[j.id] = j.req.nodes;
+    ASSERT_GE(j.start_time, j.submit_time);
+  });
+  sched.add_on_end([&](const Job& j) {
+    ++ended;
+    const auto it = running_width.find(j.id);
+    if (it != running_width.end()) {  // ran (not cancelled while queued)
+      nodes_in_use -= it->second;
+      running_width.erase(it);
+      ASSERT_GE(nodes_in_use, 0);
+      ASSERT_GT(j.end_time, j.start_time);
+    } else {
+      ASSERT_EQ(j.state, JobState::kCancelled);
+    }
+  });
+
+  Rng rng(params.seed);
+  int submitted = 0;
+  std::vector<JobId> cancellable;
+
+  // 400 random actions over 20 days.
+  for (int i = 0; i < 400; ++i) {
+    const SimTime at = rng.uniform_int(0, 20 * kDay);
+    const double dice = rng.uniform();
+    if (dice < 0.75) {
+      // Plain submission, sometimes failing / killed.
+      JobRequest req;
+      req.user = UserId{0};
+      req.project = ProjectId{0};
+      req.nodes = static_cast<int>(rng.uniform_int(1, 64));
+      req.actual_runtime = rng.uniform_int(kMinute, 20 * kHour);
+      req.requested_walltime = std::min<Duration>(
+          res.max_walltime,
+          std::max<Duration>(
+              10 * kMinute,
+              static_cast<Duration>(static_cast<double>(req.actual_runtime) *
+                                    rng.uniform(0.6, 2.5))));
+      if (rng.bernoulli(0.1)) {
+        req.fails = true;
+        req.fail_after = req.actual_runtime / 3;
+      }
+      ++submitted;
+      engine.schedule_at(at, [&sched, &cancellable, req] {
+        cancellable.push_back(sched.submit(req));
+      });
+    } else if (dice < 0.88) {
+      // Reservation, possibly with an attached job.
+      const bool attach = rng.bernoulli(0.5);
+      const int nodes = static_cast<int>(rng.uniform_int(1, 32));
+      const Duration dur = rng.uniform_int(kHour, 12 * kHour);
+      const Duration lead = rng.uniform_int(0, 2 * kDay);
+      const Duration attach_runtime = rng.uniform_int(kMinute, dur);
+      const bool count_attached = attach;
+      if (count_attached) ++submitted;
+      engine.schedule_at(at, [&, nodes, dur, lead, attach, attach_runtime] {
+        const ReservationId r =
+            sched.reserve(engine.now() + lead, dur, nodes);
+        if (!r.valid()) {
+          if (attach) --submitted;  // never materialized
+          return;
+        }
+        if (attach) {
+          JobRequest req;
+          req.user = UserId{1};
+          req.project = ProjectId{0};
+          req.nodes = nodes;
+          req.actual_runtime = attach_runtime;
+          req.requested_walltime = dur;
+          sched.attach_to_reservation(r, std::move(req));
+        }
+      });
+    } else {
+      // Cancel a random queued job (may be running already: no-op).
+      engine.schedule_at(at, [&sched, &cancellable, &rng] {
+        if (cancellable.empty()) return;
+        const std::size_t pick = static_cast<std::size_t>(rng.uniform_int(
+            0, static_cast<std::int64_t>(cancellable.size()) - 1));
+        sched.cancel(cancellable[pick]);
+      });
+    }
+  }
+  engine.run();
+
+  // Terminal state: machine fully free, nothing queued or running, and
+  // every materialized job reached a terminal callback.
+  EXPECT_EQ(sched.free_nodes(), res.nodes);
+  EXPECT_EQ(sched.queue_length(), 0u);
+  EXPECT_EQ(sched.running_jobs(), 0u);
+  EXPECT_EQ(nodes_in_use, 0);
+  EXPECT_EQ(ended, submitted);
+  EXPECT_GT(max_in_use, 0);
+}
+
+TEST_P(SchedulerStress, DeterministicAcrossRuns) {
+  const StressParams params = GetParam();
+  const auto run_once = [&]() -> std::pair<std::uint64_t, double> {
+    ComputeResource res;
+    res.id = ResourceId{0};
+    res.site = SiteId{0};
+    res.name = "det";
+    res.nodes = 32;
+    res.cores_per_node = 8;
+    Engine engine;
+    SchedulerConfig cfg;
+    cfg.policy = params.policy;
+    cfg.drain_period = params.drain_period;
+    ResourceScheduler sched(engine, res, cfg);
+    Rng rng(params.seed);
+    double wait_sum = 0.0;
+    sched.add_on_end(
+        [&](const Job& j) { wait_sum += to_seconds(j.wait()); });
+    for (int i = 0; i < 150; ++i) {
+      JobRequest req;
+      req.user = UserId{0};
+      req.project = ProjectId{0};
+      req.nodes = static_cast<int>(rng.uniform_int(1, 32));
+      req.actual_runtime = rng.uniform_int(kMinute, 10 * kHour);
+      req.requested_walltime = req.actual_runtime;
+      engine.schedule_at(rng.uniform_int(0, 5 * kDay),
+                         [&sched, req] { sched.submit(req); });
+    }
+    engine.run();
+    return {engine.events_processed(), wait_sum};
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  EXPECT_EQ(a.first, b.first);
+  EXPECT_DOUBLE_EQ(a.second, b.second);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Mixes, SchedulerStress,
+    ::testing::Values(StressParams{SchedPolicy::kFcfs, 0, 1},
+                      StressParams{SchedPolicy::kEasyBackfill, 0, 2},
+                      StressParams{SchedPolicy::kConservativeBackfill, 0, 3},
+                      StressParams{SchedPolicy::kEasyBackfill, 3 * kDay, 4},
+                      StressParams{SchedPolicy::kEasyBackfill, 0, 5},
+                      StressParams{SchedPolicy::kConservativeBackfill,
+                                   2 * kDay, 6}));
+
+}  // namespace
+}  // namespace tg

@@ -1,0 +1,155 @@
+#include "core/survey.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace tg {
+namespace {
+
+std::vector<Modality> population(int capacity, int gateway, int exploratory) {
+  std::vector<Modality> truth;
+  for (int i = 0; i < capacity; ++i) truth.push_back(Modality::kCapacityBatch);
+  for (int i = 0; i < gateway; ++i) truth.push_back(Modality::kGateway);
+  for (int i = 0; i < exploratory; ++i) {
+    truth.push_back(Modality::kExploratory);
+  }
+  return truth;
+}
+
+TEST(Survey, FullCensusPerfectRecall) {
+  SurveyConfig cfg;
+  cfg.sample_fraction = 1.0;
+  cfg.response_rate = 1.0;
+  cfg.misreport_rate = 0.0;
+  const SurveyEstimator survey(cfg);
+  const auto truth = population(100, 40, 60);
+  Rng rng(1);
+  const SurveyEstimate est = survey.run(truth, {}, rng);
+  EXPECT_EQ(est.invited, 200);
+  EXPECT_EQ(est.responded, 200);
+  EXPECT_DOUBLE_EQ(est.users[static_cast<std::size_t>(Modality::kCapacityBatch)],
+                   100.0);
+  EXPECT_DOUBLE_EQ(est.users[static_cast<std::size_t>(Modality::kGateway)],
+                   40.0);
+  EXPECT_DOUBLE_EQ(survey_mape(est, count_by_modality(truth)), 0.0);
+}
+
+TEST(Survey, EmptyPopulation) {
+  const SurveyEstimator survey;
+  Rng rng(2);
+  const SurveyEstimate est = survey.run({}, {}, rng);
+  EXPECT_EQ(est.invited, 0);
+  EXPECT_EQ(est.responded, 0);
+  EXPECT_DOUBLE_EQ(est.total_users(), 0.0);
+}
+
+TEST(Survey, SamplingScalesToPopulation) {
+  SurveyConfig cfg;
+  cfg.sample_fraction = 0.3;
+  cfg.response_rate = 0.5;
+  cfg.misreport_rate = 0.0;
+  const SurveyEstimator survey(cfg);
+  const auto truth = population(2000, 800, 1200);
+  Rng rng(3);
+  const SurveyEstimate est = survey.run(truth, {}, rng);
+  // Unbiased estimator: totals should land near the true counts.
+  EXPECT_NEAR(est.total_users(), 4000.0, 1.0);  // scaling is exact by design
+  EXPECT_NEAR(est.users[static_cast<std::size_t>(Modality::kCapacityBatch)],
+              2000.0, 200.0);
+  EXPECT_NEAR(est.users[static_cast<std::size_t>(Modality::kGateway)], 800.0,
+              150.0);
+}
+
+TEST(Survey, MisreportingBlursSmallClasses) {
+  SurveyConfig clean;
+  clean.sample_fraction = 1.0;
+  clean.response_rate = 1.0;
+  clean.misreport_rate = 0.0;
+  SurveyConfig noisy = clean;
+  noisy.misreport_rate = 0.3;
+  const auto truth = population(1000, 30, 0);
+  Rng r1(4);
+  Rng r2(4);
+  const auto est_clean = SurveyEstimator(clean).run(truth, {}, r1);
+  const auto est_noisy = SurveyEstimator(noisy).run(truth, {}, r2);
+  const auto counts = count_by_modality(truth);
+  EXPECT_LT(survey_mape(est_clean, counts), survey_mape(est_noisy, counts));
+  // Noise moves mass from the big class onto empty classes.
+  double phantom = 0.0;
+  for (std::size_t m = 0; m < kModalityCount; ++m) {
+    if (counts[m] == 0) phantom += est_noisy.users[m];
+  }
+  EXPECT_GT(phantom, 0.0);
+}
+
+TEST(Survey, HeavyUserBiasOversamplesBigUsers) {
+  // Capacity users carry 10x the weight of exploratory ones; with strong
+  // bias the capacity share of respondents (and thus the estimate)
+  // overshoots.
+  SurveyConfig cfg;
+  cfg.sample_fraction = 0.5;
+  cfg.response_rate = 0.3;
+  cfg.misreport_rate = 0.0;
+  cfg.heavy_user_bias = 4.0;
+  const SurveyEstimator survey(cfg);
+  const auto truth = population(500, 0, 500);
+  std::vector<double> weights;
+  for (int i = 0; i < 500; ++i) weights.push_back(10.0);
+  for (int i = 0; i < 500; ++i) weights.push_back(1.0);
+  Rng rng(5);
+  const SurveyEstimate est = survey.run(truth, weights, rng);
+  const double cap =
+      est.users[static_cast<std::size_t>(Modality::kCapacityBatch)];
+  const double expl =
+      est.users[static_cast<std::size_t>(Modality::kExploratory)];
+  EXPECT_GT(cap, expl * 1.5) << "bias should skew toward heavy users";
+}
+
+TEST(Survey, ConfigValidation) {
+  SurveyConfig cfg;
+  cfg.sample_fraction = 0.0;
+  EXPECT_THROW(SurveyEstimator{cfg}, PreconditionError);
+  cfg = SurveyConfig{};
+  cfg.response_rate = 1.5;
+  EXPECT_THROW(SurveyEstimator{cfg}, PreconditionError);
+  cfg = SurveyConfig{};
+  cfg.misreport_rate = 1.0;
+  EXPECT_THROW(SurveyEstimator{cfg}, PreconditionError);
+}
+
+TEST(Survey, WeightsMisalignedRejected) {
+  const SurveyEstimator survey;
+  Rng rng(6);
+  EXPECT_THROW((void)survey.run(population(5, 0, 0), {1.0, 2.0}, rng),
+               PreconditionError);
+}
+
+class SurveySampleSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(SurveySampleSweep, ErrorShrinksWithSampleSize) {
+  // Average MAPE over several waves should fall as sampling grows.
+  const auto truth = population(600, 250, 150);
+  const auto counts = count_by_modality(truth);
+  const auto mean_mape = [&](double fraction) {
+    SurveyConfig cfg;
+    cfg.sample_fraction = fraction;
+    cfg.response_rate = 0.5;
+    const SurveyEstimator survey(cfg);
+    double total = 0.0;
+    for (int wave = 0; wave < 30; ++wave) {
+      Rng rng(100 + static_cast<std::uint64_t>(wave));
+      total += survey_mape(survey.run(truth, {}, rng), counts);
+    }
+    return total / 30.0;
+  };
+  const double small = mean_mape(GetParam());
+  const double large = mean_mape(std::min(1.0, GetParam() * 4));
+  EXPECT_LT(large, small * 1.05);  // allow slack for noise
+}
+
+INSTANTIATE_TEST_SUITE_P(Fractions, SurveySampleSweep,
+                         ::testing::Values(0.05, 0.1, 0.25));
+
+}  // namespace
+}  // namespace tg
