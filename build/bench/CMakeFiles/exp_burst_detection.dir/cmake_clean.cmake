@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_burst_detection.dir/exp_burst_detection.cpp.o"
+  "CMakeFiles/exp_burst_detection.dir/exp_burst_detection.cpp.o.d"
+  "exp_burst_detection"
+  "exp_burst_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_burst_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for exp_burst_detection.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_classifier_accuracy.dir/exp_classifier_accuracy.cpp.o"
+  "CMakeFiles/exp_classifier_accuracy.dir/exp_classifier_accuracy.cpp.o.d"
+  "exp_classifier_accuracy"
+  "exp_classifier_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_classifier_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_coallocation.dir/exp_coallocation.cpp.o"
+  "CMakeFiles/exp_coallocation.dir/exp_coallocation.cpp.o.d"
+  "exp_coallocation"
+  "exp_coallocation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_coallocation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_jobsize_distribution.dir/exp_jobsize_distribution.cpp.o"
+  "CMakeFiles/exp_jobsize_distribution.dir/exp_jobsize_distribution.cpp.o.d"
+  "exp_jobsize_distribution"
+  "exp_jobsize_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_jobsize_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_mechanism_coverage.dir/exp_mechanism_coverage.cpp.o"
+  "CMakeFiles/exp_mechanism_coverage.dir/exp_mechanism_coverage.cpp.o.d"
+  "exp_mechanism_coverage"
+  "exp_mechanism_coverage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_mechanism_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

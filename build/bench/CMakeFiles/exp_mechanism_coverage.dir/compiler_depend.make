@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for exp_mechanism_coverage.
+# This may be replaced when dependencies are built.

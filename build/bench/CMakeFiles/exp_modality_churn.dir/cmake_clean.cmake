@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_modality_churn.dir/exp_modality_churn.cpp.o"
+  "CMakeFiles/exp_modality_churn.dir/exp_modality_churn.cpp.o.d"
+  "exp_modality_churn"
+  "exp_modality_churn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_modality_churn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

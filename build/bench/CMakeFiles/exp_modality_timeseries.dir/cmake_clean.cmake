@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_modality_timeseries.dir/exp_modality_timeseries.cpp.o"
+  "CMakeFiles/exp_modality_timeseries.dir/exp_modality_timeseries.cpp.o.d"
+  "exp_modality_timeseries"
+  "exp_modality_timeseries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_modality_timeseries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

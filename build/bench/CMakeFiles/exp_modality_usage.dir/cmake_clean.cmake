@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_modality_usage.dir/exp_modality_usage.cpp.o"
+  "CMakeFiles/exp_modality_usage.dir/exp_modality_usage.cpp.o.d"
+  "exp_modality_usage"
+  "exp_modality_usage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_modality_usage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

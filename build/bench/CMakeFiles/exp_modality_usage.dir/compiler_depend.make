@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for exp_modality_usage.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_recon_nodes.dir/exp_recon_nodes.cpp.o"
+  "CMakeFiles/exp_recon_nodes.dir/exp_recon_nodes.cpp.o.d"
+  "exp_recon_nodes"
+  "exp_recon_nodes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_recon_nodes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_resource_selection.dir/exp_resource_selection.cpp.o"
+  "CMakeFiles/exp_resource_selection.dir/exp_resource_selection.cpp.o.d"
+  "exp_resource_selection"
+  "exp_resource_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_resource_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

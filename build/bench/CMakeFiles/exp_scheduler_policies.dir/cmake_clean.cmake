@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_scheduler_policies.dir/exp_scheduler_policies.cpp.o"
+  "CMakeFiles/exp_scheduler_policies.dir/exp_scheduler_policies.cpp.o.d"
+  "exp_scheduler_policies"
+  "exp_scheduler_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_scheduler_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_survey_vs_records.dir/exp_survey_vs_records.cpp.o"
+  "CMakeFiles/exp_survey_vs_records.dir/exp_survey_vs_records.cpp.o.d"
+  "exp_survey_vs_records"
+  "exp_survey_vs_records.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_survey_vs_records.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

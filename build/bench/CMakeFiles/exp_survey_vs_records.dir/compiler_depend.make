@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for exp_survey_vs_records.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_threshold_sensitivity.dir/exp_threshold_sensitivity.cpp.o"
+  "CMakeFiles/exp_threshold_sensitivity.dir/exp_threshold_sensitivity.cpp.o.d"
+  "exp_threshold_sensitivity"
+  "exp_threshold_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_threshold_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

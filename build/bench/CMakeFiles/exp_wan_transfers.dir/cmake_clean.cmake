@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_wan_transfers.dir/exp_wan_transfers.cpp.o"
+  "CMakeFiles/exp_wan_transfers.dir/exp_wan_transfers.cpp.o.d"
+  "exp_wan_transfers"
+  "exp_wan_transfers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_wan_transfers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

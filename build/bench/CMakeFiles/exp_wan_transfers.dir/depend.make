@@ -1,0 +1,2 @@
+# Empty dependencies file for exp_wan_transfers.
+# This may be replaced when dependencies are built.

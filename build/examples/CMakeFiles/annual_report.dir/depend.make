@@ -1,0 +1,2 @@
+# Empty dependencies file for annual_report.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/capability_drain.dir/capability_drain.cpp.o"
+  "CMakeFiles/capability_drain.dir/capability_drain.cpp.o.d"
+  "capability_drain"
+  "capability_drain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capability_drain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

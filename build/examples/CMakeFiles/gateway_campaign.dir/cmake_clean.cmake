@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gateway_campaign.dir/gateway_campaign.cpp.o"
+  "CMakeFiles/gateway_campaign.dir/gateway_campaign.cpp.o.d"
+  "gateway_campaign"
+  "gateway_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gateway_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

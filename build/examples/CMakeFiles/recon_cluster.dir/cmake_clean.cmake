@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recon_cluster.dir/recon_cluster.cpp.o"
+  "CMakeFiles/recon_cluster.dir/recon_cluster.cpp.o.d"
+  "recon_cluster"
+  "recon_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recon_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("parallel")
+subdirs("des")
+subdirs("infra")
+subdirs("net")
+subdirs("sched")
+subdirs("accounting")
+subdirs("gateway")
+subdirs("workflow")
+subdirs("meta")
+subdirs("recon")
+subdirs("workload")
+subdirs("core")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tg_accounting.dir/charge.cpp.o"
+  "CMakeFiles/tg_accounting.dir/charge.cpp.o.d"
+  "CMakeFiles/tg_accounting.dir/ledger.cpp.o"
+  "CMakeFiles/tg_accounting.dir/ledger.cpp.o.d"
+  "CMakeFiles/tg_accounting.dir/swf.cpp.o"
+  "CMakeFiles/tg_accounting.dir/swf.cpp.o.d"
+  "CMakeFiles/tg_accounting.dir/usage_db.cpp.o"
+  "CMakeFiles/tg_accounting.dir/usage_db.cpp.o.d"
+  "libtg_accounting.a"
+  "libtg_accounting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tg_accounting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/annual_report.cpp" "src/core/CMakeFiles/tg_core.dir/annual_report.cpp.o" "gcc" "src/core/CMakeFiles/tg_core.dir/annual_report.cpp.o.d"
+  "/root/repo/src/core/classifier.cpp" "src/core/CMakeFiles/tg_core.dir/classifier.cpp.o" "gcc" "src/core/CMakeFiles/tg_core.dir/classifier.cpp.o.d"
+  "/root/repo/src/core/features.cpp" "src/core/CMakeFiles/tg_core.dir/features.cpp.o" "gcc" "src/core/CMakeFiles/tg_core.dir/features.cpp.o.d"
+  "/root/repo/src/core/modality.cpp" "src/core/CMakeFiles/tg_core.dir/modality.cpp.o" "gcc" "src/core/CMakeFiles/tg_core.dir/modality.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/core/CMakeFiles/tg_core.dir/report.cpp.o" "gcc" "src/core/CMakeFiles/tg_core.dir/report.cpp.o.d"
+  "/root/repo/src/core/scoring.cpp" "src/core/CMakeFiles/tg_core.dir/scoring.cpp.o" "gcc" "src/core/CMakeFiles/tg_core.dir/scoring.cpp.o.d"
+  "/root/repo/src/core/survey.cpp" "src/core/CMakeFiles/tg_core.dir/survey.cpp.o" "gcc" "src/core/CMakeFiles/tg_core.dir/survey.cpp.o.d"
+  "/root/repo/src/core/trend.cpp" "src/core/CMakeFiles/tg_core.dir/trend.cpp.o" "gcc" "src/core/CMakeFiles/tg_core.dir/trend.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/accounting/CMakeFiles/tg_accounting.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/tg_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/tg_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/infra/CMakeFiles/tg_infra.dir/DependInfo.cmake"
+  "/root/repo/build/src/des/CMakeFiles/tg_des.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

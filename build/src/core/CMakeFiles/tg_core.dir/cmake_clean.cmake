@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tg_core.dir/annual_report.cpp.o"
+  "CMakeFiles/tg_core.dir/annual_report.cpp.o.d"
+  "CMakeFiles/tg_core.dir/classifier.cpp.o"
+  "CMakeFiles/tg_core.dir/classifier.cpp.o.d"
+  "CMakeFiles/tg_core.dir/features.cpp.o"
+  "CMakeFiles/tg_core.dir/features.cpp.o.d"
+  "CMakeFiles/tg_core.dir/modality.cpp.o"
+  "CMakeFiles/tg_core.dir/modality.cpp.o.d"
+  "CMakeFiles/tg_core.dir/report.cpp.o"
+  "CMakeFiles/tg_core.dir/report.cpp.o.d"
+  "CMakeFiles/tg_core.dir/scoring.cpp.o"
+  "CMakeFiles/tg_core.dir/scoring.cpp.o.d"
+  "CMakeFiles/tg_core.dir/survey.cpp.o"
+  "CMakeFiles/tg_core.dir/survey.cpp.o.d"
+  "CMakeFiles/tg_core.dir/trend.cpp.o"
+  "CMakeFiles/tg_core.dir/trend.cpp.o.d"
+  "libtg_core.a"
+  "libtg_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tg_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

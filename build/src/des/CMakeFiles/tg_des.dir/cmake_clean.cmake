@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tg_des.dir/engine.cpp.o"
+  "CMakeFiles/tg_des.dir/engine.cpp.o.d"
+  "CMakeFiles/tg_des.dir/time.cpp.o"
+  "CMakeFiles/tg_des.dir/time.cpp.o.d"
+  "libtg_des.a"
+  "libtg_des.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tg_des.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

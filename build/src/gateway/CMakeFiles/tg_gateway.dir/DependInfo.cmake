@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gateway/gateway.cpp" "src/gateway/CMakeFiles/tg_gateway.dir/gateway.cpp.o" "gcc" "src/gateway/CMakeFiles/tg_gateway.dir/gateway.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sched/CMakeFiles/tg_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/infra/CMakeFiles/tg_infra.dir/DependInfo.cmake"
+  "/root/repo/build/src/des/CMakeFiles/tg_des.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

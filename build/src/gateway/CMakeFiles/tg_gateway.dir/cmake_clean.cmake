@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tg_gateway.dir/gateway.cpp.o"
+  "CMakeFiles/tg_gateway.dir/gateway.cpp.o.d"
+  "libtg_gateway.a"
+  "libtg_gateway.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tg_gateway.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/infra/community.cpp" "src/infra/CMakeFiles/tg_infra.dir/community.cpp.o" "gcc" "src/infra/CMakeFiles/tg_infra.dir/community.cpp.o.d"
+  "/root/repo/src/infra/platform.cpp" "src/infra/CMakeFiles/tg_infra.dir/platform.cpp.o" "gcc" "src/infra/CMakeFiles/tg_infra.dir/platform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/tg_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/des/CMakeFiles/tg_des.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

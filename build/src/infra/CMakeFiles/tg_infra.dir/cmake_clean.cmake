@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tg_infra.dir/community.cpp.o"
+  "CMakeFiles/tg_infra.dir/community.cpp.o.d"
+  "CMakeFiles/tg_infra.dir/platform.cpp.o"
+  "CMakeFiles/tg_infra.dir/platform.cpp.o.d"
+  "libtg_infra.a"
+  "libtg_infra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tg_infra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

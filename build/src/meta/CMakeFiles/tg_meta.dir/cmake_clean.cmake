@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tg_meta.dir/coalloc.cpp.o"
+  "CMakeFiles/tg_meta.dir/coalloc.cpp.o.d"
+  "CMakeFiles/tg_meta.dir/selector.cpp.o"
+  "CMakeFiles/tg_meta.dir/selector.cpp.o.d"
+  "libtg_meta.a"
+  "libtg_meta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tg_meta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tg_net.dir/flow.cpp.o"
+  "CMakeFiles/tg_net.dir/flow.cpp.o.d"
+  "libtg_net.a"
+  "libtg_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tg_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

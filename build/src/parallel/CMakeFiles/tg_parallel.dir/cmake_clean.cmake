@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tg_parallel.dir/thread_pool.cpp.o"
+  "CMakeFiles/tg_parallel.dir/thread_pool.cpp.o.d"
+  "libtg_parallel.a"
+  "libtg_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tg_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tg_recon.dir/recon.cpp.o"
+  "CMakeFiles/tg_recon.dir/recon.cpp.o.d"
+  "libtg_recon.a"
+  "libtg_recon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tg_recon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

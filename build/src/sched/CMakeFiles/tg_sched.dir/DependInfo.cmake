@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/job.cpp" "src/sched/CMakeFiles/tg_sched.dir/job.cpp.o" "gcc" "src/sched/CMakeFiles/tg_sched.dir/job.cpp.o.d"
+  "/root/repo/src/sched/metrics.cpp" "src/sched/CMakeFiles/tg_sched.dir/metrics.cpp.o" "gcc" "src/sched/CMakeFiles/tg_sched.dir/metrics.cpp.o.d"
+  "/root/repo/src/sched/pool.cpp" "src/sched/CMakeFiles/tg_sched.dir/pool.cpp.o" "gcc" "src/sched/CMakeFiles/tg_sched.dir/pool.cpp.o.d"
+  "/root/repo/src/sched/profile.cpp" "src/sched/CMakeFiles/tg_sched.dir/profile.cpp.o" "gcc" "src/sched/CMakeFiles/tg_sched.dir/profile.cpp.o.d"
+  "/root/repo/src/sched/scheduler.cpp" "src/sched/CMakeFiles/tg_sched.dir/scheduler.cpp.o" "gcc" "src/sched/CMakeFiles/tg_sched.dir/scheduler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/des/CMakeFiles/tg_des.dir/DependInfo.cmake"
+  "/root/repo/build/src/infra/CMakeFiles/tg_infra.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

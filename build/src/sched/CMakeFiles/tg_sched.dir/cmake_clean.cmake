@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tg_sched.dir/job.cpp.o"
+  "CMakeFiles/tg_sched.dir/job.cpp.o.d"
+  "CMakeFiles/tg_sched.dir/metrics.cpp.o"
+  "CMakeFiles/tg_sched.dir/metrics.cpp.o.d"
+  "CMakeFiles/tg_sched.dir/pool.cpp.o"
+  "CMakeFiles/tg_sched.dir/pool.cpp.o.d"
+  "CMakeFiles/tg_sched.dir/profile.cpp.o"
+  "CMakeFiles/tg_sched.dir/profile.cpp.o.d"
+  "CMakeFiles/tg_sched.dir/scheduler.cpp.o"
+  "CMakeFiles/tg_sched.dir/scheduler.cpp.o.d"
+  "libtg_sched.a"
+  "libtg_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tg_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tg_util.dir/csv.cpp.o"
+  "CMakeFiles/tg_util.dir/csv.cpp.o.d"
+  "CMakeFiles/tg_util.dir/distributions.cpp.o"
+  "CMakeFiles/tg_util.dir/distributions.cpp.o.d"
+  "CMakeFiles/tg_util.dir/histogram.cpp.o"
+  "CMakeFiles/tg_util.dir/histogram.cpp.o.d"
+  "CMakeFiles/tg_util.dir/rng.cpp.o"
+  "CMakeFiles/tg_util.dir/rng.cpp.o.d"
+  "CMakeFiles/tg_util.dir/stats.cpp.o"
+  "CMakeFiles/tg_util.dir/stats.cpp.o.d"
+  "CMakeFiles/tg_util.dir/table.cpp.o"
+  "CMakeFiles/tg_util.dir/table.cpp.o.d"
+  "libtg_util.a"
+  "libtg_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tg_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tg_workflow.dir/dag.cpp.o"
+  "CMakeFiles/tg_workflow.dir/dag.cpp.o.d"
+  "CMakeFiles/tg_workflow.dir/engine.cpp.o"
+  "CMakeFiles/tg_workflow.dir/engine.cpp.o.d"
+  "libtg_workflow.a"
+  "libtg_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tg_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

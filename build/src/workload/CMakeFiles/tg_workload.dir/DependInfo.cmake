@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/generator.cpp" "src/workload/CMakeFiles/tg_workload.dir/generator.cpp.o" "gcc" "src/workload/CMakeFiles/tg_workload.dir/generator.cpp.o.d"
+  "/root/repo/src/workload/population.cpp" "src/workload/CMakeFiles/tg_workload.dir/population.cpp.o" "gcc" "src/workload/CMakeFiles/tg_workload.dir/population.cpp.o.d"
+  "/root/repo/src/workload/replay.cpp" "src/workload/CMakeFiles/tg_workload.dir/replay.cpp.o" "gcc" "src/workload/CMakeFiles/tg_workload.dir/replay.cpp.o.d"
+  "/root/repo/src/workload/scenario.cpp" "src/workload/CMakeFiles/tg_workload.dir/scenario.cpp.o" "gcc" "src/workload/CMakeFiles/tg_workload.dir/scenario.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/tg_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/gateway/CMakeFiles/tg_gateway.dir/DependInfo.cmake"
+  "/root/repo/build/src/workflow/CMakeFiles/tg_workflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/meta/CMakeFiles/tg_meta.dir/DependInfo.cmake"
+  "/root/repo/build/src/accounting/CMakeFiles/tg_accounting.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/tg_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/tg_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/infra/CMakeFiles/tg_infra.dir/DependInfo.cmake"
+  "/root/repo/build/src/des/CMakeFiles/tg_des.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

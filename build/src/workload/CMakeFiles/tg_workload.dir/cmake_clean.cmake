@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tg_workload.dir/generator.cpp.o"
+  "CMakeFiles/tg_workload.dir/generator.cpp.o.d"
+  "CMakeFiles/tg_workload.dir/population.cpp.o"
+  "CMakeFiles/tg_workload.dir/population.cpp.o.d"
+  "CMakeFiles/tg_workload.dir/replay.cpp.o"
+  "CMakeFiles/tg_workload.dir/replay.cpp.o.d"
+  "CMakeFiles/tg_workload.dir/scenario.cpp.o"
+  "CMakeFiles/tg_workload.dir/scenario.cpp.o.d"
+  "libtg_workload.a"
+  "libtg_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tg_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

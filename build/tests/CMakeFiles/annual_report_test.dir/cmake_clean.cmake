@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/annual_report_test.dir/annual_report_test.cpp.o"
+  "CMakeFiles/annual_report_test.dir/annual_report_test.cpp.o.d"
+  "annual_report_test"
+  "annual_report_test.pdb"
+  "annual_report_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/annual_report_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flow_oracle_test.dir/flow_oracle_test.cpp.o"
+  "CMakeFiles/flow_oracle_test.dir/flow_oracle_test.cpp.o.d"
+  "flow_oracle_test"
+  "flow_oracle_test.pdb"
+  "flow_oracle_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flow_oracle_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/flow_test.cpp" "tests/CMakeFiles/flow_test.dir/flow_test.cpp.o" "gcc" "tests/CMakeFiles/flow_test.dir/flow_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/parallel/CMakeFiles/tg_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/recon/CMakeFiles/tg_recon.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/tg_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/gateway/CMakeFiles/tg_gateway.dir/DependInfo.cmake"
+  "/root/repo/build/src/workflow/CMakeFiles/tg_workflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/meta/CMakeFiles/tg_meta.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/tg_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/accounting/CMakeFiles/tg_accounting.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/tg_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/tg_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/infra/CMakeFiles/tg_infra.dir/DependInfo.cmake"
+  "/root/repo/build/src/des/CMakeFiles/tg_des.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

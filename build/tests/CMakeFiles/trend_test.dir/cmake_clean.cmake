@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trend_test.dir/trend_test.cpp.o"
+  "CMakeFiles/trend_test.dir/trend_test.cpp.o.d"
+  "trend_test"
+  "trend_test.pdb"
+  "trend_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trend_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
