@@ -2,6 +2,8 @@
 // and heap behaviour at depth.
 #include <benchmark/benchmark.h>
 
+#include <functional>
+
 #include "des/engine.hpp"
 #include "util/rng.hpp"
 
@@ -64,8 +66,17 @@ void BM_SelfReschedulingChain(benchmark::State& state) {
 }
 BENCHMARK(BM_SelfReschedulingChain)->Arg(100000);
 
+/// Publishes the engine's event-core counters on the benchmark row.
+void report_stats(benchmark::State& state, const Engine::Stats& stats) {
+  state.counters["tombstone_ratio"] =
+      benchmark::Counter(stats.tombstone_ratio());
+  state.counters["heap_high_water"] =
+      benchmark::Counter(static_cast<double>(stats.heap_high_water));
+}
+
 void BM_CancelHalf(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
+  Engine::Stats last;
   for (auto _ : state) {
     Engine engine;
     std::vector<EventId> ids;
@@ -75,11 +86,37 @@ void BM_CancelHalf(benchmark::State& state) {
     }
     for (std::size_t i = 0; i < n; i += 2) engine.cancel(ids[i]);
     engine.run();
+    last = engine.stats();
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(n));
+  report_stats(state, last);
 }
 BENCHMARK(BM_CancelHalf)->Arg(100000);
+
+void BM_ScheduleThenCancelAll(benchmark::State& state) {
+  // Pure schedule→cancel churn: the timer-reset pattern (every event is
+  // cancelled and replaced before it can fire). Nothing but tombstones ever
+  // reaches the callback.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Engine::Stats last;
+  for (auto _ : state) {
+    Engine engine;
+    std::vector<EventId> ids;
+    ids.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      ids.push_back(
+          engine.schedule_at(static_cast<SimTime>(i % 1024), [] {}));
+    }
+    for (EventId id : ids) engine.cancel(id);
+    engine.run();
+    last = engine.stats();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+  report_stats(state, last);
+}
+BENCHMARK(BM_ScheduleThenCancelAll)->Arg(100000);
 
 }  // namespace
 

@@ -9,10 +9,31 @@
 #include <string>
 #include <vector>
 
+#include "des/engine.hpp"
 #include "util/csv.hpp"
 #include "util/table.hpp"
 
 namespace tg::exp {
+
+/// Parses `--engine-stats`: when present, experiments append the event-core
+/// counters after their tables. Off by default so that the primary outputs
+/// stay byte-stable across runs and engine versions.
+inline bool engine_stats_requested(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--engine-stats") return true;
+  }
+  return false;
+}
+
+/// Prints the engine's event-core counters (see Engine::Stats).
+inline void print_engine_stats(const Engine& engine) {
+  const Engine::Stats& s = engine.stats();
+  std::cout << "\n[engine] scheduled=" << s.scheduled
+            << " fired=" << s.fired << " cancelled=" << s.cancelled
+            << " tombstones=" << s.tombstones
+            << " tombstone_ratio=" << s.tombstone_ratio()
+            << " heap_high_water=" << s.heap_high_water << "\n";
+}
 
 /// Parses `--csv[=path]`; returns the path (default `<name>.csv`) if given.
 inline std::optional<std::string> csv_path(int argc, char** argv,

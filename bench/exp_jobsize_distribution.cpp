@@ -68,5 +68,8 @@ int main(int argc, char** argv) {
               << static_cast<long>(widths[m].total()) << " ";
   }
   std::cout << "\n";
+  if (exp::engine_stats_requested(argc, argv)) {
+    exp::print_engine_stats(scenario.engine());
+  }
   return 0;
 }

@@ -49,5 +49,8 @@ int main(int argc, char** argv) {
                              series.gateway_end_users.end());
   std::cout << "Gateway end-user growth: " << sparkline(growth) << "  ("
             << growth.front() << " -> " << growth.back() << ")\n";
+  if (exp::engine_stats_requested(argc, argv)) {
+    exp::print_engine_stats(scenario.engine());
+  }
   return 0;
 }

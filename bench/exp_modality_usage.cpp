@@ -46,5 +46,8 @@ int main(int argc, char** argv) {
              Table::num(row.nu, 1), Table::num(row.user_share, 4),
              Table::num(row.nu_share, 4)});
   }
+  if (exp::engine_stats_requested(argc, argv)) {
+    exp::print_engine_stats(scenario.engine());
+  }
   return 0;
 }

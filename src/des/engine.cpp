@@ -6,14 +6,37 @@
 
 namespace tg {
 
-EventId Engine::schedule_at(SimTime t, Callback cb, EventPriority priority) {
+std::uint32_t Engine::acquire_slot(SimTime t) {
   TG_REQUIRE(t >= now_, "cannot schedule in the past: t=" << t
                                                           << " now=" << now_);
-  TG_REQUIRE(cb != nullptr, "event callback must not be null");
-  const EventId id = next_id_++;
-  heap_.push(Item{t, static_cast<int>(priority), id, std::move(cb)});
-  live_.insert(id);
-  return id;
+  if (!free_slots_.empty()) {
+    const std::uint32_t slot = free_slots_.back();
+    free_slots_.pop_back();
+    return slot;
+  }
+  TG_CHECK(slab_size_ < UINT32_MAX, "event slab exhausted");
+  if ((slab_size_ >> kChunkShift) == chunks_.size()) {
+    chunks_.push_back(std::make_unique<Slot[]>(std::size_t{1} << kChunkShift));
+  }
+  return slab_size_++;
+}
+
+EventId Engine::commit_slot(SimTime t, std::uint32_t slot,
+                            EventPriority priority) {
+  Slot& s = slot_ref(slot);
+  s.armed = true;
+  heap_push(Item{t, next_seq_++, slot, static_cast<std::int32_t>(priority)});
+  ++live_count_;
+  ++stats_.scheduled;
+  stats_.heap_high_water = std::max(stats_.heap_high_water, heap_.size());
+  return (static_cast<EventId>(slot) << 32) | s.generation;
+}
+
+EventId Engine::schedule_at(SimTime t, Callback cb, EventPriority priority) {
+  TG_REQUIRE(static_cast<bool>(cb), "event callback must not be null");
+  const std::uint32_t slot = acquire_slot(t);
+  slot_ref(slot).cb = std::move(cb);
+  return commit_slot(t, slot, priority);
 }
 
 EventId Engine::schedule_in(Duration dt, Callback cb, EventPriority priority) {
@@ -22,21 +45,102 @@ EventId Engine::schedule_in(Duration dt, Callback cb, EventPriority priority) {
 }
 
 bool Engine::cancel(EventId id) {
-  // Lazy cancellation: the heap item remains and is skipped on pop.
-  return live_.erase(id) > 0;
+  const std::uint32_t slot = slot_of(id);
+  if (slot >= slab_size_) return false;
+  Slot& s = slot_ref(slot);
+  if (!s.armed || s.generation != generation_of(id)) return false;
+  // Tombstone: the heap entry stays and is reclaimed when it surfaces, but
+  // the callback (and its captures) dies now.
+  s.armed = false;
+  s.cb.reset();
+  --live_count_;
+  ++stats_.cancelled;
+  return true;
+}
+
+void Engine::release(std::uint32_t slot) {
+  Slot& s = slot_ref(slot);
+  s.cb.reset();
+  ++s.generation;  // invalidate any handle still pointing here
+  free_slots_.push_back(slot);
+}
+
+void Engine::heap_push(const Item& item) {
+  heap_.push_back(item);  // grows capacity; the value is overwritten below
+  std::size_t hole = heap_.size() - 1;
+  while (hole > 0) {
+    const std::size_t parent = (hole - 1) >> 2;
+    if (!before(item, heap_[parent])) break;
+    heap_[hole] = heap_[parent];
+    hole = parent;
+  }
+  heap_[hole] = item;
+}
+
+Engine::Item Engine::heap_pop() {
+  const Item top = heap_.front();
+  const Item last = heap_.back();
+  heap_.pop_back();
+  const std::size_t n = heap_.size();
+  if (n > 0) {
+    // Bottom-up deletion (Wegener): walk the hole down to a leaf along the
+    // best-child path without comparing against `last` (it nearly always
+    // belongs near the bottom anyway), then sift `last` up from the leaf.
+    // Saves one comparison per level and its branch misprediction, and the
+    // upward phase terminates after O(1) expected steps.
+    std::size_t hole = 0;
+    std::size_t first;
+    while ((first = (hole << 2) + 1) < n) {
+      const std::size_t end = first + 4 < n ? first + 4 : n;
+      std::size_t best = first;
+      for (std::size_t c = first + 1; c < end; ++c) {
+        if (before(heap_[c], heap_[best])) best = c;
+      }
+      heap_[hole] = heap_[best];
+      hole = best;
+    }
+    while (hole > 0) {
+      const std::size_t parent = (hole - 1) >> 2;
+      if (!before(last, heap_[parent])) break;
+      heap_[hole] = heap_[parent];
+      hole = parent;
+    }
+    heap_[hole] = last;
+  }
+  return top;
+}
+
+void Engine::skim_tombstones() {
+  while (!heap_.empty()) {
+    const std::uint32_t slot = heap_.front().slot;
+    if (slot_ref(slot).armed) return;
+    heap_pop();
+    ++stats_.tombstones;
+    release(slot);
+  }
 }
 
 bool Engine::step() {
   while (!heap_.empty()) {
-    // priority_queue exposes only a const top(); the cast is safe because we
-    // pop the element immediately after moving from it.
-    Item item = std::move(const_cast<Item&>(heap_.top()));
-    heap_.pop();
-    if (live_.erase(item.id) == 0) continue;  // cancelled
+    const Item item = heap_pop();
+    Slot& s = slot_ref(item.slot);
+    if (!s.armed) {  // cancelled; reclaim the slot lazily
+      ++stats_.tombstones;
+      release(item.slot);
+      continue;
+    }
     TG_CHECK(item.time >= now_, "event queue went backwards");
     now_ = item.time;
-    ++processed_;
-    item.cb();
+    s.armed = false;
+    --live_count_;
+    ++stats_.fired;
+    // Invoke in place: chunk storage is stable, so `s` stays valid even if
+    // the callback schedules (growing the slab) or cancels other events.
+    // The slot itself is released only afterwards, so a handle to this
+    // event stays stale (armed == false) rather than aliasing a new one.
+    s.cb();
+    s.cb.reset();
+    release(item.slot);
     return true;
   }
   return false;
@@ -53,12 +157,9 @@ std::size_t Engine::run_until(SimTime t) {
   TG_REQUIRE(t >= now_, "run_until into the past");
   stopped_ = false;
   std::size_t n = 0;
-  while (!stopped_ && !heap_.empty()) {
-    // Peek through cancelled items to find the next live event time.
-    while (!heap_.empty() && live_.count(heap_.top().id) == 0) {
-      heap_.pop();
-    }
-    if (heap_.empty() || heap_.top().time > t) break;
+  for (;;) {
+    skim_tombstones();  // heap top, if any, is now the next live event
+    if (stopped_ || heap_.empty() || heap_.front().time > t) break;
     if (step()) ++n;
   }
   if (!stopped_) now_ = std::max(now_, t);

@@ -4,19 +4,32 @@
 // sequence, callback) tuples processed in strictly non-decreasing time
 // order; ties break by priority (lower runs first) and then by scheduling
 // order, so a given seed always produces an identical trace.
+//
+// Internals (see DESIGN.md "DES event core"): callbacks live in a chunked
+// slab of recycled slots addressed by generation-tagged EventId handles.
+// A 4-ary implicit heap orders 24-byte POD keys only, cancel() is an O(1)
+// tombstone flag checked when the heap entry surfaces, and the common
+// schedule path does zero heap allocations (EventCallback stores small
+// captures inline, constructed directly in the slab slot). Chunks never
+// move, so a firing callback is invoked in place -- no move out, no copy.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_set>
+#include <memory>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
+#include "des/callback.hpp"
 #include "des/time.hpp"
+#include "util/error.hpp"
 
 namespace tg {
 
-/// Handle for cancelling a scheduled event.
+/// Handle for cancelling a scheduled event. Encodes (slot << 32 | generation)
+/// into the engine's slab; a slot's generation is bumped on every reuse, so
+/// stale handles (already fired or cancelled) are recognized and rejected.
 using EventId = std::uint64_t;
 inline constexpr EventId kInvalidEvent = 0;
 
@@ -31,7 +44,24 @@ enum class EventPriority : int {
 
 class Engine {
  public:
-  using Callback = std::function<void()>;
+  using Callback = EventCallback;
+
+  /// Lightweight event-core counters, cheap enough to maintain always.
+  struct Stats {
+    std::uint64_t scheduled = 0;   ///< schedule_at/schedule_in calls
+    std::uint64_t cancelled = 0;   ///< successful cancel() calls
+    std::uint64_t fired = 0;       ///< callbacks actually run
+    std::uint64_t tombstones = 0;  ///< cancelled entries popped off the heap
+    std::size_t heap_high_water = 0;  ///< max heap size observed
+
+    /// Fraction of heap pops that were dead entries (cancellation churn).
+    [[nodiscard]] double tombstone_ratio() const {
+      const std::uint64_t pops = fired + tombstones;
+      return pops == 0 ? 0.0
+                       : static_cast<double>(tombstones) /
+                             static_cast<double>(pops);
+    }
+  };
 
   Engine() = default;
   Engine(const Engine&) = delete;
@@ -43,11 +73,41 @@ class Engine {
   EventId schedule_at(SimTime t, Callback cb,
                       EventPriority priority = EventPriority::kDefault);
 
+  /// Overload for plain callables: the callback is constructed directly in
+  /// its slab slot, skipping the move through a temporary EventCallback.
+  template <class F,
+            class D = std::decay_t<F>,
+            class = std::enable_if_t<!std::is_same_v<D, Callback> &&
+                                     !std::is_same_v<D, std::nullptr_t> &&
+                                     std::is_invocable_r_v<void, D&>>>
+  EventId schedule_at(SimTime t, F&& f,
+                      EventPriority priority = EventPriority::kDefault) {
+    if constexpr (std::is_constructible_v<bool, const D&>) {
+      TG_REQUIRE(static_cast<bool>(f), "event callback must not be null");
+    }
+    const std::uint32_t slot = acquire_slot(t);
+    slot_ref(slot).cb.emplace(std::forward<F>(f));
+    return commit_slot(t, slot, priority);
+  }
+
   /// Schedules `cb` after `dt` ticks (must be >= 0).
   EventId schedule_in(Duration dt, Callback cb,
                       EventPriority priority = EventPriority::kDefault);
 
-  /// Cancels a pending event. Returns false if already fired or cancelled.
+  template <class F,
+            class D = std::decay_t<F>,
+            class = std::enable_if_t<!std::is_same_v<D, Callback> &&
+                                     !std::is_same_v<D, std::nullptr_t> &&
+                                     std::is_invocable_r_v<void, D&>>>
+  EventId schedule_in(Duration dt, F&& f,
+                      EventPriority priority = EventPriority::kDefault) {
+    TG_REQUIRE(dt >= 0, "negative delay " << dt);
+    return schedule_at(now_ + dt, std::forward<F>(f), priority);
+  }
+
+  /// Cancels a pending event in O(1). Returns false if already fired or
+  /// cancelled. The callback (and any heap block behind its captures) is
+  /// destroyed immediately; the heap entry is reclaimed when it surfaces.
   bool cancel(EventId id);
 
   /// Runs until the queue drains or stop() is called. Returns #events fired.
@@ -60,34 +120,75 @@ class Engine {
   /// callback completes.
   void stop() { stopped_ = true; }
 
-  [[nodiscard]] std::size_t pending() const { return live_.size(); }
-  [[nodiscard]] std::uint64_t events_processed() const { return processed_; }
+  [[nodiscard]] std::size_t pending() const { return live_count_; }
+  [[nodiscard]] std::uint64_t events_processed() const { return stats_.fired; }
+  [[nodiscard]] const Stats& stats() const { return stats_; }
 
  private:
+  /// Slab cell backing one scheduled event. `armed` is the tombstone flag:
+  /// cleared by cancel() (and on fire), checked when the heap entry pops.
+  struct Slot {
+    Callback cb;
+    std::uint32_t generation = 1;
+    bool armed = false;
+  };
+
+  /// Slots live in fixed-size chunks so their addresses are stable even
+  /// while a callback running in place schedules new events.
+  static constexpr std::uint32_t kChunkShift = 9;  // 512 slots per chunk
+  static constexpr std::uint32_t kChunkMask = (1u << kChunkShift) - 1;
+
+  /// Heap entries are 24-byte PODs; the callback never moves during sift.
   struct Item {
     SimTime time;
-    int priority;
-    EventId id;  // doubles as the FIFO tiebreaker
-    Callback cb;
+    std::uint64_t seq;  ///< global schedule order; the FIFO tiebreaker
+    std::uint32_t slot;
+    std::int32_t priority;
   };
-  struct Later {
-    bool operator()(const Item& a, const Item& b) const {
-      if (a.time != b.time) return a.time > b.time;
-      if (a.priority != b.priority) return a.priority > b.priority;
-      return a.id > b.id;
-    }
-  };
+  /// True if `a` fires before `b`.
+  static bool before(const Item& a, const Item& b) {
+    if (a.time != b.time) return a.time < b.time;
+    if (a.priority != b.priority) return a.priority < b.priority;
+    return a.seq < b.seq;
+  }
+
+  static constexpr std::uint32_t slot_of(EventId id) {
+    return static_cast<std::uint32_t>(id >> 32);
+  }
+  static constexpr std::uint32_t generation_of(EventId id) {
+    return static_cast<std::uint32_t>(id);
+  }
+
+  Slot& slot_ref(std::uint32_t slot) {
+    return chunks_[slot >> kChunkShift][slot & kChunkMask];
+  }
+
+  /// Validates `t` and pops a recycled slot (or grows the slab).
+  std::uint32_t acquire_slot(SimTime t);
+  /// Arms the slot, pushes its heap entry, and mints the handle.
+  EventId commit_slot(SimTime t, std::uint32_t slot, EventPriority priority);
 
   /// Pops and runs the next live event; returns false if none remain.
   bool step();
+  /// Pops dead entries so heap top (if any) is the next live event.
+  void skim_tombstones();
+  /// Returns a slot to the free list, invalidating outstanding handles.
+  void release(std::uint32_t slot);
 
-  std::priority_queue<Item, std::vector<Item>, Later> heap_;
-  /// Ids of scheduled-but-not-yet-fired events; cancellation removes the
-  /// id here and the heap entry is skipped lazily on pop.
-  std::unordered_set<EventId> live_;
+  // 4-ary implicit min-heap with hole sifting: half the depth of a binary
+  // heap and one cache line per visited node, which is where the pop path
+  // of a million-event run spends its time.
+  void heap_push(const Item& item);
+  Item heap_pop();
+
+  std::vector<Item> heap_;
+  std::vector<std::unique_ptr<Slot[]>> chunks_;
+  std::uint32_t slab_size_ = 0;
+  std::vector<std::uint32_t> free_slots_;
   SimTime now_ = 0;
-  EventId next_id_ = 1;
-  std::uint64_t processed_ = 0;
+  std::uint64_t next_seq_ = 1;
+  std::size_t live_count_ = 0;
+  Stats stats_;
   bool stopped_ = false;
 };
 

@@ -1,6 +1,7 @@
 #include "parallel/thread_pool.hpp"
 
 #include <algorithm>
+#include <exception>
 
 namespace tg {
 
@@ -44,7 +45,18 @@ void parallel_for(ThreadPool& pool, std::size_t n,
   for (std::size_t i = 0; i < n; ++i) {
     futures.push_back(pool.submit([&fn, i] { fn(i); }));
   }
-  for (auto& f : futures) f.get();
+  // Drain every future before rethrowing: bailing out on the first error
+  // would destroy futures whose tasks still reference fn (and report only
+  // an arbitrary subset of failures as a bonus).
+  std::exception_ptr first_error;
+  for (auto& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
 }
 
 }  // namespace tg

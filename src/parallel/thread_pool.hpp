@@ -5,6 +5,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <exception>
 #include <functional>
 #include <future>
 #include <mutex>
@@ -49,11 +50,14 @@ class ThreadPool {
   bool stop_ = false;
 };
 
-/// Runs fn(i) for i in [0, n) across the pool and waits for completion.
+/// Runs fn(i) for i in [0, n) across the pool and waits for every task to
+/// settle. If any task threw, the first exception (in index order) is
+/// rethrown — after all n tasks have completed or failed, never mid-batch.
 void parallel_for(ThreadPool& pool, std::size_t n,
                   const std::function<void(std::size_t)>& fn);
 
-/// Maps fn(i) -> T for i in [0, n), preserving order.
+/// Maps fn(i) -> T for i in [0, n), preserving order. Same error contract
+/// as parallel_for: all tasks are drained before the first error rethrows.
 template <class T>
 std::vector<T> parallel_map(ThreadPool& pool, std::size_t n,
                             const std::function<T(std::size_t)>& fn) {
@@ -64,7 +68,15 @@ std::vector<T> parallel_map(ThreadPool& pool, std::size_t n,
   }
   std::vector<T> out;
   out.reserve(n);
-  for (auto& f : futures) out.push_back(f.get());
+  std::exception_ptr first_error;
+  for (auto& f : futures) {
+    try {
+      out.push_back(f.get());
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
   return out;
 }
 

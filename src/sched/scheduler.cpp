@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 
 #include "util/error.hpp"
 
@@ -20,6 +21,18 @@ namespace {
 /// Fences are materialized over this planning horizon past `now`; nothing
 /// on a TeraGrid machine plans further ahead than this.
 constexpr Duration kFenceHorizon = 120 * kDay;
+
+/// Validates the id before shifting: run from the member initializer, where
+/// an out-of-range id would otherwise overflow (UB) before any ctor-body
+/// check could reject it.
+JobId::rep job_id_base_for(const ComputeResource& resource) {
+  TG_REQUIRE(resource.id.valid() && resource.id.value() <= kMaxResourceId,
+             "resource id " << resource.id
+                            << " outside the job-id folding range [0, "
+                            << kMaxResourceId << "]");
+  return static_cast<JobId::rep>(resource.id.value() + 1)
+         << kJobIdResourceShift;
+}
 }  // namespace
 
 ResourceScheduler::ResourceScheduler(Engine& engine,
@@ -31,7 +44,8 @@ ResourceScheduler::ResourceScheduler(Engine& engine,
       free_nodes_(resource.nodes),
       // Job ids are globally unique: the resource id is folded into the
       // high bits so accounting can key on JobId alone.
-      next_job_(static_cast<JobId::rep>(resource.id.value() + 1) << 40) {
+      job_id_base_(job_id_base_for(resource)),
+      next_job_(job_id_base_) {
   TG_REQUIRE(resource.nodes > 0, "resource has no nodes");
   TG_REQUIRE(config.capability_fraction > 0.0 &&
                  config.capability_fraction <= 1.0,
@@ -40,8 +54,39 @@ ResourceScheduler::ResourceScheduler(Engine& engine,
              "fair-share half-life must be positive");
 }
 
+int ceil_fraction(double fraction, int n) {
+  TG_REQUIRE(fraction > 0.0 && fraction <= 1.0,
+             "fraction " << fraction << " outside (0,1]");
+  TG_REQUIRE(n > 0, "n must be positive");
+  // Decompose fraction = mant / 2^shift with integer mant, then take
+  // ceil(mant * n / 2^shift) in 128-bit integer arithmetic. This is the
+  // exact ceiling of the stored double times n; the old "+ 0.999" hack
+  // under-rounded fractional parts below 0.001 and made boundary products
+  // depend on FP noise.
+  int exp = 0;
+  const double mantissa = std::frexp(fraction, &exp);  // in [0.5, 1)
+  auto mant = static_cast<std::uint64_t>(std::ldexp(mantissa, 53));
+  int shift = 53 - exp;  // >= 52 since fraction <= 1
+  while (shift > 0 && (mant & 1u) == 0) {
+    mant >>= 1;
+    --shift;
+  }
+  if (shift > 126) return 1;  // fraction < 2^-73: ceil(fraction * n) == 1
+  __extension__ using u128 = unsigned __int128;
+  const u128 num = static_cast<u128>(mant) * static_cast<std::uint32_t>(n);
+  const u128 den = static_cast<u128>(1) << shift;
+  return static_cast<int>((num + den - 1) / den);
+}
+
 int ResourceScheduler::capability_threshold() const {
-  return static_cast<int>(config_.capability_fraction * resource_.nodes + 0.999);
+  return ceil_fraction(config_.capability_fraction, resource_.nodes);
+}
+
+JobId ResourceScheduler::allocate_job_id() {
+  TG_REQUIRE(next_job_ - job_id_base_ < kMaxJobsPerResource,
+             "job id space exhausted on " << resource_.name << " ("
+                                          << kMaxJobsPerResource << " jobs)");
+  return JobId{next_job_++};
 }
 
 Duration ResourceScheduler::planned_duration(const Job& job) const {
@@ -59,7 +104,7 @@ JobId ResourceScheduler::submit(JobRequest request) {
                                    << " outside limits of " << resource_.name);
   TG_REQUIRE(request.actual_runtime > 0, "actual runtime must be positive");
 
-  const JobId id{next_job_++};
+  const JobId id = allocate_job_id();
   Job job;
   job.id = id;
   job.resource = resource_.id;
@@ -126,7 +171,7 @@ JobId ResourceScheduler::attach_to_reservation(ReservationId id,
   TG_REQUIRE(request.requested_walltime <= r.end - r.start,
              "job walltime exceeds reservation window");
 
-  const JobId jid{next_job_++};
+  const JobId jid = allocate_job_id();
   Job job;
   job.id = jid;
   job.resource = resource_.id;

@@ -29,6 +29,25 @@ enum class SchedPolicy : std::uint8_t {
 
 [[nodiscard]] const char* to_string(SchedPolicy p);
 
+/// Smallest integer k with k >= fraction * n, computed exactly in integer
+/// arithmetic on the binary representation of `fraction` (no "+ epsilon"
+/// rounding hacks, no dependence on FP noise in the product). Requires
+/// fraction in (0, 1] and n > 0; the result is in [1, n].
+[[nodiscard]] int ceil_fraction(double fraction, int n);
+
+// --- Job id space -----------------------------------------------------------
+// Job ids are globally unique across schedulers: (resource.id + 1) is folded
+// into the bits above kJobIdResourceShift and a per-resource counter fills
+// the low bits. Both halves are guarded: a scheduler refuses resources with
+// id > kMaxResourceId at construction, and refuses the submission that would
+// overflow its 2^40-job band instead of silently colliding with the next
+// resource's ids.
+inline constexpr int kJobIdResourceShift = 40;
+inline constexpr std::int64_t kMaxJobsPerResource =
+    std::int64_t{1} << kJobIdResourceShift;
+/// Largest resource id whose band still fits in a signed 64-bit JobId.
+inline constexpr std::int32_t kMaxResourceId = (std::int32_t{1} << 23) - 2;
+
 struct SchedulerConfig {
   SchedPolicy policy = SchedPolicy::kEasyBackfill;
   /// If > 0, the machine is fully drained every `drain_period` (no job may
@@ -123,6 +142,8 @@ class ResourceScheduler {
   /// fair-share within).
   [[nodiscard]] std::vector<JobId> ordered_queue() const;
   [[nodiscard]] int capability_threshold() const;
+  /// Next id from this resource's band; throws once the band is exhausted.
+  [[nodiscard]] JobId allocate_job_id();
   [[nodiscard]] Duration planned_duration(const Job& job) const;
   void charge_fair_share(UserId user, double core_seconds, SimTime now);
 
@@ -141,6 +162,7 @@ class ResourceScheduler {
   SchedulerMetrics metrics_;
   int free_nodes_ = 0;
   std::size_t running_count_ = 0;
+  JobId::rep job_id_base_ = 0;  ///< first id of this resource's band
   JobId::rep next_job_ = 0;
   ReservationId::rep next_reservation_ = 0;
   EventId wakeup_ = kInvalidEvent;

@@ -2,9 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <functional>
+#include <memory>
 #include <vector>
 
 #include "util/error.hpp"
+#include "util/rng.hpp"
 
 namespace tg {
 namespace {
@@ -169,6 +173,166 @@ TEST(Engine, RunUntilSkipsCancelledHead) {
   EXPECT_FALSE(fired);
   EXPECT_EQ(e.now(), 10);
   EXPECT_EQ(e.pending(), 1u);
+}
+
+TEST(Engine, CancelFromWithinCallback) {
+  Engine e;
+  bool victim_fired = false;
+  EventId victim = kInvalidEvent;
+  victim = e.schedule_at(20, [&] { victim_fired = true; });
+  e.schedule_at(10, [&] { EXPECT_TRUE(e.cancel(victim)); });
+  e.run();
+  EXPECT_FALSE(victim_fired);
+  EXPECT_EQ(e.pending(), 0u);
+}
+
+TEST(Engine, CancelOwnIdFromWithinCallbackFails) {
+  // By the time a callback runs, its event has fired; the handle is stale.
+  Engine e;
+  EventId self = kInvalidEvent;
+  bool cancelled = true;
+  self = e.schedule_at(10, [&] { cancelled = e.cancel(self); });
+  e.run();
+  EXPECT_FALSE(cancelled);
+}
+
+TEST(Engine, StaleHandleAfterSlotReuseFails) {
+  // Firing recycles the slab slot; a later event may land in the same slot
+  // but gets a new generation, so the old handle must not cancel it.
+  Engine e;
+  const EventId first = e.schedule_at(10, [] {});
+  e.run();
+  bool second_fired = false;
+  const EventId second = e.schedule_at(20, [&] { second_fired = true; });
+  EXPECT_NE(first, second);
+  EXPECT_FALSE(e.cancel(first));  // stale: must not tombstone `second`
+  e.run();
+  EXPECT_TRUE(second_fired);
+}
+
+TEST(Engine, RunUntilTombstoneHeavyHeap) {
+  Engine e;
+  int fired = 0;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 1000; ++i) {
+    ids.push_back(e.schedule_at(i, [&] { ++fired; }));
+  }
+  // Cancel everything except every 100th event: 99% tombstones.
+  for (int i = 0; i < 1000; ++i) {
+    if (i % 100 != 0) e.cancel(ids[static_cast<std::size_t>(i)]);
+  }
+  EXPECT_EQ(e.pending(), 10u);
+  EXPECT_EQ(e.run_until(499), 5u);
+  EXPECT_EQ(fired, 5);
+  EXPECT_EQ(e.now(), 499);
+  EXPECT_EQ(e.pending(), 5u);
+  e.run();
+  EXPECT_EQ(fired, 10);
+  EXPECT_GE(e.stats().tombstones, 990u);
+}
+
+TEST(Engine, StatsCounters) {
+  Engine e;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 10; ++i) ids.push_back(e.schedule_at(i, [] {}));
+  for (int i = 0; i < 4; ++i) e.cancel(ids[static_cast<std::size_t>(i)]);
+  e.run();
+  const Engine::Stats& s = e.stats();
+  EXPECT_EQ(s.scheduled, 10u);
+  EXPECT_EQ(s.cancelled, 4u);
+  EXPECT_EQ(s.fired, 6u);
+  EXPECT_EQ(s.tombstones, 4u);
+  EXPECT_EQ(s.heap_high_water, 10u);
+  EXPECT_DOUBLE_EQ(s.tombstone_ratio(), 0.4);
+}
+
+TEST(Engine, CallbackCapturesAreDestroyedOnCancel) {
+  // cancel() must release the captures immediately, not at pop time.
+  Engine e;
+  auto token = std::make_shared<int>(7);
+  const EventId id = e.schedule_at(10, [token] { (void)*token; });
+  EXPECT_EQ(token.use_count(), 2);
+  e.cancel(id);
+  EXPECT_EQ(token.use_count(), 1);
+  e.run();
+}
+
+TEST(EventCallback, InlineVsHeapStorage) {
+  struct Small {
+    std::uint64_t a[4];
+    void operator()() const {}
+  };
+  struct Big {
+    std::uint64_t a[16];
+    void operator()() const {}
+  };
+  static_assert(EventCallback::fits_inline<Small>());
+  static_assert(!EventCallback::fits_inline<Big>());
+
+  // Both storage classes must invoke and move correctly.
+  int hits = 0;
+  std::uint64_t big_sum = 0;
+  Big big{};
+  big.a[15] = 41;
+  EventCallback small_cb = [&hits] { ++hits; };
+  EventCallback big_cb = [&big_sum, big] { big_sum = big.a[15] + 1; };
+  EventCallback moved_small = std::move(small_cb);
+  EventCallback moved_big = std::move(big_cb);
+  EXPECT_FALSE(static_cast<bool>(small_cb));
+  EXPECT_FALSE(static_cast<bool>(big_cb));
+  moved_small();
+  moved_big();
+  EXPECT_EQ(hits, 1);
+  EXPECT_EQ(big_sum, 42u);
+}
+
+// Golden determinism trace. The hash below was captured by running this
+// exact workload on the pre-rewrite engine (std::function heap +
+// unordered_set lazy cancellation, PR 1 seed): the slab/tombstone engine
+// must order every event identically. Do not update the constant without
+// understanding which trace reordering changed it.
+TEST(Engine, GoldenTraceMatchesSeedEngine) {
+  std::uint64_t h = 1469598103934665603ull;
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+
+  Engine e;
+  Rng rng(12345);
+  std::vector<EventId> ids;
+  int fired = 0;
+  // Phase 1: scrambled bulk schedule with mixed priorities, cancel a third,
+  // run to mid-horizon.
+  for (int i = 0; i < 2000; ++i) {
+    const SimTime t = rng.uniform_int(0, 10000);
+    const int tag = i;
+    ids.push_back(e.schedule_at(
+        t,
+        [&, tag] {
+          mix(static_cast<std::uint64_t>(e.now()));
+          mix(static_cast<std::uint64_t>(tag));
+          ++fired;
+        },
+        static_cast<EventPriority>(static_cast<int>(rng.uniform_int(0, 3)) *
+                                   10)));
+  }
+  for (std::size_t i = 0; i < ids.size(); i += 3) e.cancel(ids[i]);
+  e.run_until(5000);
+  mix(static_cast<std::uint64_t>(e.now()));
+  // Phase 2: self-rescheduling chains interleaved with the leftovers.
+  std::function<void()> chain = [&] {
+    mix(static_cast<std::uint64_t>(e.now()));
+    ++fired;
+    if (fired < 4000) e.schedule_in(rng.uniform_int(1, 7), chain);
+  };
+  e.schedule_in(1, chain);
+  e.run();
+  mix(static_cast<std::uint64_t>(e.now()));
+
+  EXPECT_EQ(fired, 4000);
+  EXPECT_EQ(e.now(), 15761);
+  EXPECT_EQ(h, 5553760236236857368ull);
 }
 
 TEST(TimeFormat, Renders) {

@@ -443,5 +443,86 @@ INSTANTIATE_TEST_SUITE_P(Policies, PolicySweep,
                                            SchedPolicy::kEasyBackfill,
                                            SchedPolicy::kConservativeBackfill));
 
+// --- capability_threshold regression: exact ceiling over boundary fractions.
+
+TEST(CeilFraction, ExactAtIntegerProducts) {
+  // Products that land exactly on an integer must not round up a step.
+  EXPECT_EQ(ceil_fraction(0.5, 16), 8);
+  EXPECT_EQ(ceil_fraction(0.25, 16), 4);
+  EXPECT_EQ(ceil_fraction(1.0, 1024), 1024);
+  EXPECT_EQ(ceil_fraction(0.5, 1), 1);
+}
+
+TEST(CeilFraction, RoundsUpFractionalProducts) {
+  EXPECT_EQ(ceil_fraction(0.5, 5), 3);     // 2.5 -> 3
+  EXPECT_EQ(ceil_fraction(0.75, 5), 4);    // 3.75 -> 4
+  EXPECT_EQ(ceil_fraction(0.5, 1023), 512);  // 511.5 -> 512
+}
+
+TEST(CeilFraction, TinyFractionalPartStillCeils) {
+  // The old "+ 0.999" hack floor()ed any product whose fractional part was
+  // below 0.001 — e.g. 1000 * 0.0040005 = 4.0005 came out as 4, not 5.
+  EXPECT_EQ(ceil_fraction(0.0040005, 1000), 5);
+  // And a fractional part of exactly 0.999 could double-bump under noise;
+  // the exact path is immune: 3.999 -> 4.
+  EXPECT_EQ(ceil_fraction(0.003999, 1000), 4);
+}
+
+TEST(CeilFraction, ExtremeFractions) {
+  EXPECT_EQ(ceil_fraction(1e-12, 4096), 1);  // any positive fraction needs 1
+  EXPECT_EQ(ceil_fraction(1.0, 1), 1);
+  EXPECT_THROW((void)ceil_fraction(0.0, 16), PreconditionError);
+  EXPECT_THROW((void)ceil_fraction(1.5, 16), PreconditionError);
+  EXPECT_THROW((void)ceil_fraction(0.5, 0), PreconditionError);
+}
+
+TEST(CeilFraction, AgreesWithRationalCeilingAcrossSweep) {
+  // For fractions k/64 (exactly representable) the result must equal the
+  // rational ceiling for every machine size, with no FP-noise dependence.
+  for (int k = 1; k <= 64; ++k) {
+    const double fraction = static_cast<double>(k) / 64.0;
+    for (int nodes : {1, 7, 16, 63, 64, 100, 1023, 4096}) {
+      const long long expect =
+          (static_cast<long long>(k) * nodes + 63) / 64;  // ceil(k*n/64)
+      ASSERT_EQ(ceil_fraction(fraction, nodes), expect)
+          << "fraction=" << k << "/64 nodes=" << nodes;
+    }
+  }
+}
+
+// --- job-id folding contract: resource band width and overflow guards.
+
+TEST(SchedulerJobIds, DocumentsIdSpaceContract) {
+  // Ids are (resource.id + 1) << kJobIdResourceShift plus a counter, so two
+  // schedulers never hand out the same JobId until a resource exceeds
+  // kMaxResourceId or a scheduler issues kMaxJobsPerResource jobs.
+  Engine engine;
+  ComputeResource a = test_resource();
+  a.id = ResourceId{0};
+  ComputeResource b = test_resource();
+  b.id = ResourceId{1};
+  ResourceScheduler sa(engine, a);
+  ResourceScheduler sb(engine, b);
+  const JobId ja = sa.submit(simple_job(1, kHour));
+  const JobId jb = sb.submit(simple_job(1, kHour));
+  EXPECT_NE(ja, jb);
+  EXPECT_EQ(ja.value() >> kJobIdResourceShift, 1);
+  EXPECT_EQ(jb.value() >> kJobIdResourceShift, 2);
+  engine.run();
+}
+
+TEST(SchedulerJobIds, RejectsResourceIdOutsideFoldingRange) {
+  Engine engine;
+  ComputeResource r = test_resource();
+  r.id = ResourceId{kMaxResourceId};
+  EXPECT_NO_THROW(ResourceScheduler(engine, r));
+  // One past the documented limit: the band would overflow the sign bit of
+  // JobId::rep and silently collide; construction must refuse instead.
+  r.id = ResourceId{kMaxResourceId + 1};
+  EXPECT_THROW(ResourceScheduler(engine, r), PreconditionError);
+  r.id = ResourceId{};  // invalid (negative) id
+  EXPECT_THROW(ResourceScheduler(engine, r), PreconditionError);
+}
+
 }  // namespace
 }  // namespace tg

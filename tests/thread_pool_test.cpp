@@ -38,6 +38,51 @@ TEST(ThreadPool, ExceptionsPropagateThroughFuture) {
   EXPECT_THROW(fut.get(), std::runtime_error);
 }
 
+TEST(ParallelFor, MidBatchThrowDrainsAllTasks) {
+  // A task throwing mid-batch must neither deadlock parallel_for nor lose
+  // the completed results: every other task still runs to completion before
+  // the first error is rethrown.
+  ThreadPool pool(4);
+  std::atomic<int> completed{0};
+  EXPECT_THROW(
+      parallel_for(pool, 64,
+                   [&completed](std::size_t i) {
+                     if (i == 13 || i == 40) {
+                       throw std::runtime_error("task failed");
+                     }
+                     ++completed;
+                   }),
+      std::runtime_error);
+  EXPECT_EQ(completed.load(), 62);
+}
+
+TEST(ParallelMap, MidBatchThrowDrainsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> completed{0};
+  const std::function<int(std::size_t)> fn = [&completed](std::size_t i) {
+    if (i == 0) throw std::logic_error("first task fails");
+    ++completed;
+    return static_cast<int>(i);
+  };
+  // The *first* failure in index order is the one rethrown, even when later
+  // tasks also fail.
+  EXPECT_THROW(parallel_map<int>(pool, 32, fn), std::logic_error);
+  EXPECT_EQ(completed.load(), 31);
+}
+
+TEST(ParallelFor, FirstErrorInIndexOrderIsRethrown) {
+  ThreadPool pool(2);
+  try {
+    parallel_for(pool, 16, [](std::size_t i) {
+      if (i == 3) throw std::runtime_error("error-3");
+      if (i == 11) throw std::runtime_error("error-11");
+    });
+    FAIL() << "expected parallel_for to rethrow";
+  } catch (const std::runtime_error& err) {
+    EXPECT_STREQ(err.what(), "error-3");
+  }
+}
+
 TEST(ThreadPool, DestructionDrainsQueue) {
   std::atomic<int> counter{0};
   {
