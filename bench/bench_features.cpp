@@ -1,0 +1,165 @@
+// B4 — accounting-analytics throughput: feature extraction and usage-database
+// window queries at 1x/4x/16x population scale. This is the record-query →
+// feature-extraction hot path of every measurement experiment; before/after
+// numbers for the columnar-index work live in BENCH_analytics.json.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+
+#include "core/features.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace tg;
+
+constexpr int kUsersPerScale = 250;
+constexpr int kJobsPerUser = 100;
+constexpr int kTransfersPerUser = 20;
+constexpr int kSessionsPerUser = 6;
+
+/// A year of records for `scale` x 250 users, appended in end-time order —
+/// the order a Recorder produces them in (completion events fire in time
+/// order), which is what the analytics layer optimizes for.
+UsageDatabase make_db(int scale) {
+  const int users = kUsersPerScale * scale;
+  Rng rng(7);
+  std::vector<JobRecord> jobs;
+  jobs.reserve(static_cast<std::size_t>(users) * kJobsPerUser);
+  std::vector<TransferRecord> transfers;
+  std::vector<SessionRecord> sessions;
+  for (int u = 0; u < users; ++u) {
+    for (int j = 0; j < kJobsPerUser; ++j) {
+      JobRecord r;
+      r.job = JobId{static_cast<JobId::rep>(jobs.size())};
+      r.resource =
+          ResourceId{static_cast<ResourceId::rep>(rng.uniform_int(0, 12))};
+      r.user = UserId{u};
+      r.project = ProjectId{u / 3};
+      r.submit_time = rng.uniform_int(0, kYear);
+      r.start_time = r.submit_time + rng.uniform_int(0, 4 * kHour);
+      r.end_time = r.start_time + rng.uniform_int(kMinute, 24 * kHour);
+      r.nodes = static_cast<int>(rng.uniform_int(1, 64));
+      r.cores_per_node = 8;
+      r.requested_walltime = 24 * kHour;
+      r.charged_nu = rng.uniform(1.0, 5000.0);
+      r.charged_su = r.charged_nu;
+      if (rng.bernoulli(0.1)) r.gateway = GatewayId{0};
+      if (rng.bernoulli(0.2)) r.workflow = WorkflowId{j};
+      jobs.push_back(std::move(r));
+    }
+    for (int t = 0; t < kTransfersPerUser; ++t) {
+      TransferRecord r;
+      r.transfer = TransferId{static_cast<TransferId::rep>(transfers.size())};
+      r.src = SiteId{0};
+      r.dst = SiteId{1};
+      r.user = UserId{u};
+      r.project = ProjectId{u / 3};
+      r.bytes = rng.uniform(1e6, 1e12);
+      r.submit_time = rng.uniform_int(0, kYear);
+      r.end_time = r.submit_time + rng.uniform_int(kMinute, kHour);
+      transfers.push_back(std::move(r));
+    }
+    for (int s = 0; s < kSessionsPerUser; ++s) {
+      SessionRecord r;
+      r.user = UserId{u};
+      r.resource =
+          ResourceId{static_cast<ResourceId::rep>(rng.uniform_int(0, 12))};
+      r.start_time = rng.uniform_int(0, kYear);
+      r.end_time = r.start_time + rng.uniform_int(kMinute, 8 * kHour);
+      r.viz = rng.bernoulli(0.3);
+      sessions.push_back(std::move(r));
+    }
+  }
+  const auto by_end = [](const auto& a, const auto& b) {
+    return a.end_time < b.end_time;
+  };
+  std::stable_sort(jobs.begin(), jobs.end(), by_end);
+  std::stable_sort(transfers.begin(), transfers.end(), by_end);
+  std::stable_sort(sessions.begin(), sessions.end(), by_end);
+  UsageDatabase db;
+  for (auto& r : jobs) db.add(std::move(r));
+  for (auto& r : transfers) db.add(std::move(r));
+  for (auto& r : sessions) db.add(std::move(r));
+  return db;
+}
+
+/// Full-horizon feature extraction — the classifier's input, end to end.
+void BM_ExtractAllUsers(benchmark::State& state) {
+  const Platform platform = teragrid_2010();
+  const auto db = make_db(static_cast<int>(state.range(0)));
+  const FeatureExtractor extractor(platform);
+  for (auto _ : state) {
+    auto features = extractor.extract(db, 0, kYear + kDay);
+    benchmark::DoNotOptimize(features);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(db.jobs().size()));
+}
+BENCHMARK(BM_ExtractAllUsers)->Arg(1)->Arg(4)->Arg(16)
+    ->Unit(benchmark::kMillisecond);
+
+/// Quarter-window extraction — the churn/timeseries experiments issue one of
+/// these per reporting quarter.
+void BM_ExtractQuarterWindow(benchmark::State& state) {
+  const Platform platform = teragrid_2010();
+  const auto db = make_db(static_cast<int>(state.range(0)));
+  const FeatureExtractor extractor(platform);
+  for (auto _ : state) {
+    auto features = extractor.extract(db, kQuarter, 2 * kQuarter);
+    benchmark::DoNotOptimize(features);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(db.jobs().size()));
+}
+BENCHMARK(BM_ExtractQuarterWindow)->Arg(1)->Arg(4)->Arg(16)
+    ->Unit(benchmark::kMillisecond);
+
+/// Single-user window extraction (the survey experiment's per-user weights).
+void BM_ExtractUser(benchmark::State& state) {
+  const Platform platform = teragrid_2010();
+  const auto db = make_db(static_cast<int>(state.range(0)));
+  const FeatureExtractor extractor(platform);
+  int u = 0;
+  const int users = kUsersPerScale * static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto f = extractor.extract_user(db, UserId{u}, 0, kYear + kDay);
+    benchmark::DoNotOptimize(f);
+    u = (u + 17) % users;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          kJobsPerUser);
+}
+BENCHMARK(BM_ExtractUser)->Arg(1)->Arg(4)->Arg(16);
+
+/// Per-user posting-list query.
+void BM_JobsOfUser(benchmark::State& state) {
+  const auto db = make_db(static_cast<int>(state.range(0)));
+  int u = 0;
+  const int users = kUsersPerScale * static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto jobs = db.jobs_of(UserId{u});
+    benchmark::DoNotOptimize(jobs);
+    u = (u + 17) % users;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          kJobsPerUser);
+}
+BENCHMARK(BM_JobsOfUser)->Arg(1)->Arg(4)->Arg(16);
+
+/// One-day end-time window over the full year of records.
+void BM_JobsInDayWindow(benchmark::State& state) {
+  const auto db = make_db(static_cast<int>(state.range(0)));
+  SimTime day = 20;
+  for (auto _ : state) {
+    auto jobs = db.jobs_in(day * kDay, (day + 1) * kDay);
+    benchmark::DoNotOptimize(jobs);
+    day = (day + 37) % 360;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_JobsInDayWindow)->Arg(1)->Arg(4)->Arg(16);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -7,7 +7,6 @@
 
 #include "bench/exp_common.hpp"
 #include "core/scoring.hpp"
-#include "parallel/thread_pool.hpp"
 #include "util/stats.hpp"
 #include "workload/scenario.hpp"
 
@@ -36,8 +35,8 @@ int main(int argc, char** argv) {
   exp::banner("F3", "Classifier quality vs ground truth (10 seeds)");
 
   constexpr std::size_t kSeeds = 10;
-  ThreadPool pool;
-  const auto results = parallel_map<SeedResult>(
+  Replicator pool(exp::jobs_requested(argc, argv));
+  const auto results = exp::run_seeds(
       pool, kSeeds, [](std::size_t i) { return run_seed(1000 + i); });
 
   ConfusionMatrix aggregate;

@@ -3,6 +3,8 @@
 // DESIGN.md §4) and optionally dumps CSV next to its stdout table.
 #pragma once
 
+#include <cstddef>
+#include <cstdlib>
 #include <iostream>
 #include <memory>
 #include <optional>
@@ -10,10 +12,36 @@
 #include <vector>
 
 #include "des/engine.hpp"
+#include "parallel/replicate.hpp"
 #include "util/csv.hpp"
 #include "util/table.hpp"
 
 namespace tg::exp {
+
+/// Parses `--jobs=N`: worker count for multi-replication experiments.
+/// Default 0 = one worker per hardware thread; `--jobs=1` runs the
+/// replication loop inline (no threads). Output is byte-identical at every
+/// jobs level — see the Replicator determinism contract.
+inline std::size_t jobs_requested(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--jobs=", 0) == 0) {
+      const long n = std::strtol(arg.c_str() + 7, nullptr, 10);
+      return n > 0 ? static_cast<std::size_t>(n) : 1;
+    }
+  }
+  return 0;
+}
+
+/// Fans `n` independent replications out over the pool and returns their
+/// results in seed-index order. The thin experiment-facing wrapper around
+/// Replicator::run — replications must be self-contained (own Engine/Rng,
+/// no printing); aggregate and print only after this returns.
+template <class Fn>
+auto run_seeds(Replicator& pool, std::size_t n, Fn fn)
+    -> std::vector<std::invoke_result_t<Fn, std::size_t>> {
+  return pool.run(n, std::move(fn));
+}
 
 /// Parses `--engine-stats`: when present, experiments append the event-core
 /// counters after their tables. Off by default so that the primary outputs

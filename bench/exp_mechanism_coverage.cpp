@@ -54,50 +54,69 @@ int main(int argc, char** argv) {
   // coverage linearly; the distinct end-user count is robust (any one
   // attributed job identifies a user); the identification *delay* — how
   // long a new portal user stays invisible — grows as coverage falls.
+  // Each coverage point is an independent replication (own Scenario, own
+  // Engine); fan them out and print the index-ordered results.
   std::cout << "Gateway attribute coverage sweep:\n";
   Table sweep({"Coverage", "End users (true)", "Measured", "Jobs attributed",
                "Median days to identify"});
   exp::OptionalCsv csv(exp::csv_path(argc, argv, "exp_mechanism_coverage"),
                        {"coverage", "true_end_users", "measured_end_users",
                         "attributed_job_fraction", "median_identify_days"});
-  for (const double coverage : {0.25, 0.5, 0.75, 0.9, 1.0}) {
-    Scenario scenario(config_with_coverage(coverage));
-    scenario.run();
-    const RuleClassifier classifier;
-    const ModalityReport report = scenario.report(classifier);
-    const int truth =
-        static_cast<int>(scenario.population().gateway_end_users.size());
-    const int measured = report.gateway_end_users();
+  const std::vector<double> coverages{0.25, 0.5, 0.75, 0.9, 1.0};
+  struct CoverageRow {
+    int truth = 0;
+    int measured = 0;
+    double job_frac = 0.0;
+    double median_delay = 0.0;
+  };
+  Replicator pool(exp::jobs_requested(argc, argv));
+  const auto rows =
+      exp::run_seeds(pool, coverages.size(), [&](std::size_t i) {
+        Scenario scenario(config_with_coverage(coverages[i]));
+        scenario.run();
+        const RuleClassifier classifier;
+        const ModalityReport report = scenario.report(classifier);
+        CoverageRow row;
+        row.truth =
+            static_cast<int>(scenario.population().gateway_end_users.size());
+        row.measured = report.gateway_end_users();
 
-    long gateway_jobs = 0;
-    long attributed = 0;
-    // Identification delay: first *attributed* record of a label minus the
-    // label's activation time (ground truth from the population).
-    std::map<std::string, SimTime> first_seen;
-    std::vector<double> delays_days;
-    for (const JobRecord& r : scenario.db().jobs()) {
-      if (!r.gateway.valid()) continue;
-      ++gateway_jobs;
-      if (r.gateway_end_user.empty()) continue;
-      ++attributed;
-      auto [it, inserted] = first_seen.emplace(r.gateway_end_user, r.end_time);
-      if (!inserted) it->second = std::min(it->second, r.end_time);
-    }
-    for (const auto& eu : scenario.population().gateway_end_users) {
-      const auto it = first_seen.find(eu.label);
-      if (it == first_seen.end()) continue;
-      delays_days.push_back(to_days(it->second - eu.active_from));
-    }
-    const double job_frac =
-        gateway_jobs > 0 ? static_cast<double>(attributed) / gateway_jobs
-                         : 0.0;
-    const double median_delay = percentile(delays_days, 0.5);
-    sweep.add_row({Table::pct(coverage, 0), Table::num(std::int64_t{truth}),
-                   Table::num(std::int64_t{measured}), Table::pct(job_frac),
-                   Table::num(median_delay, 1)});
-    csv.row({Table::num(coverage, 2), std::to_string(truth),
-             std::to_string(measured), Table::num(job_frac, 4),
-             Table::num(median_delay, 3)});
+        long gateway_jobs = 0;
+        long attributed = 0;
+        // Identification delay: first *attributed* record of a label minus
+        // the label's activation time (ground truth from the population).
+        std::map<std::string, SimTime> first_seen;
+        std::vector<double> delays_days;
+        for (const JobRecord& r : scenario.db().jobs()) {
+          if (!r.gateway.valid()) continue;
+          ++gateway_jobs;
+          if (r.gateway_end_user.empty()) continue;
+          ++attributed;
+          auto [it, inserted] =
+              first_seen.emplace(r.gateway_end_user, r.end_time);
+          if (!inserted) it->second = std::min(it->second, r.end_time);
+        }
+        for (const auto& eu : scenario.population().gateway_end_users) {
+          const auto it = first_seen.find(eu.label);
+          if (it == first_seen.end()) continue;
+          delays_days.push_back(to_days(it->second - eu.active_from));
+        }
+        row.job_frac = gateway_jobs > 0
+                           ? static_cast<double>(attributed) / gateway_jobs
+                           : 0.0;
+        row.median_delay = percentile(delays_days, 0.5);
+        return row;
+      });
+  for (std::size_t i = 0; i < coverages.size(); ++i) {
+    const CoverageRow& row = rows[i];
+    sweep.add_row({Table::pct(coverages[i], 0),
+                   Table::num(std::int64_t{row.truth}),
+                   Table::num(std::int64_t{row.measured}),
+                   Table::pct(row.job_frac),
+                   Table::num(row.median_delay, 1)});
+    csv.row({Table::num(coverages[i], 2), std::to_string(row.truth),
+             std::to_string(row.measured), Table::num(row.job_frac, 4),
+             Table::num(row.median_delay, 3)});
   }
   std::cout << sweep
             << "\nUser counts degrade slowly (one attributed job suffices to\n"

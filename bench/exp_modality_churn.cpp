@@ -19,10 +19,20 @@ int main(int argc, char** argv) {
   Scenario scenario(std::move(config));
   scenario.run();
 
+  // The eight quarterly windows are independent classifications of the same
+  // read-only database; build the indexes once, fan the windows out, then
+  // reduce the index-ordered series into churn and trend statistics.
+  scenario.db().ensure_indexes();
   const RuleClassifier classifier;
-  const ModalityChurn churn =
-      compute_churn(scenario.platform(), scenario.db(), classifier, 0,
-                    8 * kQuarter, kQuarter, scenario.config().features);
+  constexpr int kQuarters = 8;
+  Replicator pool(exp::jobs_requested(argc, argv));
+  const auto series = exp::run_seeds(pool, kQuarters, [&](std::size_t q) {
+    return classify_window(scenario.platform(), scenario.db(), classifier,
+                           static_cast<SimTime>(q) * kQuarter,
+                           static_cast<SimTime>(q + 1) * kQuarter,
+                           scenario.config().features);
+  });
+  const ModalityChurn churn = churn_from(series);
   std::cout << "Transition matrix, summed over " << churn.quarter_pairs
             << " quarter pairs (rows: modality in q; columns: in q+1):\n"
             << churn.to_table() << "\n";
@@ -32,9 +42,7 @@ int main(int argc, char** argv) {
   exp::OptionalCsv csv(exp::csv_path(argc, argv, "exp_modality_churn"),
                        {"modality", "retention", "departed_per_q",
                         "arrived_per_q", "quarterly_growth"});
-  const ModalityTrend trend =
-      compute_trend(scenario.platform(), scenario.db(), classifier, 0,
-                    8 * kQuarter, kQuarter, scenario.config().features);
+  const ModalityTrend trend = trend_from(series);
   for (std::size_t m = 0; m < kModalityCount; ++m) {
     const auto mod = static_cast<Modality>(m);
     const double dep = churn.quarter_pairs > 0

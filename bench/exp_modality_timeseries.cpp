@@ -34,7 +34,8 @@ int main(int argc, char** argv) {
   exp::OptionalCsv csv(exp::csv_path(argc, argv, "exp_modality_timeseries"),
                        header);
   for (std::size_t q = 0; q < series.primary_users.size(); ++q) {
-    std::vector<std::string> row{"Q" + std::to_string(q + 1)};
+    std::vector<std::string> row{std::string("Q").append(
+        std::to_string(q + 1))};
     for (std::size_t m = 0; m < kModalityCount; ++m) {
       row.push_back(std::to_string(series.primary_users[q][m]));
     }

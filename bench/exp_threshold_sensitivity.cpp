@@ -19,6 +19,9 @@ int main(int argc, char** argv) {
   config.horizon = 180 * kDay;
   Scenario scenario(std::move(config));
   scenario.run();
+  // The sweep evaluations below share the scenario read-only across
+  // worker threads; build the accounting indexes once up front.
+  scenario.db().ensure_indexes();
 
   const auto score_with = [&](const ClassifierThresholds& t) {
     const RuleClassifier classifier(t);
@@ -55,19 +58,40 @@ int main(int argc, char** argv) {
        [](ClassifierThresholds& t, double v) { t.data_min_bytes = v; }},
   };
 
+  // Flatten (defaults + every sweep point) into one index space and fan
+  // the independent re-classifications out over the pool; rows are printed
+  // from the index-ordered results, so output is byte-identical to the
+  // sequential loop.
+  struct Point {
+    const Sweep* sweep = nullptr;  // null = defaults row
+    double value = 0.0;
+  };
+  std::vector<Point> points{{nullptr, 0.0}};
+  for (const Sweep& sweep : sweeps) {
+    for (double v : sweep.values) points.push_back({&sweep, v});
+  }
+  Replicator pool(exp::jobs_requested(argc, argv));
+  const auto scores =
+      exp::run_seeds(pool, points.size(), [&](std::size_t i) {
+        ClassifierThresholds thresholds;
+        if (points[i].sweep != nullptr) {
+          points[i].sweep->apply(thresholds, points[i].value);
+        }
+        return score_with(thresholds);
+      });
+
   Table t({"Threshold", "Value", "Accuracy", "Macro-F1"});
   exp::OptionalCsv csv(
       exp::csv_path(argc, argv, "exp_threshold_sensitivity"),
       {"threshold", "value", "accuracy", "macro_f1"});
-  const auto [base_acc, base_f1] = score_with(ClassifierThresholds{});
+  const auto [base_acc, base_f1] = scores.front();
   t.add_row({"(defaults)", "-", Table::pct(base_acc),
              Table::num(base_f1, 3)});
   t.add_rule();
+  std::size_t next = 1;
   for (const Sweep& sweep : sweeps) {
     for (double v : sweep.values) {
-      ClassifierThresholds thresholds;
-      sweep.apply(thresholds, v);
-      const auto [acc, f1] = score_with(thresholds);
+      const auto [acc, f1] = scores[next++];
       t.add_row({sweep.name, Table::num(v, v < 1.0 ? 2 : 0),
                  Table::pct(acc), Table::num(f1, 3)});
       csv.row({sweep.name, Table::num(v, 4), Table::num(acc, 4),

@@ -2,7 +2,10 @@
 // it from live simulator components.
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <functional>
+#include <mutex>
 #include <vector>
 
 #include "accounting/ledger.hpp"
@@ -15,13 +18,66 @@
 
 namespace tg {
 
-/// Append-only store of usage records with simple query helpers. The
+/// Job, transfer and session records for one user inside a time window
+/// (record pointers, in append order). What `UsageDatabase::records_of`
+/// returns and what the feature extractor consumes.
+struct UserWindowRecords {
+  std::vector<const JobRecord*> jobs;
+  std::vector<const TransferRecord*> transfers;
+  std::vector<const SessionRecord*> sessions;
+
+  [[nodiscard]] bool empty() const {
+    return jobs.empty() && transfers.empty() && sessions.empty();
+  }
+  void clear() {
+    jobs.clear();
+    transfers.clear();
+    sessions.clear();
+  }
+};
+
+/// Append-only store of usage records with columnar query indexes. The
 /// modality classifier reads exactly this.
+///
+/// Every query is served from two lazily-built indexes per record stream:
+///  * a dense per-user posting list (row numbers in append order), and
+///  * an end-time-sorted row permutation for window queries.
+/// Appending invalidates the affected stream's indexes; the next query
+/// rebuilds them. Concurrent *queries* are safe (the lazy build is guarded);
+/// appends must not race queries — the simulator writes single-threaded and
+/// the analysis phase only reads.
 class UsageDatabase {
  public:
-  void add(JobRecord r) { jobs_.push_back(std::move(r)); }
-  void add(TransferRecord r) { transfers_.push_back(std::move(r)); }
-  void add(SessionRecord r) { sessions_.push_back(std::move(r)); }
+  UsageDatabase() = default;
+  UsageDatabase(UsageDatabase&& other) noexcept
+      : jobs_(std::move(other.jobs_)),
+        transfers_(std::move(other.transfers_)),
+        sessions_(std::move(other.sessions_)),
+        total_nu_(other.total_nu_) {}
+  UsageDatabase& operator=(UsageDatabase&& other) noexcept {
+    jobs_ = std::move(other.jobs_);
+    transfers_ = std::move(other.transfers_);
+    sessions_ = std::move(other.sessions_);
+    total_nu_ = other.total_nu_;
+    jobs_index_.invalidate();
+    transfers_index_.invalidate();
+    sessions_index_.invalidate();
+    return *this;
+  }
+
+  void add(JobRecord r) {
+    total_nu_ += r.charged_nu;
+    jobs_.push_back(std::move(r));
+    jobs_index_.invalidate();
+  }
+  void add(TransferRecord r) {
+    transfers_.push_back(std::move(r));
+    transfers_index_.invalidate();
+  }
+  void add(SessionRecord r) {
+    sessions_.push_back(std::move(r));
+    sessions_index_.invalidate();
+  }
 
   [[nodiscard]] const std::vector<JobRecord>& jobs() const { return jobs_; }
   [[nodiscard]] const std::vector<TransferRecord>& transfers() const {
@@ -32,17 +88,90 @@ class UsageDatabase {
   }
 
   /// Total NUs charged across all job records.
-  [[nodiscard]] double total_nu() const;
+  [[nodiscard]] double total_nu() const { return total_nu_; }
   /// Job records for `user`, in arrival order.
   [[nodiscard]] std::vector<const JobRecord*> jobs_of(UserId user) const;
-  /// Records whose end time falls in [from, to).
+  /// Job records whose end time falls in [from, to), in arrival order.
   [[nodiscard]] std::vector<const JobRecord*> jobs_in(SimTime from,
                                                       SimTime to) const;
+  /// All of `user`'s records with end time in [from, to), in arrival order.
+  [[nodiscard]] UserWindowRecords records_of(UserId user, SimTime from,
+                                             SimTime to) const;
+  /// Allocation-free variant of records_of: appends into `out` (cleared
+  /// first). The feature extractor's inner loop.
+  void records_of(UserId user, SimTime from, SimTime to,
+                  UserWindowRecords& out) const;
+
+  /// One past the largest user id value present in any stream (0 if empty).
+  /// Users are dense small integers, so [0, user_id_limit()) enumerates
+  /// every possible record owner in id order.
+  [[nodiscard]] UserId::rep user_id_limit() const;
+
+  /// The append-order row range [first, last) covering exactly the records
+  /// whose end time falls in [from, to) — available when the stream is
+  /// end-time-sorted (`contiguous`). Otherwise callers must scan and
+  /// filter; `first`/`last` are meaningless.
+  struct RowRange {
+    std::uint32_t first = 0;
+    std::uint32_t last = 0;
+    bool contiguous = false;
+  };
+  [[nodiscard]] RowRange job_window(SimTime from, SimTime to) const;
+  [[nodiscard]] RowRange transfer_window(SimTime from, SimTime to) const;
+  [[nodiscard]] RowRange session_window(SimTime from, SimTime to) const;
+
+  /// Row numbers into jobs() owned by `user`, in append order.
+  [[nodiscard]] const std::vector<std::uint32_t>& job_rows_of(
+      UserId user) const;
+  [[nodiscard]] const std::vector<std::uint32_t>& transfer_rows_of(
+      UserId user) const;
+  [[nodiscard]] const std::vector<std::uint32_t>& session_rows_of(
+      UserId user) const;
+
+  /// Forces all three stream indexes to exist. Call before fanning
+  /// read-only analytics out over threads to keep the (guarded) lazy build
+  /// off the hot path.
+  void ensure_indexes() const;
 
  private:
+  /// Columnar index over one record stream: per-user posting lists plus an
+  /// end-time-sorted row permutation. Built lazily under a mutex; the
+  /// `built` flag is the acquire/release hand-off so readers that see it
+  /// set also see the index contents.
+  struct StreamIndex {
+    mutable std::vector<std::vector<std::uint32_t>> postings;  // [user]
+    mutable std::vector<std::uint32_t> by_end;  // rows sorted by (end, row)
+    /// True when the stream itself is already end-time-sorted (the live
+    /// Recorder appends in completion order); posting lists then inherit
+    /// the order and window queries binary-search instead of scanning.
+    mutable bool end_sorted = false;
+    mutable std::atomic<bool> built{false};
+    mutable std::mutex build_mutex;
+
+    void invalidate() { built.store(false, std::memory_order_release); }
+
+    template <class Record>
+    void ensure(const std::vector<Record>& records) const;
+  };
+
+  template <class Record>
+  static void build_index(const std::vector<Record>& records,
+                          const StreamIndex& index);
+  /// Rows of `records` owned by `user` with end_time in [from, to),
+  /// appended to `out` in row order.
+  template <class Record>
+  static void gather_window(const std::vector<Record>& records,
+                            const StreamIndex& index, UserId user,
+                            SimTime from, SimTime to,
+                            std::vector<const Record*>& out);
+
   std::vector<JobRecord> jobs_;
   std::vector<TransferRecord> transfers_;
   std::vector<SessionRecord> sessions_;
+  double total_nu_ = 0.0;
+  StreamIndex jobs_index_;
+  StreamIndex transfers_index_;
+  StreamIndex sessions_index_;
 };
 
 /// Wires live components into the database: converts finished jobs into

@@ -1,9 +1,6 @@
 #include "core/features.hpp"
 
 #include <algorithm>
-#include <map>
-#include <numeric>
-#include <set>
 
 #include "util/error.hpp"
 #include "util/stats.hpp"
@@ -20,29 +17,91 @@ FeatureExtractor::FeatureExtractor(const Platform& platform,
 namespace {
 
 /// Counts jobs that belong to a burst: >= min_jobs submissions with the
-/// same (nodes, walltime) geometry inside a sliding window.
-int count_burst_jobs(const std::vector<const JobRecord*>& jobs,
-                     Duration window, int min_jobs) {
-  // Group by geometry, then sweep submit times.
-  std::map<std::pair<int, Duration>, std::vector<SimTime>> by_geometry;
+/// same (nodes, walltime) geometry inside a sliding window. Sort-based
+/// grouping over the caller's scratch arena — no per-geometry allocation.
+template <class Geometry>
+int count_burst_jobs(std::span<const JobRecord* const> jobs, Duration window,
+                     int min_jobs, std::vector<Geometry>& arena) {
+  arena.clear();
+  arena.reserve(jobs.size());
   for (const JobRecord* r : jobs) {
-    by_geometry[{r->nodes, r->requested_walltime}].push_back(r->submit_time);
+    arena.push_back({r->nodes, r->requested_walltime, r->submit_time});
   }
+  std::sort(arena.begin(), arena.end(), [](const auto& a, const auto& b) {
+    if (a.nodes != b.nodes) return a.nodes < b.nodes;
+    if (a.walltime != b.walltime) return a.walltime < b.walltime;
+    return a.submit < b.submit;
+  });
+  const auto in_group = [](const auto& a, const auto& b) {
+    return a.nodes == b.nodes && a.walltime == b.walltime;
+  };
   int burst_jobs = 0;
-  for (auto& [geom, times] : by_geometry) {
-    std::sort(times.begin(), times.end());
-    std::vector<bool> in_burst(times.size(), false);
-    std::size_t lo = 0;
-    for (std::size_t hi = 0; hi < times.size(); ++hi) {
-      while (times[hi] - times[lo] > window) ++lo;
+  const std::size_t n = arena.size();
+  for (std::size_t i = 0; i < n;) {
+    std::size_t j = i + 1;
+    while (j < n && in_group(arena[i], arena[j])) ++j;
+    // Sweep this geometry's submit times, counting the union of every
+    // window that reaches min_jobs (marked_until = end of counted prefix).
+    std::size_t lo = i;
+    std::size_t marked_until = i;
+    for (std::size_t hi = i; hi < j; ++hi) {
+      while (arena[hi].submit - arena[lo].submit > window) ++lo;
       if (hi - lo + 1 >= static_cast<std::size_t>(min_jobs)) {
-        for (std::size_t k = lo; k <= hi; ++k) in_burst[k] = true;
+        const std::size_t start = std::max(lo, marked_until);
+        burst_jobs += static_cast<int>(hi + 1 - start);
+        marked_until = hi + 1;
       }
     }
-    burst_jobs += static_cast<int>(
-        std::count(in_burst.begin(), in_burst.end(), true));
+    i = j;
   }
   return burst_jobs;
+}
+
+}  // namespace
+
+namespace {
+
+/// Two-pass CSR gather of one stream's window rows: counts per user, prefix
+/// sums into `offsets`, then fills `items` so that user u's records occupy
+/// items[offsets[u], offsets[u+1]) in append order. Sequential over the
+/// window's row range when the stream is end-time-sorted, a sequential
+/// filtered scan otherwise — never a random per-user walk.
+template <class Record>
+void gather_csr(const std::vector<Record>& records,
+                UsageDatabase::RowRange range, SimTime from, SimTime to,
+                std::size_t limit, std::vector<std::uint32_t>& offsets,
+                std::vector<std::uint32_t>& cursor,
+                std::vector<const Record*>& items) {
+  offsets.assign(limit + 1, 0);
+  const auto each = [&](auto&& fn) {
+    if (range.contiguous) {
+      for (std::uint32_t i = range.first; i < range.last; ++i) fn(records[i]);
+    } else {
+      for (const Record& r : records) {
+        if (r.end_time >= from && r.end_time < to) fn(r);
+      }
+    }
+  };
+  each([&](const Record& r) {
+    if (r.user.valid()) {
+      ++offsets[static_cast<std::size_t>(r.user.value()) + 1];
+    }
+  });
+  for (std::size_t u = 0; u < limit; ++u) offsets[u + 1] += offsets[u];
+  cursor.assign(offsets.begin(), offsets.end());
+  items.resize(offsets[limit]);
+  each([&](const Record& r) {
+    if (r.user.valid()) {
+      items[cursor[static_cast<std::size_t>(r.user.value())]++] = &r;
+    }
+  });
+}
+
+template <class Record>
+std::span<const Record* const> user_span(
+    const std::vector<std::uint32_t>& offsets,
+    const std::vector<const Record*>& items, std::size_t u) {
+  return {items.data() + offsets[u], offsets[u + 1] - offsets[u]};
 }
 
 }  // namespace
@@ -50,44 +109,28 @@ int count_burst_jobs(const std::vector<const JobRecord*>& jobs,
 std::vector<UserFeatures> FeatureExtractor::extract(const UsageDatabase& db,
                                                     SimTime from,
                                                     SimTime to) const {
-  // Single pass over each record stream, grouping by user.
-  std::map<UserId, std::vector<const JobRecord*>> jobs_by_user;
-  std::map<UserId, std::vector<const TransferRecord*>> transfers_by_user;
-  std::map<UserId, std::vector<const SessionRecord*>> sessions_by_user;
-  for (const auto& r : db.jobs()) {
-    if (r.end_time >= from && r.end_time < to) {
-      jobs_by_user[r.user].push_back(&r);
-    }
-  }
-  for (const auto& r : db.transfers()) {
-    if (r.end_time >= from && r.end_time < to) {
-      transfers_by_user[r.user].push_back(&r);
-    }
-  }
-  for (const auto& r : db.sessions()) {
-    if (r.end_time >= from && r.end_time < to) {
-      sessions_by_user[r.user].push_back(&r);
-    }
-  }
-  std::set<UserId> users;
-  for (const auto& [u, v] : jobs_by_user) users.insert(u);
-  for (const auto& [u, v] : transfers_by_user) users.insert(u);
-  for (const auto& [u, v] : sessions_by_user) users.insert(u);
-
-  static const std::vector<const JobRecord*> kNoJobs;
-  static const std::vector<const TransferRecord*> kNoTransfers;
-  static const std::vector<const SessionRecord*> kNoSessions;
+  // Columnar pass: CSR-gather each stream's window once (sequential), then
+  // walk users in id order over dense buckets. No maps, no per-user
+  // allocation, no random access into the record arrays.
+  db.ensure_indexes();
+  const auto limit = static_cast<std::size_t>(db.user_id_limit());
+  Scratch scratch;
+  gather_csr(db.jobs(), db.job_window(from, to), from, to, limit,
+             scratch.job_off, scratch.cursor, scratch.job_items);
+  gather_csr(db.transfers(), db.transfer_window(from, to), from, to, limit,
+             scratch.transfer_off, scratch.cursor, scratch.transfer_items);
+  gather_csr(db.sessions(), db.session_window(from, to), from, to, limit,
+             scratch.session_off, scratch.cursor, scratch.session_items);
   std::vector<UserFeatures> out;
-  out.reserve(users.size());
-  for (UserId u : users) {
-    const auto j = jobs_by_user.find(u);
-    const auto t = transfers_by_user.find(u);
-    const auto s = sessions_by_user.find(u);
-    out.push_back(compute(u, j != jobs_by_user.end() ? j->second : kNoJobs,
-                          t != transfers_by_user.end() ? t->second
-                                                       : kNoTransfers,
-                          s != sessions_by_user.end() ? s->second
-                                                      : kNoSessions));
+  for (std::size_t u = 0; u < limit; ++u) {
+    const auto jobs = user_span(scratch.job_off, scratch.job_items, u);
+    const auto transfers =
+        user_span(scratch.transfer_off, scratch.transfer_items, u);
+    const auto sessions =
+        user_span(scratch.session_off, scratch.session_items, u);
+    if (jobs.empty() && transfers.empty() && sessions.empty()) continue;
+    out.push_back(compute(UserId{static_cast<UserId::rep>(u)}, jobs,
+                          transfers, sessions, scratch));
   }
   return out;
 }
@@ -95,31 +138,17 @@ std::vector<UserFeatures> FeatureExtractor::extract(const UsageDatabase& db,
 UserFeatures FeatureExtractor::extract_user(const UsageDatabase& db,
                                             UserId user, SimTime from,
                                             SimTime to) const {
-  std::vector<const JobRecord*> jobs;
-  for (const auto& r : db.jobs()) {
-    if (r.user == user && r.end_time >= from && r.end_time < to) {
-      jobs.push_back(&r);
-    }
-  }
-  std::vector<const TransferRecord*> transfers;
-  for (const auto& r : db.transfers()) {
-    if (r.user == user && r.end_time >= from && r.end_time < to) {
-      transfers.push_back(&r);
-    }
-  }
-  std::vector<const SessionRecord*> sessions;
-  for (const auto& r : db.sessions()) {
-    if (r.user == user && r.end_time >= from && r.end_time < to) {
-      sessions.push_back(&r);
-    }
-  }
-  return compute(user, jobs, transfers, sessions);
+  Scratch scratch;
+  db.records_of(user, from, to, scratch.window);
+  return compute(user, scratch.window.jobs, scratch.window.transfers,
+                 scratch.window.sessions, scratch);
 }
 
 UserFeatures FeatureExtractor::compute(
-    UserId user, const std::vector<const JobRecord*>& jobs,
-    const std::vector<const TransferRecord*>& transfers,
-    const std::vector<const SessionRecord*>& sessions) const {
+    UserId user, std::span<const JobRecord* const> jobs,
+    std::span<const TransferRecord* const> transfers,
+    std::span<const SessionRecord* const> sessions,
+    Scratch& scratch) const {
   UserFeatures f;
   f.user = user;
   f.jobs = static_cast<int>(jobs.size());
@@ -129,9 +158,11 @@ UserFeatures FeatureExtractor::compute(
   int coalloc = 0;
   int viz = 0;
   int failed = 0;
+  int distinct_resources = 0;
+  bool invalid_resource_seen = false;
   double width_sum = 0.0;
-  std::vector<double> runtimes;
-  std::set<ResourceId> resources;
+  scratch.runtimes.clear();
+  ++scratch.resource_stamp;
   for (const JobRecord* r : jobs) {
     f.total_nu += r->charged_nu;
     f.total_su += r->charged_su;
@@ -146,8 +177,20 @@ UserFeatures FeatureExtractor::compute(
         std::max(f.max_machine_fraction,
                  static_cast<double>(r->nodes) / res.nodes);
     width_sum += r->width_cores();
-    runtimes.push_back(to_seconds(r->runtime()));
-    resources.insert(r->resource);
+    scratch.runtimes.push_back(to_seconds(r->runtime()));
+    if (r->resource.valid()) {
+      const auto slot = static_cast<std::size_t>(r->resource.value());
+      if (slot >= scratch.resource_mark.size()) {
+        scratch.resource_mark.resize(slot + 1, 0);
+      }
+      if (scratch.resource_mark[slot] != scratch.resource_stamp) {
+        scratch.resource_mark[slot] = scratch.resource_stamp;
+        ++distinct_resources;
+      }
+    } else if (!invalid_resource_seen) {
+      invalid_resource_seen = true;
+      ++distinct_resources;
+    }
   }
   if (!jobs.empty()) {
     const double n = static_cast<double>(jobs.size());
@@ -157,14 +200,17 @@ UserFeatures FeatureExtractor::compute(
     f.viz_fraction = viz / n;
     f.failed_fraction = failed / n;
     f.mean_width_cores = width_sum / n;
-    f.mean_runtime_s =
-        std::accumulate(runtimes.begin(), runtimes.end(), 0.0) / n;
-    f.median_runtime_s = percentile(runtimes, 0.5);
+    double runtime_sum = 0.0;
+    for (const double rt : scratch.runtimes) runtime_sum += rt;
+    f.mean_runtime_s = runtime_sum / n;
+    std::sort(scratch.runtimes.begin(), scratch.runtimes.end());
+    f.median_runtime_s = percentile_sorted(scratch.runtimes, 0.5);
     f.burst_fraction =
-        count_burst_jobs(jobs, config_.burst_window, config_.burst_min_jobs) /
+        count_burst_jobs(jobs, config_.burst_window, config_.burst_min_jobs,
+                         scratch.geometry) /
         n;
   }
-  f.distinct_resources = static_cast<int>(resources.size());
+  f.distinct_resources = distinct_resources;
 
   for (const TransferRecord* r : transfers) f.bytes_transferred += r->bytes;
   for (const SessionRecord* r : sessions) {

@@ -5,6 +5,8 @@
 // the measurability constraint at the heart of the paper.
 #pragma once
 
+#include <cstdint>
+#include <span>
 #include <vector>
 
 #include "accounting/usage_db.hpp"
@@ -60,7 +62,8 @@ class FeatureExtractor {
   FeatureExtractor(const Platform& platform, FeatureConfig config = {});
 
   /// Features for every user with at least one record whose end time falls
-  /// in [from, to). Sorted by user id.
+  /// in [from, to). Sorted by user id. Drives the database's columnar
+  /// per-user indexes in one pass; no per-user map/set allocation.
   [[nodiscard]] std::vector<UserFeatures> extract(const UsageDatabase& db,
                                                   SimTime from,
                                                   SimTime to) const;
@@ -70,10 +73,34 @@ class FeatureExtractor {
                                           SimTime from, SimTime to) const;
 
  private:
+  /// Reusable buffers shared across the users of one extraction pass:
+  /// CSR-gathered record pointers (one flat array + offsets per stream),
+  /// runtime samples, the burst-detection geometry arena, and a stamped
+  /// distinct-resource marker. Allocated once per pass, cleared per user.
+  struct Scratch {
+    struct Geometry {
+      int nodes;
+      Duration walltime;
+      SimTime submit;
+    };
+    UserWindowRecords window;
+    std::vector<double> runtimes;
+    std::vector<Geometry> geometry;
+    std::vector<std::uint32_t> resource_mark;
+    std::uint32_t resource_stamp = 0;
+    /// CSR gather state: per-user offsets (size limit+1) and flat
+    /// pointer arrays, one pair per record stream, plus a shared cursor.
+    std::vector<std::uint32_t> job_off, transfer_off, session_off, cursor;
+    std::vector<const JobRecord*> job_items;
+    std::vector<const TransferRecord*> transfer_items;
+    std::vector<const SessionRecord*> session_items;
+  };
+
   [[nodiscard]] UserFeatures compute(
-      UserId user, const std::vector<const JobRecord*>& jobs,
-      const std::vector<const TransferRecord*>& transfers,
-      const std::vector<const SessionRecord*>& sessions) const;
+      UserId user, std::span<const JobRecord* const> jobs,
+      std::span<const TransferRecord* const> transfers,
+      std::span<const SessionRecord* const> sessions,
+      Scratch& scratch) const;
 
   const Platform& platform_;
   FeatureConfig config_;

@@ -9,7 +9,21 @@ namespace tg {
 
 namespace {
 
-/// Primary modality per user for one window.
+/// Window series for [from, to) in `bucket` steps, computed sequentially.
+std::vector<std::map<UserId, Modality>> classify_series(
+    const Platform& platform, const UsageDatabase& db,
+    const RuleClassifier& classifier, SimTime from, SimTime to,
+    Duration bucket, const FeatureConfig& features) {
+  std::vector<std::map<UserId, Modality>> series;
+  for (SimTime q = from; q + bucket <= to; q += bucket) {
+    series.push_back(
+        classify_window(platform, db, classifier, q, q + bucket, features));
+  }
+  return series;
+}
+
+}  // namespace
+
 std::map<UserId, Modality> classify_window(const Platform& platform,
                                            const UsageDatabase& db,
                                            const RuleClassifier& classifier,
@@ -24,8 +38,6 @@ std::map<UserId, Modality> classify_window(const Platform& platform,
   }
   return out;
 }
-
-}  // namespace
 
 long ModalityChurn::total_transitions() const {
   long total = 0;
@@ -70,67 +82,71 @@ Table ModalityChurn::to_table() const {
   return t;
 }
 
+ModalityChurn churn_from(
+    const std::vector<std::map<UserId, Modality>>& series) {
+  ModalityChurn churn;
+  for (std::size_t q = 1; q < series.size(); ++q) {
+    const auto& previous = series[q - 1];
+    const auto& current = series[q];
+    ++churn.quarter_pairs;
+    for (const auto& [user, was] : previous) {
+      const auto it = current.find(user);
+      if (it == current.end()) {
+        ++churn.departed[static_cast<std::size_t>(was)];
+      } else {
+        ++churn.transitions[static_cast<std::size_t>(was)]
+                           [static_cast<std::size_t>(it->second)];
+      }
+    }
+    for (const auto& [user, now] : current) {
+      if (!previous.count(user)) {
+        ++churn.arrived[static_cast<std::size_t>(now)];
+      }
+    }
+  }
+  return churn;
+}
+
 ModalityChurn compute_churn(const Platform& platform, const UsageDatabase& db,
                             const RuleClassifier& classifier, SimTime from,
                             SimTime to, Duration bucket,
                             FeatureConfig features) {
-  ModalityChurn churn;
-  std::map<UserId, Modality> previous;
-  bool have_previous = false;
-  for (SimTime q = from; q + bucket <= to; q += bucket) {
-    auto current =
-        classify_window(platform, db, classifier, q, q + bucket, features);
-    if (have_previous) {
-      ++churn.quarter_pairs;
-      for (const auto& [user, was] : previous) {
-        const auto it = current.find(user);
-        if (it == current.end()) {
-          ++churn.departed[static_cast<std::size_t>(was)];
-        } else {
-          ++churn.transitions[static_cast<std::size_t>(was)]
-                             [static_cast<std::size_t>(it->second)];
-        }
-      }
-      for (const auto& [user, now] : current) {
-        if (!previous.count(user)) {
-          ++churn.arrived[static_cast<std::size_t>(now)];
-        }
-      }
-    }
-    previous = std::move(current);
-    have_previous = true;
+  return churn_from(
+      classify_series(platform, db, classifier, from, to, bucket, features));
+}
+
+ModalityTrend trend_from(
+    const std::vector<std::map<UserId, Modality>>& series) {
+  ModalityTrend trend;
+  trend.quarters = static_cast<int>(series.size());
+  if (series.size() < 2) return trend;
+  std::array<int, kModalityCount> first{};
+  std::array<int, kModalityCount> last{};
+  for (const auto& [user, m] : series.front()) {
+    ++first[static_cast<std::size_t>(m)];
   }
-  return churn;
+  for (const auto& [user, m] : series.back()) {
+    ++last[static_cast<std::size_t>(m)];
+  }
+  for (std::size_t m = 0; m < kModalityCount; ++m) {
+    trend.first_quarter_users[m] = first[m];
+    trend.last_quarter_users[m] = last[m];
+    if (first[m] > 0 && last[m] > 0) {
+      const double ratio =
+          static_cast<double>(last[m]) / static_cast<double>(first[m]);
+      trend.quarterly_growth[m] =
+          std::pow(ratio, 1.0 / static_cast<double>(series.size() - 1)) - 1.0;
+    }
+  }
+  return trend;
 }
 
 ModalityTrend compute_trend(const Platform& platform, const UsageDatabase& db,
                             const RuleClassifier& classifier, SimTime from,
                             SimTime to, Duration bucket,
                             FeatureConfig features) {
-  ModalityTrend trend;
-  std::vector<std::array<int, kModalityCount>> series;
-  for (SimTime q = from; q + bucket <= to; q += bucket) {
-    const auto window =
-        classify_window(platform, db, classifier, q, q + bucket, features);
-    std::array<int, kModalityCount> counts{};
-    for (const auto& [user, m] : window) {
-      ++counts[static_cast<std::size_t>(m)];
-    }
-    series.push_back(counts);
-  }
-  trend.quarters = static_cast<int>(series.size());
-  if (series.size() < 2) return trend;
-  for (std::size_t m = 0; m < kModalityCount; ++m) {
-    trend.first_quarter_users[m] = series.front()[m];
-    trend.last_quarter_users[m] = series.back()[m];
-    if (series.front()[m] > 0 && series.back()[m] > 0) {
-      const double ratio = static_cast<double>(series.back()[m]) /
-                           static_cast<double>(series.front()[m]);
-      trend.quarterly_growth[m] =
-          std::pow(ratio, 1.0 / static_cast<double>(series.size() - 1)) - 1.0;
-    }
-  }
-  return trend;
+  return trend_from(
+      classify_series(platform, db, classifier, from, to, bucket, features));
 }
 
 }  // namespace tg

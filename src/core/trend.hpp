@@ -10,6 +10,7 @@
 #pragma once
 
 #include <array>
+#include <map>
 #include <vector>
 
 #include "core/classifier.hpp"
@@ -17,6 +18,15 @@
 #include "util/table.hpp"
 
 namespace tg {
+
+/// Primary modality per user with any classified activity in [from, to).
+/// One entry of the quarterly series the churn/trend statistics run over;
+/// windows are independent, so callers may compute them in parallel and
+/// reduce with churn_from / trend_from.
+[[nodiscard]] std::map<UserId, Modality> classify_window(
+    const Platform& platform, const UsageDatabase& db,
+    const RuleClassifier& classifier, SimTime from, SimTime to,
+    const FeatureConfig& features = {});
 
 /// Transition counts between consecutive reporting quarters.
 struct ModalityChurn {
@@ -36,6 +46,11 @@ struct ModalityChurn {
   [[nodiscard]] Table to_table() const;
 };
 
+/// Churn over an already-classified window series (consecutive windows in
+/// chronological order, as produced by classify_window per quarter).
+[[nodiscard]] ModalityChurn churn_from(
+    const std::vector<std::map<UserId, Modality>>& series);
+
 /// Computes churn over consecutive `bucket`-sized windows of [from, to).
 [[nodiscard]] ModalityChurn compute_churn(const Platform& platform,
                                           const UsageDatabase& db,
@@ -52,6 +67,10 @@ struct ModalityTrend {
   std::array<int, kModalityCount> last_quarter_users{};
   int quarters = 0;
 };
+
+/// Growth over an already-classified window series.
+[[nodiscard]] ModalityTrend trend_from(
+    const std::vector<std::map<UserId, Modality>>& series);
 
 [[nodiscard]] ModalityTrend compute_trend(const Platform& platform,
                                           const UsageDatabase& db,

@@ -117,12 +117,32 @@ JobId ResourceScheduler::submit(JobRequest request) {
   return id;
 }
 
+bool ResourceScheduler::queue_entry_live(JobId id) const {
+  const auto it = jobs_.find(id);
+  return it != jobs_.end() && it->second.state == JobState::kQueued;
+}
+
+void ResourceScheduler::compact_queue() {
+  if (queue_.size() < 64 || queue_tombstones_ * 2 <= queue_.size()) return;
+  std::erase_if(queue_, [this](JobId id) { return !queue_entry_live(id); });
+  queue_tombstones_ = 0;
+}
+
 bool ResourceScheduler::cancel(JobId id) {
   const auto it = jobs_.find(id);
   if (it == jobs_.end() || it->second.state != JobState::kQueued) return false;
-  queue_.erase(std::remove(queue_.begin(), queue_.end(), id), queue_.end());
   Job job = std::move(it->second);
   jobs_.erase(it);
+  const auto rit = job_reservation_.find(id);
+  if (rit != job_reservation_.end()) {
+    // Reservation-attached jobs wait on their window, not in queue_;
+    // detach so the reservation opens empty instead of dangling.
+    reservations_.at(rit->second).attached_job = JobId{};
+    job_reservation_.erase(rit);
+  } else {
+    ++queue_tombstones_;  // entry stays in queue_ until compaction
+    compact_queue();
+  }
   job.state = JobState::kCancelled;
   job.end_time = engine_.now();
   for (const auto& cb : on_end_) cb(job);
@@ -249,7 +269,11 @@ void ResourceScheduler::charge_fair_share(UserId user, double core_seconds,
 }
 
 std::vector<JobId> ResourceScheduler::ordered_queue() const {
-  std::vector<JobId> order(queue_.begin(), queue_.end());
+  std::vector<JobId> order;
+  order.reserve(queue_length());
+  for (const JobId id : queue_) {
+    if (queue_entry_live(id)) order.push_back(id);
+  }
   if (config_.fair_share) {
     const SimTime now = engine_.now();
     std::stable_sort(order.begin(), order.end(), [&](JobId a, JobId b) {
@@ -272,8 +296,8 @@ void ResourceScheduler::schedule_pass() {
   const SimTime now = engine_.now();
 
   const auto start_by_id = [&](JobId id) {
-    queue_.erase(std::remove(queue_.begin(), queue_.end(), id), queue_.end());
     start_job(jobs_.at(id), /*from_reservation=*/false);
+    ++queue_tombstones_;  // its queue_ entry is dead now (state kRunning)
   };
 
   Profile profile = base_profile();
@@ -340,11 +364,12 @@ void ResourceScheduler::schedule_pass() {
     }
   }
   in_pass_ = false;
+  compact_queue();
 
   // If the head job's start is gated by something that fires no callback
   // (a drain fence, a reservation window opening), arrange a wakeup pass —
   // otherwise an idle-but-fenced machine would never reconsider its queue.
-  if (!queue_.empty()) {
+  if (queue_length() > 0) {
     const std::vector<JobId> remaining = ordered_queue();
     const Job& head = jobs_.at(remaining.front());
     const Profile fresh = base_profile();

@@ -117,7 +117,9 @@ class ResourceScheduler {
   [[nodiscard]] const ComputeResource& resource() const { return resource_; }
   [[nodiscard]] const SchedulerConfig& config() const { return config_; }
   [[nodiscard]] int free_nodes() const { return free_nodes_; }
-  [[nodiscard]] std::size_t queue_length() const { return queue_.size(); }
+  [[nodiscard]] std::size_t queue_length() const {
+    return queue_.size() - queue_tombstones_;
+  }
   [[nodiscard]] std::size_t running_jobs() const { return running_count_; }
   [[nodiscard]] const SchedulerMetrics& metrics() const { return metrics_; }
 
@@ -133,7 +135,7 @@ class ResourceScheduler {
   /// Builds the availability profile from running jobs, reservations and
   /// fences (queued jobs excluded).
   [[nodiscard]] Profile base_profile() const;
-  /// Starts a queued job now (caller removed it from the queue).
+  /// Starts a queued job now (caller tombstones its queue_ entry).
   void start_job(Job& job, bool from_reservation);
   void finish_job(JobId id);
   void on_reservation_start(ReservationId id);
@@ -141,6 +143,14 @@ class ResourceScheduler {
   /// Queue indices in scheduling order (capability first when draining,
   /// fair-share within).
   [[nodiscard]] std::vector<JobId> ordered_queue() const;
+  /// True if this queue_ entry still denotes a waiting job. Cancel and
+  /// start leave tombstones in queue_ instead of erasing (O(n) per event on
+  /// cancel-heavy workloads); dead entries are skipped here and reclaimed
+  /// in batch by compact_queue().
+  [[nodiscard]] bool queue_entry_live(JobId id) const;
+  /// Rebuilds queue_ without tombstones once they outnumber live entries
+  /// (amortized O(1) per cancel/start).
+  void compact_queue();
   [[nodiscard]] int capability_threshold() const;
   /// Next id from this resource's band; throws once the band is exhausted.
   [[nodiscard]] JobId allocate_job_id();
@@ -151,7 +161,8 @@ class ResourceScheduler {
   ComputeResource resource_;
   SchedulerConfig config_;
   std::map<JobId, Job> jobs_;  // queued + running
-  std::deque<JobId> queue_;    // FIFO arrival order
+  std::deque<JobId> queue_;    // FIFO arrival order; may hold tombstones
+  std::size_t queue_tombstones_ = 0;  ///< dead entries still in queue_
   std::map<JobId, EventId> end_events_;
   std::map<ReservationId, Reservation> reservations_;
   std::map<JobId, ReservationId> job_reservation_;

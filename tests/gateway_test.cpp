@@ -55,7 +55,7 @@ TEST_F(GatewayFixture, FullCoverageAttachesAllAttributes) {
   c.attribute_coverage = 1.0;
   Gateway gw(engine, pool, GatewayId{0}, c);
   Rng rng(2);
-  for (int i = 0; i < 20; ++i) gw.submit("u" + std::to_string(i), spec(), rng);
+  for (int i = 0; i < 20; ++i) gw.submit(std::string("u").append(std::to_string(i)), spec(), rng);
   engine.run();
   for (const auto& r : db.jobs()) EXPECT_FALSE(r.gateway_end_user.empty());
 }
@@ -66,7 +66,7 @@ TEST_F(GatewayFixture, ZeroCoverageAttachesNone) {
   c.attribute_coverage = 0.0;
   Gateway gw(engine, pool, GatewayId{0}, c);
   Rng rng(3);
-  for (int i = 0; i < 20; ++i) gw.submit("u" + std::to_string(i), spec(), rng);
+  for (int i = 0; i < 20; ++i) gw.submit(std::string("u").append(std::to_string(i)), spec(), rng);
   engine.run();
   for (const auto& r : db.jobs()) EXPECT_TRUE(r.gateway_end_user.empty());
 }

@@ -115,6 +115,64 @@ TEST(Scheduler, CancelQueuedJob) {
   EXPECT_EQ(h.finished[1].state, JobState::kCompleted);
 }
 
+TEST(Scheduler, CancelHeavyQueueStaysConsistent) {
+  // Cancel storms leave tombstones in the FIFO queue; queue_length must
+  // track live jobs only, survivors must start in arrival order, and the
+  // batched compaction must not drop or duplicate anyone.
+  Harness h;
+  h.sched.submit(simple_job(16, kHour));  // occupies the whole machine
+  std::vector<JobId> queued;
+  constexpr int kJobs = 2000;
+  for (int i = 0; i < kJobs; ++i) {
+    queued.push_back(h.sched.submit(simple_job(16, kMinute)));
+  }
+  EXPECT_EQ(h.sched.queue_length(), static_cast<std::size_t>(kJobs));
+  // Cancel every job except each 100th, interleaving front/back halves so
+  // tombstones land on both ends of the deque.
+  std::size_t cancelled = 0;
+  for (int i = 0; i < kJobs / 2; ++i) {
+    for (const int j : {i, kJobs - 1 - i}) {
+      if (j % 100 == 0) continue;
+      ASSERT_TRUE(h.sched.cancel(queued[j]));
+      ++cancelled;
+    }
+  }
+  const std::size_t survivors = kJobs - cancelled;
+  EXPECT_EQ(h.sched.queue_length(), survivors);
+  h.engine.run();
+  EXPECT_EQ(h.sched.queue_length(), 0u);
+  // on_end saw every job exactly once: cancellations plus blocker plus
+  // survivors, and the survivors completed in submission order.
+  ASSERT_EQ(h.finished.size(), 1 + cancelled + survivors);
+  std::vector<JobId> completed_order;
+  for (const Job& j : h.finished) {
+    if (j.state == JobState::kCompleted && j.req.nodes == 16 &&
+        j.req.actual_runtime == kMinute) {
+      completed_order.push_back(j.id);
+    }
+  }
+  std::vector<JobId> expected;
+  for (int j = 0; j < kJobs; j += 100) expected.push_back(queued[j]);
+  EXPECT_EQ(completed_order, expected);
+}
+
+TEST(Scheduler, CancelReservationAttachedJobDetaches) {
+  // A queued job attached to a reservation waits on its window, not in the
+  // FIFO queue; cancelling it must detach cleanly so the reservation later
+  // opens (and ends) empty instead of dereferencing a dead job.
+  Harness h;
+  const ReservationId r = h.sched.reserve(2 * kHour, kHour, 8);
+  ASSERT_TRUE(r.valid());
+  const JobId attached = h.sched.attach_to_reservation(r, simple_job(8, kHour));
+  EXPECT_EQ(h.sched.queue_length(), 0u);
+  EXPECT_TRUE(h.sched.cancel(attached));
+  EXPECT_FALSE(h.sched.cancel(attached));
+  h.engine.run();
+  ASSERT_EQ(h.finished.size(), 1u);
+  EXPECT_EQ(h.finished[0].state, JobState::kCancelled);
+  EXPECT_EQ(h.sched.free_nodes(), 16);
+}
+
 TEST(Scheduler, CannotCancelRunningJob) {
   Harness h;
   const JobId id = h.sched.submit(simple_job(4, kHour));
