@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "des/engine.hpp"
+#include "fault/invariants.hpp"
 #include "parallel/replicate.hpp"
 #include "util/csv.hpp"
 #include "util/table.hpp"
@@ -61,6 +62,24 @@ inline void print_engine_stats(const Engine& engine) {
             << " tombstones=" << s.tombstones
             << " tombstone_ratio=" << s.tombstone_ratio()
             << " heap_high_water=" << s.heap_high_water << "\n";
+}
+
+/// Parses `--check-invariants`: when present, experiments audit their runs
+/// with tg::check_invariants and report the result after their tables. Off
+/// by default so primary outputs stay byte-stable.
+inline bool invariants_requested(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--check-invariants") return true;
+  }
+  return false;
+}
+
+/// Prints an invariant report and exits non-zero on violation. Call last:
+/// an experiment that produced tables from a corrupted simulation must not
+/// look successful to CI.
+inline void print_invariants(const InvariantReport& report) {
+  std::cout << "\n[invariants] " << report.to_string() << "\n";
+  if (!report.ok()) std::exit(1);
 }
 
 /// Parses `--csv[=path]`; returns the path (default `<name>.csv`) if given.

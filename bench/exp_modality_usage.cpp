@@ -49,5 +49,10 @@ int main(int argc, char** argv) {
   if (exp::engine_stats_requested(argc, argv)) {
     exp::print_engine_stats(scenario.engine());
   }
+  if (exp::invariants_requested(argc, argv)) {
+    exp::print_invariants(check_invariants(
+        scenario.platform(), scenario.db(), &scenario.ledger(),
+        &scenario.community(), &scenario.pool()));
+  }
   return 0;
 }

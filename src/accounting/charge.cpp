@@ -4,9 +4,14 @@
 
 namespace tg {
 
-Charge charge_for(const Job& job, const ComputeResource& res) {
+Charge charge_for(const Job& job, const ComputeResource& res,
+                  const ChargePolicy& policy) {
   TG_REQUIRE(job.start_time >= 0 && job.end_time >= job.start_time,
              "charging a job that did not run");
+  if (!policy.charge_lost_work && (job.state == JobState::kRequeued ||
+                                   job.state == JobState::kKilledByOutage)) {
+    return {};  // lost to an outage: time held is refunded
+  }
   const double hours = to_hours(job.end_time - job.start_time);
   Charge c;
   c.su = hours * static_cast<double>(job.req.nodes) *

@@ -8,6 +8,8 @@
 // modalities must be inferred from collected usage data.
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
 #include <string>
 
 #include "des/time.hpp"
@@ -15,6 +17,52 @@
 #include "util/ids.hpp"
 
 namespace tg {
+
+/// How a recorded job attempt ended. Records carry one disposition per
+/// *attempt*: a job preempted by an outage leaves kRequeued attempt records
+/// before its terminal record, so the stream mirrors what a degraded
+/// accounting feed would actually contain.
+enum class Disposition : std::uint8_t {
+  kCompleted,
+  kFailed,          ///< application failure mid-run
+  kWalltimeKilled,  ///< hit its requested walltime
+  kRequeued,        ///< attempt lost to an outage; the job ran again later
+  kKilledByOutage,  ///< outage preemption after the retry budget was spent
+  kCancelled,
+};
+inline constexpr std::size_t kDispositionCount = 6;
+
+[[nodiscard]] constexpr const char* to_string(Disposition d) {
+  switch (d) {
+    case Disposition::kCompleted: return "completed";
+    case Disposition::kFailed: return "failed";
+    case Disposition::kWalltimeKilled: return "walltime-killed";
+    case Disposition::kRequeued: return "requeued";
+    case Disposition::kKilledByOutage: return "killed-by-outage";
+    case Disposition::kCancelled: return "cancelled";
+  }
+  return "unknown";
+}
+
+[[nodiscard]] constexpr Disposition disposition_of(JobState s) {
+  switch (s) {
+    case JobState::kQueued:
+    case JobState::kRunning:
+    case JobState::kCompleted: return Disposition::kCompleted;
+    case JobState::kFailed: return Disposition::kFailed;
+    case JobState::kKilled: return Disposition::kWalltimeKilled;
+    case JobState::kRequeued: return Disposition::kRequeued;
+    case JobState::kKilledByOutage: return Disposition::kKilledByOutage;
+    case JobState::kCancelled: return Disposition::kCancelled;
+  }
+  return Disposition::kCompleted;
+}
+
+/// True if no later record for the same job can follow (kRequeued attempts
+/// are followed by another attempt of the same JobId).
+[[nodiscard]] constexpr bool is_terminal(Disposition d) {
+  return d != Disposition::kRequeued;
+}
 
 struct JobRecord {
   JobId job;
@@ -29,6 +77,9 @@ struct JobRecord {
   int cores_per_node = 0;
   Duration requested_walltime = 0;
   JobState final_state = JobState::kCompleted;
+  /// Per-attempt completion disposition (derived from final_state by the
+  /// Recorder; kept explicit so analysis never consults live state).
+  Disposition disposition = Disposition::kCompleted;
   double charged_su = 0.0;  ///< core-hours
   double charged_nu = 0.0;  ///< normalized units (SU x machine factor)
   // Attributes (the paper's measurement hooks):

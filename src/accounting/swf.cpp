@@ -15,7 +15,11 @@ long to_swf_status(JobState state) {
   switch (state) {
     case JobState::kCompleted: return 1;
     case JobState::kFailed:
-    case JobState::kKilled: return 0;
+    case JobState::kKilled:
+    case JobState::kKilledByOutage: return 0;
+    // SWF status 2-4 mark partial executions of checkpointed/restarted
+    // jobs; an outage-requeued attempt is exactly that.
+    case JobState::kRequeued: return 2;
     case JobState::kCancelled: return 5;
     default: return -1;
   }
@@ -63,20 +67,37 @@ void export_swf(const UsageDatabase& db, std::ostream& out,
   }
 }
 
-std::vector<SwfJob> import_swf(std::istream& in) {
+namespace {
+/// Extracts the 18 numeric SWF fields from a data line. Returns false on a
+/// truncated line, a non-numeric token, a numeric overflow, or trailing
+/// garbage — the caller skips the line instead of keeping garbage values.
+bool parse_swf_fields(const std::string& line, long (&f)[18]) {
+  std::istringstream fields(line);
+  for (long& value : f) {
+    if (!(fields >> value)) return false;
+  }
+  std::string rest;
+  if (fields >> rest) return false;  // more than 18 tokens
+  return true;
+}
+}  // namespace
+
+std::vector<SwfJob> import_swf(std::istream& in, SwfParseStats* stats) {
   std::vector<SwfJob> out;
   std::string line;
   long line_number = 0;
+  SwfParseStats local;
   while (std::getline(in, line)) {
     ++line_number;
     const auto first = line.find_first_not_of(" \t");
     if (first == std::string::npos || line[first] == ';') continue;
-    std::istringstream fields(line);
     long f[18];
-    for (int i = 0; i < 18; ++i) {
-      TG_REQUIRE(fields >> f[i],
-                 "malformed SWF line " << line_number << ": '" << line << "'");
+    if (!parse_swf_fields(line, f)) {
+      ++local.skipped;
+      if (local.first_skipped_line == 0) local.first_skipped_line = line_number;
+      continue;
     }
+    ++local.parsed;
     SwfJob job;
     job.job_number = f[0];
     job.submit_seconds = f[1];
@@ -91,6 +112,7 @@ std::vector<SwfJob> import_swf(std::istream& in) {
     job.partition = f[15];
     out.push_back(job);
   }
+  if (stats != nullptr) *stats = local;
   return out;
 }
 

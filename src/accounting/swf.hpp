@@ -43,9 +43,21 @@ struct SwfJob {
 void export_swf(const UsageDatabase& db, std::ostream& out,
                 const std::string& platform_name = "tgsim");
 
-/// Parses SWF text; header/comment lines are skipped, malformed lines
-/// throw PreconditionError with the offending line number.
-[[nodiscard]] std::vector<SwfJob> import_swf(std::istream& in);
+/// Import diagnostics: how many data lines parsed and how many were
+/// dropped as malformed (truncated, non-numeric, or out-of-range fields).
+struct SwfParseStats {
+  std::size_t parsed = 0;
+  std::size_t skipped = 0;
+  /// 1-based line number of the first skipped line (0 when none).
+  long first_skipped_line = 0;
+};
+
+/// Parses SWF text; header/comment lines are skipped. Malformed or
+/// truncated data lines (archive traces contain them) are dropped and
+/// counted in `stats` instead of aborting the import — parsing never
+/// throws and never yields partially-filled jobs.
+[[nodiscard]] std::vector<SwfJob> import_swf(std::istream& in,
+                                             SwfParseStats* stats = nullptr);
 
 /// Converts a parsed SWF job into a submittable request for replay on a
 /// machine with `cores_per_node` cores. Runtimes/walltimes are clamped to

@@ -236,8 +236,8 @@ void UsageDatabase::records_of(UserId user, SimTime from, SimTime to,
 }
 
 Recorder::Recorder(const Platform& platform, UsageDatabase& db,
-                   AllocationLedger* ledger)
-    : platform_(platform), db_(db), ledger_(ledger) {}
+                   AllocationLedger* ledger, ChargePolicy policy)
+    : platform_(platform), db_(db), ledger_(ledger), policy_(policy) {}
 
 void Recorder::attach(SchedulerPool& pool) {
   pool.add_on_end_all([this](const Job& job) { on_job_end(job); });
@@ -276,7 +276,7 @@ void Recorder::record_session(UserId user, ResourceId resource, SimTime start,
 void Recorder::on_job_end(const Job& job) {
   if (job.state == JobState::kCancelled) return;  // never ran, no record
   const ComputeResource& res = platform_.compute_at(job.resource);
-  const Charge charge = charge_for(job, res);
+  const Charge charge = charge_for(job, res, policy_);
 
   JobRecord r;
   r.job = job.id;
@@ -290,6 +290,7 @@ void Recorder::on_job_end(const Job& job) {
   r.cores_per_node = res.cores_per_node;
   r.requested_walltime = job.req.requested_walltime;
   r.final_state = job.state;
+  r.disposition = disposition_of(job.state);
   r.charged_su = charge.su;
   r.charged_nu = charge.nu;
   r.gateway = job.req.gateway;

@@ -8,6 +8,9 @@
 #include <mutex>
 #include <vector>
 
+#include <array>
+
+#include "accounting/charge.hpp"
 #include "accounting/ledger.hpp"
 #include "accounting/records.hpp"
 #include "des/engine.hpp"
@@ -53,12 +56,14 @@ class UsageDatabase {
       : jobs_(std::move(other.jobs_)),
         transfers_(std::move(other.transfers_)),
         sessions_(std::move(other.sessions_)),
-        total_nu_(other.total_nu_) {}
+        total_nu_(other.total_nu_),
+        disposition_counts_(other.disposition_counts_) {}
   UsageDatabase& operator=(UsageDatabase&& other) noexcept {
     jobs_ = std::move(other.jobs_);
     transfers_ = std::move(other.transfers_);
     sessions_ = std::move(other.sessions_);
     total_nu_ = other.total_nu_;
+    disposition_counts_ = other.disposition_counts_;
     jobs_index_.invalidate();
     transfers_index_.invalidate();
     sessions_index_.invalidate();
@@ -67,6 +72,7 @@ class UsageDatabase {
 
   void add(JobRecord r) {
     total_nu_ += r.charged_nu;
+    ++disposition_counts_[static_cast<std::size_t>(r.disposition)];
     jobs_.push_back(std::move(r));
     jobs_index_.invalidate();
   }
@@ -89,6 +95,11 @@ class UsageDatabase {
 
   /// Total NUs charged across all job records.
   [[nodiscard]] double total_nu() const { return total_nu_; }
+  /// Number of job records with the given disposition (maintained on
+  /// append; O(1)).
+  [[nodiscard]] std::uint64_t disposition_count(Disposition d) const {
+    return disposition_counts_[static_cast<std::size_t>(d)];
+  }
   /// Job records for `user`, in arrival order.
   [[nodiscard]] std::vector<const JobRecord*> jobs_of(UserId user) const;
   /// Job records whose end time falls in [from, to), in arrival order.
@@ -169,6 +180,7 @@ class UsageDatabase {
   std::vector<TransferRecord> transfers_;
   std::vector<SessionRecord> sessions_;
   double total_nu_ = 0.0;
+  std::array<std::uint64_t, kDispositionCount> disposition_counts_{};
   StreamIndex jobs_index_;
   StreamIndex transfers_index_;
   StreamIndex sessions_index_;
@@ -180,7 +192,7 @@ class UsageDatabase {
 class Recorder {
  public:
   Recorder(const Platform& platform, UsageDatabase& db,
-           AllocationLedger* ledger = nullptr);
+           AllocationLedger* ledger = nullptr, ChargePolicy policy = {});
 
   /// Observes every scheduler in the pool.
   void attach(SchedulerPool& pool);
@@ -200,6 +212,7 @@ class Recorder {
   const Platform& platform_;
   UsageDatabase& db_;
   AllocationLedger* ledger_;
+  ChargePolicy policy_;
 };
 
 }  // namespace tg

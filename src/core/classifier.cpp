@@ -45,8 +45,17 @@ ModalitySet RuleClassifier::classify(const UserFeatures& f) const {
   }
   const bool tiny_compute = f.total_nu <= t.exploratory_max_nu &&
                             f.max_width_cores <= t.exploratory_max_cores;
-  const bool failure_heavy = f.jobs >= 3 &&
-                             f.failed_fraction >= t.exploratory_fail_fraction;
+  // Records lost to infrastructure (requeued attempts, outage kills) are
+  // measurement noise, not user behaviour: evaluate the application-failure
+  // signal over the delivered fraction of the record stream so outages
+  // cannot dilute it below threshold.
+  const double delivered_fraction =
+      1.0 - f.requeued_fraction - f.outage_killed_fraction;
+  const double app_failed_fraction = delivered_fraction > 0.0
+                                         ? f.failed_fraction / delivered_fraction
+                                         : f.failed_fraction;
+  const bool failure_heavy =
+      f.jobs >= 3 && app_failed_fraction >= t.exploratory_fail_fraction;
   if (f.jobs > 0 && set.members.none() && (tiny_compute || failure_heavy)) {
     set.add(Modality::kExploratory);
   }

@@ -158,6 +158,8 @@ UserFeatures FeatureExtractor::compute(
   int coalloc = 0;
   int viz = 0;
   int failed = 0;
+  int requeued = 0;
+  int outage_killed = 0;
   int distinct_resources = 0;
   bool invalid_resource_seen = false;
   double width_sum = 0.0;
@@ -171,6 +173,8 @@ UserFeatures FeatureExtractor::compute(
     if (r->coallocated) ++coalloc;
     if (r->interactive || r->viz_resource) ++viz;
     if (r->final_state == JobState::kFailed) ++failed;
+    if (r->disposition == Disposition::kRequeued) ++requeued;
+    if (r->disposition == Disposition::kKilledByOutage) ++outage_killed;
     f.max_width_cores = std::max(f.max_width_cores, r->width_cores());
     const ComputeResource& res = platform_.compute_at(r->resource);
     f.max_machine_fraction =
@@ -199,6 +203,8 @@ UserFeatures FeatureExtractor::compute(
     f.coalloc_fraction = coalloc / n;
     f.viz_fraction = viz / n;
     f.failed_fraction = failed / n;
+    f.requeued_fraction = requeued / n;
+    f.outage_killed_fraction = outage_killed / n;
     f.mean_width_cores = width_sum / n;
     double runtime_sum = 0.0;
     for (const double rt : scratch.runtimes) runtime_sum += rt;

@@ -32,6 +32,11 @@ struct UserFeatures {
   /// Fraction of jobs that were interactive or ran on a viz resource.
   double viz_fraction = 0.0;
   double failed_fraction = 0.0;
+  /// Fraction of records that were outage-requeued attempts — how degraded
+  /// this user's slice of the accounting stream is.
+  double requeued_fraction = 0.0;
+  /// Fraction of records for jobs killed outright by an outage.
+  double outage_killed_fraction = 0.0;
   int max_width_cores = 0;
   /// Max over jobs of nodes / machine nodes — capability signal.
   double max_machine_fraction = 0.0;

@@ -1,0 +1,116 @@
+// Seeded, deterministic fault injection.
+//
+// Real grid accounting streams are shaped by operational noise — node
+// crashes, machine outages, failed and requeued jobs, gateway brownouts
+// (Grid'5000's operational studies put infrastructure failures among the
+// dominant trace features). FaultModel reproduces that noise as ordinary
+// DES events: per-resource outage processes (exponential or Weibull
+// interarrivals, fixed or lognormal repairs), per-job failure hazards, and
+// gateway brownouts. Everything is driven by forked Rng substreams, so a
+// fault-enabled run is exactly as reproducible as a clean one, and a
+// disabled FaultModel (the default config) schedules nothing and draws
+// nothing — zero behaviour change.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "des/engine.hpp"
+#include "gateway/gateway.hpp"
+#include "sched/pool.hpp"
+#include "util/rng.hpp"
+
+namespace tg {
+
+/// One resource-outage process, applied independently to every machine.
+struct OutageProcess {
+  /// Mean time between outages per resource, in hours; 0 disables
+  /// resource outages entirely.
+  double mtbf_hours = 0.0;
+  enum class Arrival : std::uint8_t { kExponential, kWeibull };
+  Arrival arrival = Arrival::kExponential;
+  /// Weibull shape when arrival == kWeibull (scale is derived so the mean
+  /// stays mtbf_hours); > 1 models wear-out clustering.
+  double weibull_shape = 1.5;
+  enum class Repair : std::uint8_t { kFixed, kLogNormal };
+  Repair repair = Repair::kLogNormal;
+  double repair_mean_hours = 4.0;
+  /// Coefficient of variation of lognormal repairs.
+  double repair_cv = 1.0;
+  /// Partial outages take a uniform fraction of the machine in
+  /// [nodes_fraction_min, nodes_fraction_max] (rounded up, at least 1).
+  double nodes_fraction_min = 0.05;
+  double nodes_fraction_max = 0.5;
+  /// Probability an outage takes the whole machine down instead.
+  double full_outage_prob = 0.15;
+};
+
+struct FaultConfig {
+  OutageProcess outage;
+  /// Per-running-job failure hazard (exponential, failures per hour of
+  /// runtime); 0 disables. Injected as JobState::kFailed interrupts.
+  double job_failure_rate_per_hour = 0.0;
+  /// Gateway brownout initiation rate per gateway per week; 0 disables.
+  double gateway_brownouts_per_week = 0.0;
+  /// Mean brownout duration (exponential), hours.
+  double brownout_mean_hours = 2.0;
+
+  /// False for the default config: no processes run, no randomness is
+  /// drawn, simulation output is bit-identical to a build without faults.
+  [[nodiscard]] bool enabled() const {
+    return outage.mtbf_hours > 0.0 || job_failure_rate_per_hour > 0.0 ||
+           gateway_brownouts_per_week > 0.0;
+  }
+};
+
+class FaultModel {
+ public:
+  struct Stats {
+    std::uint64_t outages = 0;  ///< outages that actually took nodes
+    std::uint64_t repairs = 0;
+    /// Node-hours removed from service (planned repair durations).
+    double node_hours_lost = 0.0;
+    std::uint64_t hazard_failures = 0;  ///< jobs killed by the hazard
+    std::uint64_t brownouts = 0;
+  };
+
+  /// `gateways` may be null (or empty) when brownouts are disabled or the
+  /// scenario has no gateways. New faults stop initiating at `horizon` so
+  /// the post-horizon drain terminates; in-flight repairs still complete.
+  FaultModel(Engine& engine, SchedulerPool& pool, FaultConfig config,
+             Duration horizon, Rng rng,
+             std::vector<std::unique_ptr<Gateway>>* gateways = nullptr);
+
+  FaultModel(const FaultModel&) = delete;
+  FaultModel& operator=(const FaultModel&) = delete;
+
+  /// Schedules the initial fault events. Call once, before Engine::run.
+  void start();
+
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] const FaultConfig& config() const { return config_; }
+
+ private:
+  void schedule_outage(std::size_t i);
+  void begin_outage(std::size_t i);
+  void end_outage(std::size_t i, int taken);
+  void on_job_start(const Job& job);
+  void schedule_brownout(std::size_t g);
+  void begin_brownout(std::size_t g);
+  [[nodiscard]] double sample_interarrival_hours(Rng& rng) const;
+  [[nodiscard]] double sample_repair_hours(Rng& rng) const;
+
+  Engine& engine_;
+  SchedulerPool& pool_;
+  FaultConfig config_;
+  Duration horizon_;
+  std::vector<std::unique_ptr<Gateway>>* gateways_;
+  std::vector<ResourceId> ids_;    ///< pool resources, in platform order
+  std::vector<Rng> resource_rngs_; ///< one outage stream per resource
+  Rng hazard_rng_;
+  std::vector<Rng> gateway_rngs_;  ///< one brownout stream per gateway
+  Stats stats_;
+};
+
+}  // namespace tg

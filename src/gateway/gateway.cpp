@@ -25,6 +25,10 @@ Gateway::Gateway(Engine& engine, SchedulerPool& pool, GatewayId id,
 
 JobId Gateway::submit(const std::string& end_user, const GatewayJobSpec& spec,
                       Rng& rng) {
+  if (!available_) {
+    ++dropped_;
+    return JobId{};
+  }
   const ResourceId target = config_.targets[target_picker_.sample(rng)];
   JobRequest req;
   req.user = config_.community_account;

@@ -49,9 +49,17 @@ class Gateway {
   /// Submits a job on behalf of `end_user` (an opaque label such as
   /// "nanohub:4711"). The target resource is sampled from the configured
   /// weights; the end-user attribute is attached with probability
-  /// `attribute_coverage`.
+  /// `attribute_coverage`. During a brownout the submission is dropped and
+  /// an invalid JobId is returned — what a user of a browned-out gateway
+  /// portal actually experiences.
   JobId submit(const std::string& end_user, const GatewayJobSpec& spec,
                Rng& rng);
+
+  /// Brownout control (driven by src/fault/FaultModel): while unavailable,
+  /// every submit is dropped.
+  void set_available(bool available) { available_ = available; }
+  [[nodiscard]] bool available() const { return available_; }
+  [[nodiscard]] std::uint64_t jobs_dropped() const { return dropped_; }
 
   [[nodiscard]] GatewayId id() const { return id_; }
   [[nodiscard]] const GatewayConfig& config() const { return config_; }
@@ -64,6 +72,8 @@ class Gateway {
   GatewayConfig config_;
   Discrete target_picker_;
   std::uint64_t submitted_ = 0;
+  std::uint64_t dropped_ = 0;
+  bool available_ = true;
 };
 
 }  // namespace tg

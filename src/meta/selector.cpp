@@ -21,14 +21,21 @@ ResourceId ResourceSelector::select(
       candidates.empty() ? pool.resource_ids() : candidates;
   ResourceId best;
   SimTime best_start = std::numeric_limits<SimTime>::max();
-  for (ResourceId id : all) {
-    const ResourceScheduler& sched = pool.at(id);
-    if (!eligible(sched.resource(), nodes, walltime)) continue;
-    const SimTime est = sched.estimate_start(nodes, walltime);
-    if (est >= 0 && est < best_start) {
-      best_start = est;
-      best = id;
+  // Machines too degraded by an outage to ever hold the job are skipped;
+  // if *every* eligible machine is that degraded, fall back to ignoring
+  // availability (the job queues and waits for repair).
+  for (const bool honour_outages : {true, false}) {
+    for (ResourceId id : all) {
+      const ResourceScheduler& sched = pool.at(id);
+      if (!eligible(sched.resource(), nodes, walltime)) continue;
+      if (honour_outages && sched.available_nodes() < nodes) continue;
+      const SimTime est = sched.estimate_start(nodes, walltime);
+      if (est >= 0 && est < best_start) {
+        best_start = est;
+        best = id;
+      }
     }
+    if (best.valid()) break;
   }
   TG_REQUIRE(best.valid(),
              "no eligible resource for a " << nodes << "-node job");

@@ -22,7 +22,9 @@ class ResourceSelector {
   /// Picks from `candidates` (or from every compute resource when empty)
   /// the machine with the earliest estimated start for a (nodes, walltime)
   /// job. Machines too small for the job are skipped. Ties break toward
-  /// the lower resource id, which keeps runs deterministic.
+  /// the lower resource id, which keeps runs deterministic. Machines whose
+  /// in-service node count (after outages) cannot hold the job are avoided
+  /// unless no eligible machine is available at all.
   [[nodiscard]] ResourceId select(
       const SchedulerPool& pool, int nodes, Duration walltime,
       const std::vector<ResourceId>& candidates = {}) const;

@@ -12,6 +12,8 @@ const char* to_string(JobState s) {
     case JobState::kFailed: return "failed";
     case JobState::kKilled: return "killed";
     case JobState::kCancelled: return "cancelled";
+    case JobState::kRequeued: return "requeued";
+    case JobState::kKilledByOutage: return "killed-by-outage";
   }
   return "unknown";
 }

@@ -18,10 +18,12 @@ namespace tg {
 enum class JobState : std::uint8_t {
   kQueued,
   kRunning,
-  kCompleted,  ///< ran to normal completion
-  kFailed,     ///< application failure mid-run
-  kKilled,     ///< hit requested walltime before finishing
-  kCancelled,  ///< removed from the queue before starting
+  kCompleted,       ///< ran to normal completion
+  kFailed,          ///< application failure mid-run
+  kKilled,          ///< hit requested walltime before finishing
+  kCancelled,       ///< removed from the queue before starting
+  kRequeued,        ///< attempt lost to an outage; the job runs again
+  kKilledByOutage,  ///< outage preemption after the retry budget was spent
 };
 
 [[nodiscard]] const char* to_string(JobState s);
@@ -55,6 +57,12 @@ struct Job {
   SimTime start_time = -1;
   SimTime end_time = -1;
   JobState state = JobState::kQueued;
+  /// Times this job has been preempted by an outage (see
+  /// ResourceScheduler::begin_outage).
+  int preemptions = 0;
+  /// True between an outage preemption and the backoff event that returns
+  /// the job to the queue (the job is live but not in the queue yet).
+  bool requeue_pending = false;
 
   [[nodiscard]] Duration wait() const {
     return start_time >= 0 ? start_time - submit_time : -1;

@@ -15,6 +15,18 @@ void SchedulerMetrics::record_finished(Duration wait, Duration runtime,
                 static_cast<double>(cores);
 }
 
+void SchedulerMetrics::record_preempted(double lost_core_seconds,
+                                        bool killed) {
+  ++preempted_;
+  if (killed) ++outage_killed_;
+  lost_ += lost_core_seconds;
+}
+
+void SchedulerMetrics::record_outage(int nodes_taken) {
+  ++outages_;
+  outage_nodes_ += nodes_taken;
+}
+
 double SchedulerMetrics::utilization(int total_cores, SimTime horizon) const {
   if (horizon <= 0 || total_cores <= 0) return 0.0;
   return delivered_ /

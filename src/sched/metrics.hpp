@@ -12,10 +12,27 @@ class SchedulerMetrics {
  public:
   void record_finished(Duration wait, Duration runtime, int nodes, int cores,
                        double bounded_slowdown, bool killed, bool failed);
+  /// One outage preemption: `lost_core_seconds` of work was discarded;
+  /// `killed` when the job's retry budget was spent (terminal
+  /// kKilledByOutage) rather than requeued.
+  void record_preempted(double lost_core_seconds, bool killed);
+  /// One outage that took `nodes_taken` nodes out of service.
+  void record_outage(int nodes_taken);
 
   [[nodiscard]] std::uint64_t jobs_finished() const { return finished_; }
   [[nodiscard]] std::uint64_t jobs_killed() const { return killed_; }
   [[nodiscard]] std::uint64_t jobs_failed() const { return failed_; }
+  [[nodiscard]] std::uint64_t jobs_preempted() const { return preempted_; }
+  [[nodiscard]] std::uint64_t jobs_requeued() const {
+    return preempted_ - outage_killed_;
+  }
+  [[nodiscard]] std::uint64_t jobs_killed_by_outage() const {
+    return outage_killed_;
+  }
+  [[nodiscard]] std::uint64_t outages() const { return outages_; }
+  [[nodiscard]] int outage_nodes_taken() const { return outage_nodes_; }
+  /// Core-seconds of partial work discarded by outage preemptions.
+  [[nodiscard]] double lost_core_seconds() const { return lost_; }
   [[nodiscard]] const RunningStats& wait_seconds() const { return wait_; }
   [[nodiscard]] const RunningStats& slowdown() const { return slowdown_; }
   /// Core-seconds actually delivered to applications.
@@ -28,9 +45,14 @@ class SchedulerMetrics {
   std::uint64_t finished_ = 0;
   std::uint64_t killed_ = 0;
   std::uint64_t failed_ = 0;
+  std::uint64_t preempted_ = 0;
+  std::uint64_t outage_killed_ = 0;
+  std::uint64_t outages_ = 0;
+  int outage_nodes_ = 0;
   RunningStats wait_;
   RunningStats slowdown_;
   double delivered_ = 0.0;
+  double lost_ = 0.0;
 };
 
 }  // namespace tg

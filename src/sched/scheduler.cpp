@@ -118,8 +118,11 @@ JobId ResourceScheduler::submit(JobRequest request) {
 }
 
 bool ResourceScheduler::queue_entry_live(JobId id) const {
+  // A preempted job awaiting its backoff is kQueued but must not be
+  // schedulable through the stale entry of its previous attempt.
   const auto it = jobs_.find(id);
-  return it != jobs_.end() && it->second.state == JobState::kQueued;
+  return it != jobs_.end() && it->second.state == JobState::kQueued &&
+         !it->second.requeue_pending;
 }
 
 void ResourceScheduler::compact_queue() {
@@ -139,6 +142,9 @@ bool ResourceScheduler::cancel(JobId id) {
     // detach so the reservation opens empty instead of dangling.
     reservations_.at(rit->second).attached_job = JobId{};
     job_reservation_.erase(rit);
+  } else if (job.requeue_pending) {
+    // Preempted and awaiting its backoff: not in queue_, so there is no
+    // entry to tombstone; the pending requeue event finds the job gone.
   } else {
     ++queue_tombstones_;  // entry stays in queue_ until compaction
     compact_queue();
@@ -240,6 +246,11 @@ Profile ResourceScheduler::base_profile() const {
     if (r.finished) continue;
     const SimTime end = r.started ? std::max(r.end, now + 1) : r.end;
     profile.subtract(std::max(r.start, now), end, r.nodes);
+  }
+  if (nodes_down_ > 0) {
+    // Out-of-service nodes block the planner until the advised repair time
+    // (or at least past this tick when the repair is overdue).
+    profile.subtract(now, std::max(outage_until_, now + 1), nodes_down_);
   }
   if (config_.drain_period > 0) {
     const SimTime first =
@@ -406,23 +417,33 @@ void ResourceScheduler::start_job(Job& job, bool from_reservation) {
 }
 
 void ResourceScheduler::finish_job(JobId id) {
-  auto it = jobs_.find(id);
+  const auto it = jobs_.find(id);
   TG_CHECK(it != jobs_.end(), "finishing unknown job " << id);
+  const Job& job = it->second;
+  const Duration ran = engine_.now() - job.start_time;
+  JobState state;
+  if (job.req.fails && ran < job.req.actual_runtime &&
+      ran < job.req.requested_walltime) {
+    state = JobState::kFailed;
+  } else if (job.req.actual_runtime > job.req.requested_walltime) {
+    state = JobState::kKilled;
+  } else {
+    state = JobState::kCompleted;
+  }
+  end_events_.erase(id);
+  complete_job(id, state);
+}
+
+void ResourceScheduler::complete_job(JobId id, JobState state) {
+  auto it = jobs_.find(id);
+  TG_CHECK(it != jobs_.end(), "completing unknown job " << id);
   Job job = std::move(it->second);
   jobs_.erase(it);
-  end_events_.erase(id);
   --running_count_;
 
   job.end_time = engine_.now();
+  job.state = state;
   const Duration ran = job.end_time - job.start_time;
-  if (job.req.fails && ran < job.req.actual_runtime &&
-      ran < job.req.requested_walltime) {
-    job.state = JobState::kFailed;
-  } else if (job.req.actual_runtime > job.req.requested_walltime) {
-    job.state = JobState::kKilled;
-  } else {
-    job.state = JobState::kCompleted;
-  }
 
   // Release nodes. Reservation-attached jobs release through their
   // reservation (ending it early).
@@ -454,13 +475,163 @@ void ResourceScheduler::finish_job(JobId id) {
   schedule_pass();
 }
 
+int ResourceScheduler::begin_outage(int nodes, SimTime repair) {
+  TG_REQUIRE(nodes >= 1 && nodes <= resource_.nodes,
+             "outage width " << nodes << " invalid for " << resource_.name);
+  const SimTime now = engine_.now();
+  // Block re-entrant scheduling while nodes are being taken: preemption
+  // observers may submit, and a pass could otherwise grab the just-freed
+  // nodes before the outage claims them.
+  in_pass_ = true;
+  while (free_nodes_ < nodes) {
+    // Victim: youngest running non-reservation job (latest start, then
+    // highest id) — the cheapest partial work to lose.
+    JobId victim;
+    SimTime latest = -1;
+    for (const auto& [id, job] : jobs_) {
+      if (job.state != JobState::kRunning) continue;
+      if (job_reservation_.count(id)) continue;  // reservations survive
+      if (job.start_time >= latest) {
+        latest = job.start_time;
+        victim = id;
+      }
+    }
+    if (!victim.valid()) break;  // only reservations left; take what's free
+    preempt_job(victim);
+  }
+  const int taken = std::min(nodes, free_nodes_);
+  free_nodes_ -= taken;
+  nodes_down_ += taken;
+  if (taken > 0) {
+    outage_until_ = std::max(outage_until_, std::max(repair, now + 1));
+    metrics_.record_outage(taken);
+  }
+  in_pass_ = false;
+  schedule_pass();
+  return taken;
+}
+
+void ResourceScheduler::end_outage(int nodes) {
+  TG_REQUIRE(nodes >= 1 && nodes <= nodes_down_,
+             "returning " << nodes << " nodes but only " << nodes_down_
+                          << " are down on " << resource_.name);
+  nodes_down_ -= nodes;
+  free_nodes_ += nodes;
+  TG_CHECK(free_nodes_ <= resource_.nodes, "node accounting corrupted");
+  if (nodes_down_ == 0) outage_until_ = 0;
+  schedule_pass();
+}
+
+bool ResourceScheduler::interrupt(JobId id, JobState state) {
+  TG_REQUIRE(state == JobState::kFailed || state == JobState::kKilled ||
+                 state == JobState::kKilledByOutage,
+             "interrupt requires a terminal state, got " << to_string(state));
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end() || it->second.state != JobState::kRunning) {
+    return false;
+  }
+  const auto ev = end_events_.find(id);
+  TG_CHECK(ev != end_events_.end(), "running job without an end event");
+  engine_.cancel(ev->second);
+  end_events_.erase(ev);
+  complete_job(id, state);
+  return true;
+}
+
+void ResourceScheduler::preempt_job(JobId id) {
+  const auto it = jobs_.find(id);
+  TG_CHECK(it != jobs_.end() && it->second.state == JobState::kRunning,
+           "preempting a non-running job " << id);
+  Job& job = it->second;
+  const auto ev = end_events_.find(id);
+  TG_CHECK(ev != end_events_.end(), "running job without an end event");
+  engine_.cancel(ev->second);
+  end_events_.erase(ev);
+  --running_count_;
+  free_nodes_ += job.req.nodes;
+
+  const SimTime now = engine_.now();
+  const Duration ran = now - job.start_time;
+  ++job.preemptions;
+  const bool requeue = job.preemptions <= config_.outage_retry_limit;
+  metrics_.record_preempted(to_seconds(ran) * job.req.nodes *
+                                static_cast<double>(resource_.cores_per_node),
+                            !requeue);
+  if (requeue) {
+    // Emit the lost attempt to observers (accounting records it with the
+    // kRequeued disposition), then return the job to the queued state; it
+    // re-enters the queue after an exponential backoff. Lost work is not
+    // charged to fair share — the user did not get it.
+    Job attempt = job;
+    attempt.end_time = now;
+    attempt.state = JobState::kRequeued;
+    job.state = JobState::kQueued;
+    job.start_time = -1;
+    job.end_time = -1;
+    job.requeue_pending = true;
+    Duration backoff = config_.outage_retry_backoff;
+    for (int i = 1;
+         i < job.preemptions && backoff < config_.outage_retry_backoff_cap;
+         ++i) {
+      backoff *= 2;
+    }
+    backoff = std::min(backoff, config_.outage_retry_backoff_cap);
+    backoff = std::max<Duration>(backoff, kMillisecond);
+    engine_.schedule_in(backoff, [this, id] { requeue_job(id); },
+                        EventPriority::kSubmission);
+    for (const auto& cb : on_end_) cb(attempt);
+  } else {
+    Job dead = std::move(it->second);
+    jobs_.erase(it);
+    dead.end_time = now;
+    dead.state = JobState::kKilledByOutage;
+    for (const auto& cb : on_end_) cb(dead);
+  }
+}
+
+void ResourceScheduler::requeue_job(JobId id) {
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end() || it->second.state != JobState::kQueued ||
+      !it->second.requeue_pending) {
+    return;  // cancelled while the backoff was pending
+  }
+  it->second.requeue_pending = false;
+  // Drop stale entries from this job's previous attempts (each was counted
+  // as a tombstone when that attempt started); left in place they would
+  // resurrect as schedulable duplicates now that the job is queued again.
+  queue_tombstones_ -= static_cast<std::size_t>(std::erase(queue_, id));
+  queue_.push_back(id);
+  schedule_pass();
+}
+
 void ResourceScheduler::on_reservation_start(ReservationId id) {
   auto it = reservations_.find(id);
   if (it == reservations_.end()) return;  // cancelled meanwhile
   Reservation& r = it->second;
+  if (free_nodes_ < r.nodes) {
+    // reserve() validated this window against every other commitment, so a
+    // shortfall here means an outage took the promised nodes. Break the
+    // reservation (cancelling its attached job) rather than over-commit —
+    // what a real site does when a machine partition dies under an
+    // advance reservation.
+    TG_CHECK(nodes_down_ > 0,
+             "reservation window not honoured on " << resource_.name);
+    if (r.attached_job.valid()) {
+      const auto jit = jobs_.find(r.attached_job);
+      if (jit != jobs_.end()) {
+        Job job = std::move(jit->second);
+        jobs_.erase(jit);
+        job_reservation_.erase(job.id);
+        job.state = JobState::kCancelled;
+        job.end_time = engine_.now();
+        for (const auto& cb : on_end_) cb(job);
+      }
+    }
+    reservations_.erase(it);
+    schedule_pass();
+    return;
+  }
   r.started = true;
-  TG_CHECK(free_nodes_ >= r.nodes,
-           "reservation window not honoured on " << resource_.name);
   free_nodes_ -= r.nodes;
   if (r.attached_job.valid()) {
     start_job(jobs_.at(r.attached_job), /*from_reservation=*/true);

@@ -64,6 +64,14 @@ struct SchedulerConfig {
   bool fair_share = false;
   /// Half-life of the fair-share usage decay.
   Duration fair_share_half_life = 7 * kDay;
+  /// Outage handling: a job preempted by an outage is requeued (after a
+  /// backoff) at most this many times; the next preemption kills it with
+  /// state kKilledByOutage.
+  int outage_retry_limit = 3;
+  /// Backoff before the k-th requeued attempt re-enters the queue:
+  /// outage_retry_backoff * 2^(k-1), capped at outage_retry_backoff_cap.
+  Duration outage_retry_backoff = 15 * kMinute;
+  Duration outage_retry_backoff_cap = 8 * kHour;
 };
 
 struct Reservation {
@@ -106,6 +114,33 @@ class ResourceScheduler {
   /// Cancels a reservation that has not started. Returns false otherwise.
   bool cancel_reservation(ReservationId id);
 
+  // --- Fault injection (driven by src/fault/FaultModel) -------------------
+
+  /// Takes up to `nodes` nodes out of service; `repair` advises the planner
+  /// when they are expected back (they actually return when end_outage is
+  /// called). Running non-reservation jobs are preempted youngest-first to
+  /// free the requested nodes; each preempted job is requeued with
+  /// exponential backoff until its retry budget is spent, then killed with
+  /// kKilledByOutage. Reservations are never broken, so fewer nodes than
+  /// requested may be taken. Returns the node count actually taken — pass
+  /// exactly that to end_outage.
+  int begin_outage(int nodes, SimTime repair);
+
+  /// Returns `nodes` previously taken by begin_outage to service.
+  void end_outage(int nodes);
+
+  /// Forcibly terminates a running job with the given terminal state
+  /// (per-job failure hazards inject kFailed this way). Returns false if
+  /// the job is not currently running.
+  bool interrupt(JobId id, JobState state);
+
+  /// Nodes currently out of service.
+  [[nodiscard]] int nodes_down() const { return nodes_down_; }
+  /// Nodes currently in service (total minus outage).
+  [[nodiscard]] int available_nodes() const {
+    return resource_.nodes - nodes_down_;
+  }
+
   /// Conservative estimate of the earliest start of a hypothetical job,
   /// accounting for running jobs, reservations, fences and the current
   /// queue. This is what TeraGrid "time-to-start" advisors exposed.
@@ -138,6 +173,13 @@ class ResourceScheduler {
   /// Starts a queued job now (caller tombstones its queue_ entry).
   void start_job(Job& job, bool from_reservation);
   void finish_job(JobId id);
+  /// Shared completion tail: removes the job, releases nodes, records
+  /// metrics and notifies observers. The end event must already be gone.
+  void complete_job(JobId id, JobState state);
+  /// Preempts one running job for an outage (requeue or outage-kill).
+  void preempt_job(JobId id);
+  /// Backoff expiry: returns a preempted job to the queue.
+  void requeue_job(JobId id);
   void on_reservation_start(ReservationId id);
   void on_reservation_end(ReservationId id);
   /// Queue indices in scheduling order (capability first when draining,
@@ -172,6 +214,10 @@ class ResourceScheduler {
   mutable std::map<UserId, std::pair<double, SimTime>> usage_;
   SchedulerMetrics metrics_;
   int free_nodes_ = 0;
+  int nodes_down_ = 0;  ///< nodes taken by begin_outage, not yet returned
+  /// Latest advised repair time across current outages (0 when none); the
+  /// planner treats down nodes as busy until then.
+  SimTime outage_until_ = 0;
   std::size_t running_count_ = 0;
   JobId::rep job_id_base_ = 0;  ///< first id of this resource's band
   JobId::rep next_job_ = 0;

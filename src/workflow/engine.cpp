@@ -105,6 +105,10 @@ void WorkflowEngine::launch_task(WorkflowId wf, int task) {
 void WorkflowEngine::on_job_end(const Job& job) {
   const auto it = job_task_.find(job.id);
   if (it == job_task_.end()) return;  // not a workflow job
+  // An outage-requeued attempt is not the end of the job: the scheduler
+  // will run it again under the same JobId, so keep the mapping and hold
+  // the task's children until a terminal state arrives.
+  if (job.state == JobState::kRequeued) return;
   const auto [wf, task] = it->second;
   job_task_.erase(it);
 
@@ -113,9 +117,18 @@ void WorkflowEngine::on_job_end(const Job& job) {
     task_done(wf, task);
     return;
   }
-  // Failed or killed: retry at the same placement, else abandon.
+  // Failed or killed: retry, else abandon.
   ++inst.result.failures;
   if (inst.attempts[static_cast<std::size_t>(task)] <= retry_limit_) {
+    if (job.state == JobState::kKilledByOutage) {
+      // The placement's machine is degraded; reselect (unless the task is
+      // pinned) instead of resubmitting into the outage.
+      const DagTask& t = inst.dag.tasks()[static_cast<std::size_t>(task)];
+      if (!t.resource.valid()) {
+        inst.placement[static_cast<std::size_t>(task)] =
+            selector_.select(pool_, t.nodes, t.requested_walltime);
+      }
+    }
     launch_task(wf, task);
     return;
   }

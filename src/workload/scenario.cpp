@@ -23,7 +23,8 @@ Scenario::Scenario(ScenarioConfig config)
   if (config_.enable_flows) {
     flows_ = std::make_unique<FlowManager>(engine_, platform_);
   }
-  recorder_ = std::make_unique<Recorder>(platform_, db_, &ledger_);
+  recorder_ =
+      std::make_unique<Recorder>(platform_, db_, &ledger_, config_.charging);
   recorder_->attach(*pool_);
   if (flows_) recorder_->attach(*flows_);
   workflows_ =
@@ -39,12 +40,22 @@ Scenario::Scenario(ScenarioConfig config)
       engine_, platform_, *pool_, flows_.get(), *workflows_, *coalloc_,
       gateways_, *recorder_, population_, config_.archetypes,
       config_.horizon, traffic_rng);
+  if (config_.faults.enabled()) {
+    // A dedicated fork: fault randomness never perturbs the traffic stream,
+    // and a disabled FaultModel is never even constructed, so fault-free
+    // runs stay byte-identical to builds without this subsystem.
+    faults_ = std::make_unique<FaultModel>(engine_, *pool_, config_.faults,
+                                           config_.horizon,
+                                           Rng(config_.seed).fork("faults"),
+                                           &gateways_);
+  }
 }
 
 void Scenario::run() {
   TG_REQUIRE(!ran_, "Scenario::run() called twice");
   ran_ = true;
   generator_->start();
+  if (faults_) faults_->start();
   engine_.run_until(config_.horizon);
   // Drain: queued and running work completes, nothing new is initiated
   // (the generator guards every submission with the horizon).

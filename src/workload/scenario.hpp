@@ -12,6 +12,7 @@
 #include "core/classifier.hpp"
 #include "core/report.hpp"
 #include "des/engine.hpp"
+#include "fault/fault.hpp"
 #include "gateway/gateway.hpp"
 #include "meta/coalloc.hpp"
 #include "net/flow.hpp"
@@ -34,6 +35,11 @@ struct ScenarioConfig {
   double users_per_project = 3.0;
   bool enable_flows = true;
   FeatureConfig features;
+  /// Fault injection; disabled by default (no events, no extra randomness,
+  /// byte-identical output to a fault-free build).
+  FaultConfig faults;
+  /// How lost work (requeued / outage-killed attempts) is charged.
+  ChargePolicy charging;
   /// Use the tiny 2-resource platform instead of the TeraGrid preset
   /// (integration tests).
   bool mini_platform = false;
@@ -68,6 +74,12 @@ class Scenario {
     return *generator_;
   }
   [[nodiscard]] FlowManager* flows() { return flows_.get(); }
+  /// Null unless config.faults.enabled().
+  [[nodiscard]] const FaultModel* faults() const { return faults_.get(); }
+  /// Zero stats when fault injection is disabled.
+  [[nodiscard]] FaultModel::Stats fault_stats() const {
+    return faults_ ? faults_->stats() : FaultModel::Stats{};
+  }
 
   /// Convenience: the headline modality report over the full horizon.
   [[nodiscard]] ModalityReport report(
@@ -97,6 +109,7 @@ class Scenario {
   std::unique_ptr<CoAllocator> coalloc_;
   std::vector<std::unique_ptr<Gateway>> gateways_;
   std::unique_ptr<TrafficGenerator> generator_;
+  std::unique_ptr<FaultModel> faults_;
   bool ran_ = false;
 };
 

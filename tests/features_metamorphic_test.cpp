@@ -1,0 +1,214 @@
+// Metamorphic properties of the feature extractor.
+//
+// Two relations that must hold for any accounting stream, faulty or not:
+//  1. Permutation invariance — features computed from a database whose
+//     records were appended in a different order are identical (up to FP
+//     summation order). This exercises the non-contiguous index fallback.
+//  2. Split-window merge — for every additively mergeable feature, the
+//     values over [0, mid) and [mid, end) combine exactly into the value
+//     over [0, end). Window-global features (bursts, medians, distinct
+//     resources) are excluded by construction.
+#include "core/features.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <random>
+#include <vector>
+
+#include "workload/scenario.hpp"
+
+namespace tg {
+namespace {
+
+constexpr SimTime kFar = 100 * kYear;
+
+void expect_close(double a, double b, const char* what, UserId user) {
+  EXPECT_NEAR(a, b, 1e-9 * std::max(1.0, std::abs(a)))
+      << what << " for user " << user;
+}
+
+ScenarioConfig make_config(bool faulty) {
+  ScenarioConfig config;
+  config.mini_platform = true;
+  config.horizon = 30 * kDay;
+  config.seed = 1234;
+  if (faulty) {
+    config.faults.outage.mtbf_hours = 120.0;
+    config.faults.job_failure_rate_per_hour = 0.001;
+  }
+  return config;
+}
+
+/// Copies every record into a fresh database in a deterministically
+/// shuffled order (breaking the end-time-sorted fast path).
+UsageDatabase shuffled_copy(const UsageDatabase& db) {
+  std::mt19937 gen(987654321u);
+  UsageDatabase out;
+  auto shuffle_into = [&gen, &out](const auto& records) {
+    std::vector<std::size_t> order(records.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::shuffle(order.begin(), order.end(), gen);
+    for (const std::size_t i : order) out.add(records[i]);
+  };
+  shuffle_into(db.jobs());
+  shuffle_into(db.transfers());
+  shuffle_into(db.sessions());
+  return out;
+}
+
+void expect_permutation_invariant(const Scenario& scenario) {
+  const UsageDatabase shuffled = shuffled_copy(scenario.db());
+  const FeatureExtractor extractor(scenario.platform());
+  const auto a = extractor.extract(scenario.db(), 0, kFar);
+  const auto b = extractor.extract(shuffled, 0, kFar);
+  ASSERT_FALSE(a.empty());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const UserFeatures& x = a[i];
+    const UserFeatures& y = b[i];
+    ASSERT_EQ(x.user, y.user);
+    EXPECT_EQ(x.jobs, y.jobs);
+    EXPECT_EQ(x.max_width_cores, y.max_width_cores);
+    EXPECT_EQ(x.distinct_resources, y.distinct_resources);
+    EXPECT_EQ(x.sessions, y.sessions);
+    EXPECT_EQ(x.viz_sessions, y.viz_sessions);
+    expect_close(x.total_nu, y.total_nu, "total_nu", x.user);
+    expect_close(x.total_su, y.total_su, "total_su", x.user);
+    expect_close(x.gateway_fraction, y.gateway_fraction, "gateway_fraction",
+                 x.user);
+    expect_close(x.workflow_fraction, y.workflow_fraction,
+                 "workflow_fraction", x.user);
+    expect_close(x.burst_fraction, y.burst_fraction, "burst_fraction",
+                 x.user);
+    expect_close(x.coalloc_fraction, y.coalloc_fraction, "coalloc_fraction",
+                 x.user);
+    expect_close(x.viz_fraction, y.viz_fraction, "viz_fraction", x.user);
+    expect_close(x.failed_fraction, y.failed_fraction, "failed_fraction",
+                 x.user);
+    expect_close(x.requeued_fraction, y.requeued_fraction,
+                 "requeued_fraction", x.user);
+    expect_close(x.outage_killed_fraction, y.outage_killed_fraction,
+                 "outage_killed_fraction", x.user);
+    expect_close(x.max_machine_fraction, y.max_machine_fraction,
+                 "max_machine_fraction", x.user);
+    expect_close(x.mean_width_cores, y.mean_width_cores, "mean_width_cores",
+                 x.user);
+    expect_close(x.mean_runtime_s, y.mean_runtime_s, "mean_runtime_s",
+                 x.user);
+    expect_close(x.median_runtime_s, y.median_runtime_s, "median_runtime_s",
+                 x.user);
+    expect_close(x.bytes_transferred, y.bytes_transferred,
+                 "bytes_transferred", x.user);
+  }
+}
+
+void expect_split_window_merges(const Scenario& scenario) {
+  const FeatureExtractor extractor(scenario.platform());
+  const SimTime mid = scenario.config().horizon / 2;
+  const auto whole = extractor.extract(scenario.db(), 0, kFar);
+  const auto early = extractor.extract(scenario.db(), 0, mid);
+  const auto late = extractor.extract(scenario.db(), mid, kFar);
+  ASSERT_FALSE(whole.empty());
+
+  std::map<UserId::rep, UserFeatures> merged;
+  for (const auto* part : {&early, &late}) {
+    for (const UserFeatures& f : *part) {
+      auto [it, fresh] = merged.try_emplace(f.user.value(), f);
+      if (fresh) continue;
+      UserFeatures& m = it->second;
+      const double n = m.jobs, k = f.jobs;
+      // Job-weighted merge of per-record fractions and means; counts and
+      // totals add; maxima take the max.
+      if (n + k > 0) {
+        const auto wavg = [n, k](double a, double b) {
+          return (a * n + b * k) / (n + k);
+        };
+        m.gateway_fraction = wavg(m.gateway_fraction, f.gateway_fraction);
+        m.workflow_fraction = wavg(m.workflow_fraction, f.workflow_fraction);
+        m.coalloc_fraction = wavg(m.coalloc_fraction, f.coalloc_fraction);
+        m.viz_fraction = wavg(m.viz_fraction, f.viz_fraction);
+        m.failed_fraction = wavg(m.failed_fraction, f.failed_fraction);
+        m.requeued_fraction = wavg(m.requeued_fraction, f.requeued_fraction);
+        m.outage_killed_fraction =
+            wavg(m.outage_killed_fraction, f.outage_killed_fraction);
+        m.mean_width_cores = wavg(m.mean_width_cores, f.mean_width_cores);
+        m.mean_runtime_s = wavg(m.mean_runtime_s, f.mean_runtime_s);
+      }
+      m.jobs += f.jobs;
+      m.total_nu += f.total_nu;
+      m.total_su += f.total_su;
+      m.bytes_transferred += f.bytes_transferred;
+      m.sessions += f.sessions;
+      m.viz_sessions += f.viz_sessions;
+      m.max_width_cores = std::max(m.max_width_cores, f.max_width_cores);
+      m.max_machine_fraction =
+          std::max(m.max_machine_fraction, f.max_machine_fraction);
+    }
+  }
+
+  ASSERT_EQ(merged.size(), whole.size());
+  for (const UserFeatures& w : whole) {
+    const auto it = merged.find(w.user.value());
+    ASSERT_NE(it, merged.end()) << "user " << w.user;
+    const UserFeatures& m = it->second;
+    EXPECT_EQ(w.jobs, m.jobs);
+    EXPECT_EQ(w.sessions, m.sessions);
+    EXPECT_EQ(w.viz_sessions, m.viz_sessions);
+    EXPECT_EQ(w.max_width_cores, m.max_width_cores);
+    expect_close(w.total_nu, m.total_nu, "total_nu", w.user);
+    expect_close(w.total_su, m.total_su, "total_su", w.user);
+    expect_close(w.bytes_transferred, m.bytes_transferred,
+                 "bytes_transferred", w.user);
+    expect_close(w.max_machine_fraction, m.max_machine_fraction,
+                 "max_machine_fraction", w.user);
+    expect_close(w.gateway_fraction, m.gateway_fraction, "gateway_fraction",
+                 w.user);
+    expect_close(w.workflow_fraction, m.workflow_fraction,
+                 "workflow_fraction", w.user);
+    expect_close(w.coalloc_fraction, m.coalloc_fraction, "coalloc_fraction",
+                 w.user);
+    expect_close(w.viz_fraction, m.viz_fraction, "viz_fraction", w.user);
+    expect_close(w.failed_fraction, m.failed_fraction, "failed_fraction",
+                 w.user);
+    expect_close(w.requeued_fraction, m.requeued_fraction,
+                 "requeued_fraction", w.user);
+    expect_close(w.outage_killed_fraction, m.outage_killed_fraction,
+                 "outage_killed_fraction", w.user);
+    expect_close(w.mean_width_cores, m.mean_width_cores, "mean_width_cores",
+                 w.user);
+    expect_close(w.mean_runtime_s, m.mean_runtime_s, "mean_runtime_s",
+                 w.user);
+  }
+}
+
+TEST(FeaturesMetamorphic, PermutationInvariantFaultFree) {
+  Scenario scenario(make_config(false));
+  scenario.run();
+  expect_permutation_invariant(scenario);
+}
+
+TEST(FeaturesMetamorphic, PermutationInvariantFaulty) {
+  Scenario scenario(make_config(true));
+  scenario.run();
+  ASSERT_GT(scenario.fault_stats().outages, 0u);
+  expect_permutation_invariant(scenario);
+}
+
+TEST(FeaturesMetamorphic, SplitWindowMergesFaultFree) {
+  Scenario scenario(make_config(false));
+  scenario.run();
+  expect_split_window_merges(scenario);
+}
+
+TEST(FeaturesMetamorphic, SplitWindowMergesFaulty) {
+  Scenario scenario(make_config(true));
+  scenario.run();
+  ASSERT_GT(scenario.fault_stats().outages, 0u);
+  expect_split_window_merges(scenario);
+}
+
+}  // namespace
+}  // namespace tg

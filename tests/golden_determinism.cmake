@@ -1,0 +1,29 @@
+# Run an experiment binary at --jobs=1 and --jobs=4 and fail unless the two
+# stdout captures are byte-identical. Invoked by ctest as
+#   cmake -DBIN=<exe> -DWORK_DIR=<dir> -P golden_determinism.cmake
+if(NOT DEFINED BIN OR NOT DEFINED WORK_DIR)
+  message(FATAL_ERROR "golden_determinism.cmake needs -DBIN=... -DWORK_DIR=...")
+endif()
+
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+foreach(jobs IN ITEMS 1 4)
+  execute_process(
+    COMMAND "${BIN}" --jobs=${jobs}
+    OUTPUT_FILE "${WORK_DIR}/jobs${jobs}.out"
+    RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "${BIN} --jobs=${jobs} exited with ${rc}")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files
+          "${WORK_DIR}/jobs1.out" "${WORK_DIR}/jobs4.out"
+  RESULT_VARIABLE diff)
+if(NOT diff EQUAL 0)
+  message(FATAL_ERROR
+          "stdout differs between --jobs=1 and --jobs=4 for ${BIN} "
+          "(see ${WORK_DIR})")
+endif()
+message(STATUS "byte-identical stdout at --jobs=1 and --jobs=4")

@@ -4,7 +4,6 @@
 
 #include <sstream>
 
-#include "util/error.hpp"
 #include "workload/replay.hpp"
 
 namespace tg {
@@ -102,9 +101,68 @@ TEST(Swf, ImportSkipsHeadersAndBlanks) {
   EXPECT_EQ(jobs[0].requested_seconds, 200);
 }
 
-TEST(Swf, MalformedLineThrows) {
-  std::istringstream in("1 2 3\n");
-  EXPECT_THROW(import_swf(in), PreconditionError);
+TEST(Swf, MalformedLinesSkippedWithCount) {
+  // Archive traces contain damaged lines; the importer must drop them and
+  // report counts instead of aborting the whole import.
+  std::istringstream in(
+      "1 2 3\n"                                        // truncated
+      "1 0 10 100 8 -1 -1 8 200 -1 1 5 2 -1 0 0 -1 -1\n"  // good
+      "1 0 10 100 8 -1 -1 8 zzz -1 1 5 2 -1 0 0 -1 -1\n"  // non-numeric
+      "2 0 10 50 4 -1 -1 4 100 -1 1 6 2 -1 0 0 -1 -1\n"   // good
+      "3 0 10 50 4 -1 -1 4 100 -1 1 6 2 -1 0 0 -1 -1 99\n");  // extra field
+  SwfParseStats stats;
+  const auto jobs = import_swf(in, &stats);
+  ASSERT_EQ(jobs.size(), 2u);
+  EXPECT_EQ(jobs[0].job_number, 1);
+  EXPECT_EQ(jobs[1].job_number, 2);
+  EXPECT_EQ(stats.parsed, 2u);
+  EXPECT_EQ(stats.skipped, 3u);
+  EXPECT_EQ(stats.first_skipped_line, 1);
+}
+
+TEST(Swf, OverflowFieldSkipped) {
+  // A value that overflows `long` sets failbit mid-line; the line must be
+  // dropped whole, never half-parsed.
+  std::istringstream in(
+      "1 999999999999999999999999999 10 100 8 -1 -1 8 200 -1 1 5 2 -1 0 0 -1 "
+      "-1\n"
+      "2 0 10 50 4 -1 -1 4 100 -1 1 6 2 -1 0 0 -1 -1\n");
+  SwfParseStats stats;
+  const auto jobs = import_swf(in, &stats);
+  ASSERT_EQ(jobs.size(), 1u);
+  EXPECT_EQ(jobs[0].job_number, 2);
+  EXPECT_EQ(stats.skipped, 1u);
+  EXPECT_EQ(stats.first_skipped_line, 1);
+}
+
+TEST(Swf, StatsOptionalAndCleanImportCountsParsed) {
+  std::istringstream in1("1 2 3\n");
+  EXPECT_TRUE(import_swf(in1).empty());  // null stats: still no throw
+  std::istringstream in2(
+      "; header\n"
+      "1 0 10 100 8 -1 -1 8 200 -1 1 5 2 -1 0 0 -1 -1\n");
+  SwfParseStats stats;
+  EXPECT_EQ(import_swf(in2, &stats).size(), 1u);
+  EXPECT_EQ(stats.parsed, 1u);
+  EXPECT_EQ(stats.skipped, 0u);
+  EXPECT_EQ(stats.first_skipped_line, 0);
+}
+
+TEST(Swf, FaultDispositionRoundTrip) {
+  // Outage-killed exports as SWF status 0 (failed), requeued attempts as
+  // status 2 (partial execution); both survive a round trip.
+  UsageDatabase db;
+  db.add(record(UserId{1}, 2, 0, 0, kHour, JobState::kKilledByOutage));
+  db.add(record(UserId{2}, 4, kHour, 0, kHour, JobState::kRequeued));
+  std::ostringstream out;
+  export_swf(db, out);
+  std::istringstream in(out.str());
+  SwfParseStats stats;
+  const auto jobs = import_swf(in, &stats);
+  ASSERT_EQ(jobs.size(), 2u);
+  EXPECT_EQ(stats.skipped, 0u);
+  EXPECT_EQ(jobs[0].status, 0);
+  EXPECT_EQ(jobs[1].status, 2);
 }
 
 TEST(Swf, ToRequestConvertsProcsToNodes) {
