@@ -3,7 +3,9 @@
 // DESIGN.md §4) and optionally dumps CSV next to its stdout table.
 #pragma once
 
+#include <chrono>
 #include <cstddef>
+#include <cstdint>
 #include <cstdlib>
 #include <iostream>
 #include <memory>
@@ -15,6 +17,7 @@
 #include "fault/invariants.hpp"
 #include "parallel/replicate.hpp"
 #include "util/csv.hpp"
+#include "util/memstats.hpp"
 #include "util/table.hpp"
 
 namespace tg::exp {
@@ -81,6 +84,50 @@ inline void print_invariants(const InvariantReport& report) {
   std::cout << "\n[invariants] " << report.to_string() << "\n";
   if (!report.ok()) std::exit(1);
 }
+
+/// Parses `--stats`: when present, experiments append a run-resource
+/// summary (event throughput, job count, peak RSS, allocation counters)
+/// after their tables. Off by default so primary outputs stay byte-stable.
+inline bool stats_requested(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--stats") return true;
+  }
+  return false;
+}
+
+/// Wall-clock scope for print_run_stats: construct before the simulation,
+/// print after the output is flushed.
+class RunStats {
+ public:
+  RunStats() : start_(std::chrono::steady_clock::now()) {}
+
+  /// Prints events/sec (0 elapsed guards to 0), job count, peak RSS and the
+  /// operator-new counters ("n/a" under sanitizers; see util/memstats.hpp).
+  void print(std::uint64_t events, std::size_t jobs) const {
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start_)
+            .count();
+    std::cout << "\n[stats] events=" << events << " events/sec="
+              << static_cast<std::uint64_t>(
+                     seconds > 0.0 ? static_cast<double>(events) / seconds
+                                   : 0.0)
+              << " jobs=" << jobs << " peak_rss_mb="
+              << (peak_rss_bytes() / (1024.0 * 1024.0));
+    if (allocation_counting_enabled()) {
+      const AllocStats a = allocation_stats();
+      std::cout << " allocs=" << a.allocations
+                << " alloc_mb=" << (static_cast<double>(a.bytes) /
+                                    (1024.0 * 1024.0));
+    } else {
+      std::cout << " allocs=n/a";
+    }
+    std::cout << "\n";
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
 
 /// Parses `--csv[=path]`; returns the path (default `<name>.csv`) if given.
 inline std::optional<std::string> csv_path(int argc, char** argv,

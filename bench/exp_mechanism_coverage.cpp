@@ -7,8 +7,8 @@
 //  (b) the gateway attribute-coverage sweep: the paper's key measurement
 //      gap is that gateways only sometimes attach end-user attributes; we
 //      sweep the coverage rate and report the end-user undercount.
+#include <algorithm>
 #include <iostream>
-#include <map>
 #include <vector>
 
 #include "bench/exp_common.hpp"
@@ -83,23 +83,26 @@ int main(int argc, char** argv) {
 
         long gateway_jobs = 0;
         long attributed = 0;
-        // Identification delay: first *attributed* record of a label minus
-        // the label's activation time (ground truth from the population).
-        std::map<std::string, SimTime> first_seen;
+        // Identification delay: first *attributed* record of an end user
+        // minus their activation time (ground truth from the population).
+        // Dense by interned end-user id; -1 = never attributed.
+        std::vector<SimTime> first_seen(
+            scenario.population().end_user_pool.size(), SimTime{-1});
         std::vector<double> delays_days;
         for (const JobRecord& r : scenario.db().jobs()) {
           if (!r.gateway.valid()) continue;
           ++gateway_jobs;
-          if (r.gateway_end_user.empty()) continue;
+          if (!r.gateway_end_user.valid()) continue;
           ++attributed;
-          auto [it, inserted] =
-              first_seen.emplace(r.gateway_end_user, r.end_time);
-          if (!inserted) it->second = std::min(it->second, r.end_time);
+          SimTime& seen =
+              first_seen[static_cast<std::size_t>(r.gateway_end_user.value())];
+          seen = seen < 0 ? r.end_time : std::min(seen, r.end_time);
         }
         for (const auto& eu : scenario.population().gateway_end_users) {
-          const auto it = first_seen.find(eu.label);
-          if (it == first_seen.end()) continue;
-          delays_days.push_back(to_days(it->second - eu.active_from));
+          const SimTime seen =
+              first_seen[static_cast<std::size_t>(eu.id.value())];
+          if (seen < 0) continue;
+          delays_days.push_back(to_days(seen - eu.active_from));
         }
         row.job_frac = gateway_jobs > 0
                            ? static_cast<double>(attributed) / gateway_jobs

@@ -20,10 +20,14 @@ int main(int argc, char** argv) {
   scenario.run();
 
   const RuleClassifier classifier;
-  // Whole quarters only; the drain tail past 8 x 91 days is excluded.
+  // Whole quarters only; the drain tail past 8 x 91 days is excluded. The
+  // eight windows classify in parallel (index-ordered fan-in keeps the
+  // series byte-identical at every --jobs level).
+  Replicator workers(exp::jobs_requested(argc, argv));
   const ModalityTimeSeries series =
       quarterly_series(scenario.platform(), scenario.db(), classifier, 0,
-                       8 * kQuarter, scenario.config().features);
+                       8 * kQuarter, scenario.config().features,
+                       workers.pool());
 
   std::vector<std::string> header{"Quarter"};
   for (std::size_t m = 0; m < kModalityCount; ++m) {

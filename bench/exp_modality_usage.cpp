@@ -12,14 +12,19 @@ int main(int argc, char** argv) {
   using namespace tg;
   exp::banner("T2", "Usage modalities on the simulated TeraGrid, 1 year");
 
+  const exp::RunStats stats;
   ScenarioConfig config;
   config.seed = 42;
   config.horizon = kYear;
   Scenario scenario(std::move(config));
   scenario.run();
 
+  // The replication pool doubles as the analytics pool: per-user feature
+  // extraction fans out across it with index-ordered fan-in, so the report
+  // is byte-identical at every --jobs level.
+  Replicator workers(exp::jobs_requested(argc, argv));
   const RuleClassifier classifier;
-  const ModalityReport report = scenario.report(classifier);
+  const ModalityReport report = scenario.report(classifier, workers.pool());
 
   std::cout << "Platform: 11 sites, "
             << scenario.platform().compute().size() << " compute systems, "
@@ -48,6 +53,10 @@ int main(int argc, char** argv) {
   }
   if (exp::engine_stats_requested(argc, argv)) {
     exp::print_engine_stats(scenario.engine());
+  }
+  if (exp::stats_requested(argc, argv)) {
+    stats.print(scenario.engine().events_processed(),
+                scenario.db().jobs().size());
   }
   if (exp::invariants_requested(argc, argv)) {
     exp::print_invariants(check_invariants(

@@ -8,12 +8,15 @@
 // visibility when the gateway under-reports attributes.
 //
 // Run: ./build/examples/gateway_campaign
+#include <algorithm>
+#include <cstdint>
 #include <iostream>
-#include <set>
+#include <vector>
 
 #include "accounting/usage_db.hpp"
 #include "gateway/gateway.hpp"
 #include "util/distributions.hpp"
+#include "util/string_pool.hpp"
 #include "util/table.hpp"
 
 using namespace tg;
@@ -24,6 +27,7 @@ namespace {
 /// random time and then submits sessions of small jobs.
 UsageDatabase run_gateway(double attribute_coverage, int users,
                           Duration horizon, std::uint64_t seed) {
+  StringPool labels;
   const Platform platform = teragrid_2010();
   Engine engine;
   SchedulerPool pool(engine, platform);
@@ -47,7 +51,9 @@ UsageDatabase run_gateway(double attribute_coverage, int users,
     // Uniform adoption over the horizon: the community grows.
     const SimTime active_from =
         static_cast<SimTime>(rng.uniform(0, static_cast<double>(horizon)));
-    const std::string label = "nanohub:user" + std::to_string(u);
+    // Interned in user order, so end-user id == u (dense, 0-based).
+    const EndUserId end_user =
+        labels.intern("nanohub:user" + std::to_string(u));
     // Pre-plan this user's sessions (open-loop).
     SimTime t = active_from;
     Rng user_rng = rng.fork(static_cast<std::uint64_t>(u));
@@ -61,9 +67,9 @@ UsageDatabase run_gateway(double attribute_coverage, int users,
             kMinute, static_cast<Duration>(runtime.sample(user_rng) * kHour));
         spec.requested_walltime = 2 * spec.actual_runtime;
         engine.schedule_at(t + j * 5 * kMinute,
-                           [&gateway, label, spec, u, &rng]() mutable {
+                           [&gateway, end_user, spec, u, &rng]() mutable {
                              Rng submit_rng = rng.fork(0xabcd + u);
-                             gateway.submit(label, spec, submit_rng);
+                             gateway.submit(end_user, spec, submit_rng);
                            });
       }
     }
@@ -84,18 +90,24 @@ int main() {
   for (const double coverage : {1.0, 0.8, 0.4}) {
     const UsageDatabase db = run_gateway(coverage, kUsers, kHorizon, 17);
 
-    std::set<std::string> identified;
+    // Dense seen-bitmap over interned end-user ids (id == portal user
+    // index; see run_gateway).
+    std::vector<std::uint8_t> identified(kUsers, 0);
+    long identified_count = 0;
     double attributed_nu = 0.0;
     double total_nu = 0.0;
     for (const JobRecord& r : db.jobs()) {
       total_nu += r.charged_nu;
-      if (!r.gateway_end_user.empty()) {
-        identified.insert(r.gateway_end_user);
+      if (r.gateway_end_user.valid()) {
+        std::uint8_t& slot =
+            identified[static_cast<std::size_t>(r.gateway_end_user.value())];
+        identified_count += 1 - slot;
+        slot = 1;
         attributed_nu += r.charged_nu;
       }
     }
     std::cout << "attribute coverage " << Table::pct(coverage, 0) << ": "
-              << db.jobs().size() << " jobs, " << identified.size() << "/"
+              << db.jobs().size() << " jobs, " << identified_count << "/"
               << kUsers << " end users identified, "
               << Table::pct(total_nu > 0 ? attributed_nu / total_nu : 0.0)
               << " of charge attributable\n";
@@ -104,14 +116,18 @@ int main() {
   std::cout << "\nQuarterly distinct end users (coverage 80%):\n";
   const UsageDatabase db = run_gateway(0.8, kUsers, kHorizon, 17);
   for (int q = 0; q < 4; ++q) {
-    std::set<std::string> quarter_users;
+    std::vector<std::uint8_t> quarter_users(kUsers, 0);
+    long quarter_count = 0;
     for (const JobRecord& r : db.jobs()) {
       if (r.end_time >= q * kQuarter && r.end_time < (q + 1) * kQuarter &&
-          !r.gateway_end_user.empty()) {
-        quarter_users.insert(r.gateway_end_user);
+          r.gateway_end_user.valid()) {
+        std::uint8_t& slot = quarter_users[static_cast<std::size_t>(
+            r.gateway_end_user.value())];
+        quarter_count += 1 - slot;
+        slot = 1;
       }
     }
-    std::cout << "  Q" << (q + 1) << ": " << quarter_users.size()
+    std::cout << "  Q" << (q + 1) << ": " << quarter_count
               << " active end users\n";
   }
   return 0;

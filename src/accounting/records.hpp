@@ -10,10 +10,10 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <string>
 
 #include "des/time.hpp"
 #include "sched/job.hpp"
+#include "util/error.hpp"
 #include "util/ids.hpp"
 
 namespace tg {
@@ -44,10 +44,13 @@ inline constexpr std::size_t kDispositionCount = 6;
   return "unknown";
 }
 
-[[nodiscard]] constexpr Disposition disposition_of(JobState s) {
+/// Disposition of an *ended* attempt. Live states (kQueued/kRunning) are a
+/// recorder bug — a record written for a job that never finished — and
+/// fail loudly instead of masquerading as kCompleted.
+[[nodiscard]] inline Disposition disposition_of(JobState s) {
   switch (s) {
     case JobState::kQueued:
-    case JobState::kRunning:
+    case JobState::kRunning: break;
     case JobState::kCompleted: return Disposition::kCompleted;
     case JobState::kFailed: return Disposition::kFailed;
     case JobState::kKilled: return Disposition::kWalltimeKilled;
@@ -55,7 +58,9 @@ inline constexpr std::size_t kDispositionCount = 6;
     case JobState::kKilledByOutage: return Disposition::kKilledByOutage;
     case JobState::kCancelled: return Disposition::kCancelled;
   }
-  return Disposition::kCompleted;
+  TG_CHECK(false, "disposition_of(" << to_string(s)
+                                    << "): job has not ended");
+  return Disposition::kCompleted;  // unreachable
 }
 
 /// True if no later record for the same job can follow (kRequeued attempts
@@ -83,9 +88,11 @@ struct JobRecord {
   double charged_su = 0.0;  ///< core-hours
   double charged_nu = 0.0;  ///< normalized units (SU x machine factor)
   // Attributes (the paper's measurement hooks):
-  GatewayId gateway;             ///< valid if submitted via a gateway
-  std::string gateway_end_user;  ///< end-user attribute; empty if unreported
-  WorkflowId workflow;           ///< valid if part of a workflow/ensemble
+  GatewayId gateway;           ///< valid if submitted via a gateway
+  /// Interned end-user attribute (resolve labels through the database's
+  /// StringPool); invalid if unreported.
+  EndUserId gateway_end_user;
+  WorkflowId workflow;         ///< valid if part of a workflow/ensemble
   bool interactive = false;
   bool coallocated = false;
   bool viz_resource = false;  ///< ran on a visualization system

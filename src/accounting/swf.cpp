@@ -46,7 +46,11 @@ std::string to_swf_line(const JobRecord& r, long job_number) {
      << to_swf_status(r.final_state) << ' '  // 11 status
      << r.user.value() << ' '        // 12 user
      << r.project.value() << ' '     // 13 group (project)
-     << -1 << ' '                    // 14 executable
+        // 14 executable: the interned gateway end-user id, so the
+        // attribute round-trips through export/import without strings.
+     << (r.gateway_end_user.valid()
+             ? static_cast<long>(r.gateway_end_user.value())
+             : -1) << ' '
      << (r.gateway.valid() ? 1 : 0) << ' '  // 15 queue (gateway flag)
      << r.resource.value() << ' '    // 16 partition (resource)
      << -1 << ' '                    // 17 preceding job
@@ -59,6 +63,7 @@ void export_swf(const UsageDatabase& db, std::ostream& out,
   out << "; SWF export from tgsim\n"
       << "; Computer: " << platform_name << "\n"
       << "; MaxJobs: " << db.jobs().size() << "\n"
+      << "; Note: field 14 (executable) is the interned gateway end-user id\n"
       << "; Note: field 15 (queue) is 1 for science-gateway jobs\n"
       << "; Note: field 16 (partition) is the tgsim resource id\n";
   long number = 1;
@@ -109,6 +114,7 @@ std::vector<SwfJob> import_swf(std::istream& in, SwfParseStats* stats) {
     job.status = static_cast<int>(f[10]);
     job.user = f[11];
     job.group = f[12];
+    job.executable = f[13];
     job.partition = f[15];
     out.push_back(job);
   }
@@ -122,6 +128,10 @@ JobRequest to_request(const SwfJob& job, int cores_per_node) {
   if (job.user >= 0) req.user = UserId{static_cast<UserId::rep>(job.user)};
   if (job.group >= 0) {
     req.project = ProjectId{static_cast<ProjectId::rep>(job.group)};
+  }
+  if (job.executable >= 0) {
+    req.gateway_end_user =
+        EndUserId{static_cast<EndUserId::rep>(job.executable)};
   }
   const long procs =
       std::max(1L, job.requested_procs > 0 ? job.requested_procs

@@ -30,6 +30,7 @@ struct SwfJob {
   int status = -1;  ///< 1 completed, 0 failed/killed, 5 cancelled
   long user = -1;
   long group = -1;  ///< we map the project here
+  long executable = -1;  ///< we map the interned gateway end-user id here
   long partition = -1;  ///< we map the resource id here
 };
 

@@ -2,13 +2,17 @@
 // it from live simulator components.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <functional>
 #include <mutex>
+#include <string_view>
 #include <vector>
 
 #include <array>
+
+#include "util/string_pool.hpp"
 
 #include "accounting/charge.hpp"
 #include "accounting/ledger.hpp"
@@ -57,13 +61,17 @@ class UsageDatabase {
         transfers_(std::move(other.transfers_)),
         sessions_(std::move(other.sessions_)),
         total_nu_(other.total_nu_),
-        disposition_counts_(other.disposition_counts_) {}
+        disposition_counts_(other.disposition_counts_),
+        end_user_limit_(other.end_user_limit_),
+        end_user_pool_(other.end_user_pool_) {}
   UsageDatabase& operator=(UsageDatabase&& other) noexcept {
     jobs_ = std::move(other.jobs_);
     transfers_ = std::move(other.transfers_);
     sessions_ = std::move(other.sessions_);
     total_nu_ = other.total_nu_;
     disposition_counts_ = other.disposition_counts_;
+    end_user_limit_ = other.end_user_limit_;
+    end_user_pool_ = other.end_user_pool_;
     jobs_index_.invalidate();
     transfers_index_.invalidate();
     sessions_index_.invalidate();
@@ -73,6 +81,10 @@ class UsageDatabase {
   void add(JobRecord r) {
     total_nu_ += r.charged_nu;
     ++disposition_counts_[static_cast<std::size_t>(r.disposition)];
+    if (r.gateway_end_user.valid()) {
+      end_user_limit_ = std::max(end_user_limit_,
+                                 r.gateway_end_user.value() + 1);
+    }
     jobs_.push_back(std::move(r));
     jobs_index_.invalidate();
   }
@@ -117,6 +129,28 @@ class UsageDatabase {
   /// Users are dense small integers, so [0, user_id_limit()) enumerates
   /// every possible record owner in id order.
   [[nodiscard]] UserId::rep user_id_limit() const;
+
+  /// One past the largest interned end-user id in any job record (0 if no
+  /// record carries the attribute). Maintained on append; O(1). Analytics
+  /// use it to size dense per-end-user tables.
+  [[nodiscard]] EndUserId::rep end_user_id_limit() const {
+    return end_user_limit_;
+  }
+
+  /// Borrows the pool that interned this database's end-user attributes,
+  /// for resolving ids back to labels at the I/O boundary (SWF export,
+  /// display). The pool must outlive the database. May be null — queries
+  /// and analytics never need it.
+  void set_end_user_pool(const StringPool* pool) { end_user_pool_ = pool; }
+  [[nodiscard]] const StringPool* end_user_pool() const {
+    return end_user_pool_;
+  }
+  /// Label for an interned end-user id; empty when the id is invalid or no
+  /// pool is attached.
+  [[nodiscard]] std::string_view end_user_label(EndUserId id) const {
+    return end_user_pool_ != nullptr ? end_user_pool_->at(id)
+                                     : std::string_view{};
+  }
 
   /// The append-order row range [first, last) covering exactly the records
   /// whose end time falls in [from, to) — available when the stream is
@@ -181,6 +215,8 @@ class UsageDatabase {
   std::vector<SessionRecord> sessions_;
   double total_nu_ = 0.0;
   std::array<std::uint64_t, kDispositionCount> disposition_counts_{};
+  EndUserId::rep end_user_limit_ = 0;
+  const StringPool* end_user_pool_ = nullptr;
   StreamIndex jobs_index_;
   StreamIndex transfers_index_;
   StreamIndex sessions_index_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "parallel/thread_pool.hpp"
 #include "util/error.hpp"
 #include "util/stats.hpp"
 
@@ -70,8 +71,8 @@ template <class Record>
 void gather_csr(const std::vector<Record>& records,
                 UsageDatabase::RowRange range, SimTime from, SimTime to,
                 std::size_t limit, std::vector<std::uint32_t>& offsets,
-                std::vector<std::uint32_t>& cursor,
                 std::vector<const Record*>& items) {
+  std::vector<std::uint32_t> cursor;
   offsets.assign(limit + 1, 0);
   const auto each = [&](auto&& fn) {
     if (range.contiguous) {
@@ -106,31 +107,69 @@ std::span<const Record* const> user_span(
 
 }  // namespace
 
+namespace {
+
+/// Read-only CSR gather of one extraction window, shared by every worker:
+/// per-user offsets (size limit+1) and flat record-pointer arrays, one pair
+/// per stream. Built sequentially, then only read.
+struct Gather {
+  std::vector<std::uint32_t> job_off, transfer_off, session_off;
+  std::vector<const JobRecord*> job_items;
+  std::vector<const TransferRecord*> transfer_items;
+  std::vector<const SessionRecord*> session_items;
+};
+
+}  // namespace
+
 std::vector<UserFeatures> FeatureExtractor::extract(const UsageDatabase& db,
-                                                    SimTime from,
-                                                    SimTime to) const {
+                                                    SimTime from, SimTime to,
+                                                    ThreadPool* pool) const {
   // Columnar pass: CSR-gather each stream's window once (sequential), then
   // walk users in id order over dense buckets. No maps, no per-user
   // allocation, no random access into the record arrays.
   db.ensure_indexes();
   const auto limit = static_cast<std::size_t>(db.user_id_limit());
-  Scratch scratch;
+  Gather gather;
   gather_csr(db.jobs(), db.job_window(from, to), from, to, limit,
-             scratch.job_off, scratch.cursor, scratch.job_items);
+             gather.job_off, gather.job_items);
   gather_csr(db.transfers(), db.transfer_window(from, to), from, to, limit,
-             scratch.transfer_off, scratch.cursor, scratch.transfer_items);
+             gather.transfer_off, gather.transfer_items);
   gather_csr(db.sessions(), db.session_window(from, to), from, to, limit,
-             scratch.session_off, scratch.cursor, scratch.session_items);
-  std::vector<UserFeatures> out;
+             gather.session_off, gather.session_items);
+  // Users with any record in the window, in id order — the output rows.
+  std::vector<std::uint32_t> active;
   for (std::size_t u = 0; u < limit; ++u) {
-    const auto jobs = user_span(scratch.job_off, scratch.job_items, u);
-    const auto transfers =
-        user_span(scratch.transfer_off, scratch.transfer_items, u);
-    const auto sessions =
-        user_span(scratch.session_off, scratch.session_items, u);
-    if (jobs.empty() && transfers.empty() && sessions.empty()) continue;
-    out.push_back(compute(UserId{static_cast<UserId::rep>(u)}, jobs,
-                          transfers, sessions, scratch));
+    if (gather.job_off[u] != gather.job_off[u + 1] ||
+        gather.transfer_off[u] != gather.transfer_off[u + 1] ||
+        gather.session_off[u] != gather.session_off[u + 1]) {
+      active.push_back(static_cast<std::uint32_t>(u));
+    }
+  }
+  std::vector<UserFeatures> out(active.size());
+  const auto run_range = [&](std::size_t lo, std::size_t hi,
+                             Scratch& scratch) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      const auto u = static_cast<std::size_t>(active[i]);
+      out[i] = compute(UserId{static_cast<UserId::rep>(u)},
+                       user_span(gather.job_off, gather.job_items, u),
+                       user_span(gather.transfer_off, gather.transfer_items, u),
+                       user_span(gather.session_off, gather.session_items, u),
+                       scratch);
+    }
+  };
+  if (pool == nullptr || pool->size() <= 1 || active.size() < 2) {
+    Scratch scratch;
+    run_range(0, active.size(), scratch);
+  } else {
+    // Contiguous id-ordered chunks; each worker fills disjoint output rows
+    // with its own scratch, so the result is byte-identical to the
+    // sequential pass. More chunks than workers evens out skewed users.
+    const std::size_t chunks = std::min(active.size(), pool->size() * 4);
+    parallel_for(*pool, chunks, [&](std::size_t c) {
+      Scratch scratch;
+      run_range(active.size() * c / chunks, active.size() * (c + 1) / chunks,
+                scratch);
+    });
   }
   return out;
 }

@@ -62,6 +62,8 @@ struct FeatureConfig {
   int burst_min_jobs = 8;
 };
 
+class ThreadPool;
+
 class FeatureExtractor {
  public:
   FeatureExtractor(const Platform& platform, FeatureConfig config = {});
@@ -69,19 +71,25 @@ class FeatureExtractor {
   /// Features for every user with at least one record whose end time falls
   /// in [from, to). Sorted by user id. Drives the database's columnar
   /// per-user indexes in one pass; no per-user map/set allocation.
-  [[nodiscard]] std::vector<UserFeatures> extract(const UsageDatabase& db,
-                                                  SimTime from,
-                                                  SimTime to) const;
+  ///
+  /// With a non-null `pool`, per-user computation fans out over the pool in
+  /// contiguous id-ordered chunks and the results land by index, so the
+  /// output is byte-identical to the sequential pass at any worker count.
+  /// Must not be called from a task already running on `pool` (the wait
+  /// would occupy a worker the chunks need).
+  [[nodiscard]] std::vector<UserFeatures> extract(
+      const UsageDatabase& db, SimTime from, SimTime to,
+      ThreadPool* pool = nullptr) const;
 
   /// Features for one user (empty-record users yield a zeroed entry).
   [[nodiscard]] UserFeatures extract_user(const UsageDatabase& db, UserId user,
                                           SimTime from, SimTime to) const;
 
  private:
-  /// Reusable buffers shared across the users of one extraction pass:
-  /// CSR-gathered record pointers (one flat array + offsets per stream),
-  /// runtime samples, the burst-detection geometry arena, and a stamped
-  /// distinct-resource marker. Allocated once per pass, cleared per user.
+  /// Per-worker buffers reused across the users one worker computes:
+  /// runtime samples, the burst-detection geometry arena, a stamped
+  /// distinct-resource marker and the extract_user record window. Never
+  /// shared between threads.
   struct Scratch {
     struct Geometry {
       int nodes;
@@ -93,12 +101,6 @@ class FeatureExtractor {
     std::vector<Geometry> geometry;
     std::vector<std::uint32_t> resource_mark;
     std::uint32_t resource_stamp = 0;
-    /// CSR gather state: per-user offsets (size limit+1) and flat
-    /// pointer arrays, one pair per record stream, plus a shared cursor.
-    std::vector<std::uint32_t> job_off, transfer_off, session_off, cursor;
-    std::vector<const JobRecord*> job_items;
-    std::vector<const TransferRecord*> transfer_items;
-    std::vector<const SessionRecord*> session_items;
   };
 
   [[nodiscard]] UserFeatures compute(

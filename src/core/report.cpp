@@ -1,28 +1,48 @@
 #include "core/report.hpp"
 
-#include <map>
-#include <set>
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+
+#include "parallel/thread_pool.hpp"
 
 namespace tg {
 
 int count_gateway_end_users(const UsageDatabase& db, SimTime from,
                             SimTime to) {
-  std::set<std::string> labels;
-  for (const auto& r : db.jobs()) {
-    if (r.end_time >= from && r.end_time < to && !r.gateway_end_user.empty()) {
-      labels.insert(r.gateway_end_user);
+  const auto limit = static_cast<std::size_t>(db.end_user_id_limit());
+  if (limit == 0) return 0;
+  std::vector<std::uint8_t> seen(limit, 0);
+  int count = 0;
+  const auto mark = [&](const JobRecord& r) {
+    if (!r.gateway_end_user.valid()) return;
+    std::uint8_t& slot = seen[static_cast<std::size_t>(
+        r.gateway_end_user.value())];
+    count += 1 - slot;
+    slot = 1;
+  };
+  const UsageDatabase::RowRange range = db.job_window(from, to);
+  if (range.contiguous) {
+    for (std::uint32_t i = range.first; i < range.last; ++i) {
+      mark(db.jobs()[i]);
+    }
+  } else {
+    for (const auto& r : db.jobs()) {
+      if (r.end_time >= from && r.end_time < to) mark(r);
     }
   }
-  return static_cast<int>(labels.size());
+  return count;
 }
 
 ModalityReport ModalityReport::build(const Platform& platform,
                                      const UsageDatabase& db,
                                      const RuleClassifier& classifier,
                                      SimTime from, SimTime to,
-                                     FeatureConfig feature_config) {
+                                     FeatureConfig feature_config,
+                                     ThreadPool* pool) {
   const FeatureExtractor extractor(platform, feature_config);
-  const std::vector<UserFeatures> features = extractor.extract(db, from, to);
+  const std::vector<UserFeatures> features =
+      extractor.extract(db, from, to, pool);
   const std::vector<ModalitySet> sets = classifier.classify(features);
 
   ModalityReport report;
@@ -76,20 +96,46 @@ ModalityTimeSeries quarterly_series(const Platform& platform,
                                     const UsageDatabase& db,
                                     const RuleClassifier& classifier,
                                     SimTime from, SimTime to,
-                                    FeatureConfig feature_config) {
+                                    FeatureConfig feature_config,
+                                    ThreadPool* pool) {
   ModalityTimeSeries series;
   const FeatureExtractor extractor(platform, feature_config);
+  std::vector<std::pair<SimTime, SimTime>> windows;
   for (SimTime q = from; q < to; q += series.bucket) {
-    const SimTime qend = std::min(q + series.bucket, to);
-    const auto features = extractor.extract(db, q, qend);
+    windows.emplace_back(q, std::min(q + series.bucket, to));
+  }
+  struct WindowCounts {
+    std::array<int, kModalityCount> primary{};
+    int gateway_end_users = 0;
+  };
+  const auto one = [&](std::size_t i) {
+    const auto [ws, we] = windows[i];
+    // Sequential extraction inside: the fan-out here is across windows.
+    const auto features = extractor.extract(db, ws, we);
     const auto sets = classifier.classify(features);
-    std::array<int, kModalityCount> counts{};
+    WindowCounts counts;
     for (const auto& s : sets) {
       if (s.members.none()) continue;
-      ++counts[static_cast<std::size_t>(s.primary)];
+      ++counts.primary[static_cast<std::size_t>(s.primary)];
     }
-    series.primary_users.push_back(counts);
-    series.gateway_end_users.push_back(count_gateway_end_users(db, q, qend));
+    counts.gateway_end_users = count_gateway_end_users(db, ws, we);
+    return counts;
+  };
+  std::vector<WindowCounts> counted;
+  if (pool != nullptr && pool->size() > 1 && windows.size() > 1) {
+    // Each window only reads the database; force the lazy index build
+    // before fanning out. Results land in index (chronological) order.
+    db.ensure_indexes();
+    counted = parallel_map<WindowCounts>(*pool, windows.size(), one);
+  } else {
+    counted.reserve(windows.size());
+    for (std::size_t i = 0; i < windows.size(); ++i) {
+      counted.push_back(one(i));
+    }
+  }
+  for (const WindowCounts& c : counted) {
+    series.primary_users.push_back(c.primary);
+    series.gateway_end_users.push_back(c.gateway_end_users);
   }
   return series;
 }

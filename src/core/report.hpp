@@ -20,14 +20,18 @@ struct ModalityRow {
   double nu_share = 0.0;
 };
 
+class ThreadPool;
+
 class ModalityReport {
  public:
-  /// Builds the modality usage report over the window [from, to).
+  /// Builds the modality usage report over the window [from, to). A
+  /// non-null `pool` parallelizes the per-user feature extraction
+  /// (deterministic: byte-identical output at any worker count).
   static ModalityReport build(const Platform& platform,
                               const UsageDatabase& db,
                               const RuleClassifier& classifier, SimTime from,
-                              SimTime to,
-                              FeatureConfig feature_config = {});
+                              SimTime to, FeatureConfig feature_config = {},
+                              ThreadPool* pool = nullptr);
 
   [[nodiscard]] const std::array<ModalityRow, kModalityCount>& rows() const {
     return rows_;
@@ -63,12 +67,18 @@ struct ModalityTimeSeries {
   Duration bucket = kQuarter;
 };
 
+/// A non-null `pool` fans the (independent) quarterly windows out across
+/// its workers and collects them in index order — byte-identical to the
+/// sequential pass at any worker count. Must not be called from a task
+/// already running on `pool`.
 [[nodiscard]] ModalityTimeSeries quarterly_series(
     const Platform& platform, const UsageDatabase& db,
     const RuleClassifier& classifier, SimTime from, SimTime to,
-    FeatureConfig feature_config = {});
+    FeatureConfig feature_config = {}, ThreadPool* pool = nullptr);
 
 /// Distinct gateway end-user attributes in job records ending in [from,to).
+/// One pass over the window's rows into a dense seen-bitmap sized by the
+/// database's interned end-user id limit — no strings, no set.
 [[nodiscard]] int count_gateway_end_users(const UsageDatabase& db,
                                           SimTime from, SimTime to);
 

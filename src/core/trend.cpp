@@ -1,42 +1,50 @@
 #include "core/trend.hpp"
 
+#include <algorithm>
 #include <cmath>
-#include <map>
 
 #include "core/features.hpp"
+#include "parallel/thread_pool.hpp"
 
 namespace tg {
 
-namespace {
-
-/// Window series for [from, to) in `bucket` steps, computed sequentially.
-std::vector<std::map<UserId, Modality>> classify_series(
-    const Platform& platform, const UsageDatabase& db,
-    const RuleClassifier& classifier, SimTime from, SimTime to,
-    Duration bucket, const FeatureConfig& features) {
-  std::vector<std::map<UserId, Modality>> series;
-  for (SimTime q = from; q + bucket <= to; q += bucket) {
-    series.push_back(
-        classify_window(platform, db, classifier, q, q + bucket, features));
-  }
-  return series;
-}
-
-}  // namespace
-
-std::map<UserId, Modality> classify_window(const Platform& platform,
-                                           const UsageDatabase& db,
-                                           const RuleClassifier& classifier,
-                                           SimTime from, SimTime to,
-                                           const FeatureConfig& features) {
+WindowModalities classify_window(const Platform& platform,
+                                 const UsageDatabase& db,
+                                 const RuleClassifier& classifier,
+                                 SimTime from, SimTime to,
+                                 const FeatureConfig& features) {
   const FeatureExtractor extractor(platform, features);
   const auto feats = extractor.extract(db, from, to);
   const auto sets = classifier.classify(feats);
-  std::map<UserId, Modality> out;
+  WindowModalities out(static_cast<std::size_t>(db.user_id_limit()),
+                       kInactiveUser);
   for (std::size_t i = 0; i < feats.size(); ++i) {
-    if (!sets[i].members.none()) out[feats[i].user] = sets[i].primary;
+    if (!sets[i].members.none()) {
+      out[static_cast<std::size_t>(feats[i].user.value())] =
+          static_cast<std::int8_t>(sets[i].primary);
+    }
   }
   return out;
+}
+
+std::vector<WindowModalities> classify_series(
+    const Platform& platform, const UsageDatabase& db,
+    const RuleClassifier& classifier, SimTime from, SimTime to,
+    Duration bucket, const FeatureConfig& features, ThreadPool* pool) {
+  std::vector<SimTime> starts;
+  for (SimTime q = from; q + bucket <= to; q += bucket) starts.push_back(q);
+  const auto one = [&](std::size_t i) {
+    return classify_window(platform, db, classifier, starts[i],
+                           starts[i] + bucket, features);
+  };
+  if (pool != nullptr && pool->size() > 1 && starts.size() > 1) {
+    db.ensure_indexes();  // keep the guarded lazy build off the fan-out
+    return parallel_map<WindowModalities>(*pool, starts.size(), one);
+  }
+  std::vector<WindowModalities> series;
+  series.reserve(starts.size());
+  for (std::size_t i = 0; i < starts.size(); ++i) series.push_back(one(i));
+  return series;
 }
 
 long ModalityChurn::total_transitions() const {
@@ -82,24 +90,26 @@ Table ModalityChurn::to_table() const {
   return t;
 }
 
-ModalityChurn churn_from(
-    const std::vector<std::map<UserId, Modality>>& series) {
+ModalityChurn churn_from(const std::vector<WindowModalities>& series) {
   ModalityChurn churn;
   for (std::size_t q = 1; q < series.size(); ++q) {
-    const auto& previous = series[q - 1];
-    const auto& current = series[q];
+    const WindowModalities& previous = series[q - 1];
+    const WindowModalities& current = series[q];
     ++churn.quarter_pairs;
-    for (const auto& [user, was] : previous) {
-      const auto it = current.find(user);
-      if (it == current.end()) {
-        ++churn.departed[static_cast<std::size_t>(was)];
-      } else {
+    // One linear sweep over the dense user axis; ids past a shorter
+    // window's end are inactive in that window.
+    const std::size_t n = std::max(previous.size(), current.size());
+    for (std::size_t u = 0; u < n; ++u) {
+      const std::int8_t was = u < previous.size() ? previous[u]
+                                                  : kInactiveUser;
+      const std::int8_t now = u < current.size() ? current[u]
+                                                 : kInactiveUser;
+      if (was >= 0 && now >= 0) {
         ++churn.transitions[static_cast<std::size_t>(was)]
-                           [static_cast<std::size_t>(it->second)];
-      }
-    }
-    for (const auto& [user, now] : current) {
-      if (!previous.count(user)) {
+                           [static_cast<std::size_t>(now)];
+      } else if (was >= 0) {
+        ++churn.departed[static_cast<std::size_t>(was)];
+      } else if (now >= 0) {
         ++churn.arrived[static_cast<std::size_t>(now)];
       }
     }
@@ -110,23 +120,22 @@ ModalityChurn churn_from(
 ModalityChurn compute_churn(const Platform& platform, const UsageDatabase& db,
                             const RuleClassifier& classifier, SimTime from,
                             SimTime to, Duration bucket,
-                            FeatureConfig features) {
-  return churn_from(
-      classify_series(platform, db, classifier, from, to, bucket, features));
+                            FeatureConfig features, ThreadPool* pool) {
+  return churn_from(classify_series(platform, db, classifier, from, to,
+                                    bucket, features, pool));
 }
 
-ModalityTrend trend_from(
-    const std::vector<std::map<UserId, Modality>>& series) {
+ModalityTrend trend_from(const std::vector<WindowModalities>& series) {
   ModalityTrend trend;
   trend.quarters = static_cast<int>(series.size());
   if (series.size() < 2) return trend;
   std::array<int, kModalityCount> first{};
   std::array<int, kModalityCount> last{};
-  for (const auto& [user, m] : series.front()) {
-    ++first[static_cast<std::size_t>(m)];
+  for (const std::int8_t m : series.front()) {
+    if (m >= 0) ++first[static_cast<std::size_t>(m)];
   }
-  for (const auto& [user, m] : series.back()) {
-    ++last[static_cast<std::size_t>(m)];
+  for (const std::int8_t m : series.back()) {
+    if (m >= 0) ++last[static_cast<std::size_t>(m)];
   }
   for (std::size_t m = 0; m < kModalityCount; ++m) {
     trend.first_quarter_users[m] = first[m];
@@ -144,9 +153,9 @@ ModalityTrend trend_from(
 ModalityTrend compute_trend(const Platform& platform, const UsageDatabase& db,
                             const RuleClassifier& classifier, SimTime from,
                             SimTime to, Duration bucket,
-                            FeatureConfig features) {
-  return trend_from(
-      classify_series(platform, db, classifier, from, to, bucket, features));
+                            FeatureConfig features, ThreadPool* pool) {
+  return trend_from(classify_series(platform, db, classifier, from, to,
+                                    bucket, features, pool));
 }
 
 }  // namespace tg

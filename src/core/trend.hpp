@@ -10,7 +10,7 @@
 #pragma once
 
 #include <array>
-#include <map>
+#include <cstdint>
 #include <vector>
 
 #include "core/classifier.hpp"
@@ -19,14 +19,34 @@
 
 namespace tg {
 
+class ThreadPool;
+
+/// One classified window, densely indexed by user id: entry u is the
+/// modality ordinal of user u's primary classification, or kInactiveUser
+/// when u had no classified activity in the window. Every window drawn
+/// from one database has the same length (the database's user_id_limit).
+using WindowModalities = std::vector<std::int8_t>;
+inline constexpr std::int8_t kInactiveUser = -1;
+
 /// Primary modality per user with any classified activity in [from, to).
 /// One entry of the quarterly series the churn/trend statistics run over;
 /// windows are independent, so callers may compute them in parallel and
 /// reduce with churn_from / trend_from.
-[[nodiscard]] std::map<UserId, Modality> classify_window(
+[[nodiscard]] WindowModalities classify_window(
     const Platform& platform, const UsageDatabase& db,
     const RuleClassifier& classifier, SimTime from, SimTime to,
     const FeatureConfig& features = {});
+
+/// The window series for [from, to) in `bucket` steps, chronological. With
+/// a non-null `pool` the (independent, read-only) windows fan out across
+/// its workers and land in index order — byte-identical to the sequential
+/// pass at any worker count. Must not be called from a task already
+/// running on `pool`.
+[[nodiscard]] std::vector<WindowModalities> classify_series(
+    const Platform& platform, const UsageDatabase& db,
+    const RuleClassifier& classifier, SimTime from, SimTime to,
+    Duration bucket = kQuarter, const FeatureConfig& features = {},
+    ThreadPool* pool = nullptr);
 
 /// Transition counts between consecutive reporting quarters.
 struct ModalityChurn {
@@ -49,15 +69,17 @@ struct ModalityChurn {
 /// Churn over an already-classified window series (consecutive windows in
 /// chronological order, as produced by classify_window per quarter).
 [[nodiscard]] ModalityChurn churn_from(
-    const std::vector<std::map<UserId, Modality>>& series);
+    const std::vector<WindowModalities>& series);
 
 /// Computes churn over consecutive `bucket`-sized windows of [from, to).
+/// A non-null `pool` parallelizes the window classifications.
 [[nodiscard]] ModalityChurn compute_churn(const Platform& platform,
                                           const UsageDatabase& db,
                                           const RuleClassifier& classifier,
                                           SimTime from, SimTime to,
                                           Duration bucket = kQuarter,
-                                          FeatureConfig features = {});
+                                          FeatureConfig features = {},
+                                          ThreadPool* pool = nullptr);
 
 /// Per-modality compound quarterly growth rate of primary-user counts over
 /// the series (last vs first non-empty quarter, annualized per quarter).
@@ -70,13 +92,15 @@ struct ModalityTrend {
 
 /// Growth over an already-classified window series.
 [[nodiscard]] ModalityTrend trend_from(
-    const std::vector<std::map<UserId, Modality>>& series);
+    const std::vector<WindowModalities>& series);
 
+/// A non-null `pool` parallelizes the window classifications.
 [[nodiscard]] ModalityTrend compute_trend(const Platform& platform,
                                           const UsageDatabase& db,
                                           const RuleClassifier& classifier,
                                           SimTime from, SimTime to,
                                           Duration bucket = kQuarter,
-                                          FeatureConfig features = {});
+                                          FeatureConfig features = {},
+                                          ThreadPool* pool = nullptr);
 
 }  // namespace tg

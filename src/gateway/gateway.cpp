@@ -23,7 +23,7 @@ Gateway::Gateway(Engine& engine, SchedulerPool& pool, GatewayId id,
              "attribute coverage must be a probability");
 }
 
-JobId Gateway::submit(const std::string& end_user, const GatewayJobSpec& spec,
+JobId Gateway::submit(EndUserId end_user, const GatewayJobSpec& spec,
                       Rng& rng) {
   if (!available_) {
     ++dropped_;

@@ -46,14 +46,13 @@ class Gateway {
   Gateway(Engine& engine, SchedulerPool& pool, GatewayId id,
           GatewayConfig config);
 
-  /// Submits a job on behalf of `end_user` (an opaque label such as
-  /// "nanohub:4711"). The target resource is sampled from the configured
-  /// weights; the end-user attribute is attached with probability
-  /// `attribute_coverage`. During a brownout the submission is dropped and
-  /// an invalid JobId is returned — what a user of a browned-out gateway
-  /// portal actually experiences.
-  JobId submit(const std::string& end_user, const GatewayJobSpec& spec,
-               Rng& rng);
+  /// Submits a job on behalf of `end_user` — the interned id of an opaque
+  /// label such as "nanohub:4711" (see Population::end_user_pool). The
+  /// target resource is sampled from the configured weights; the end-user
+  /// attribute is attached with probability `attribute_coverage`. During a
+  /// brownout the submission is dropped and an invalid JobId is returned —
+  /// what a user of a browned-out gateway portal actually experiences.
+  JobId submit(EndUserId end_user, const GatewayJobSpec& spec, Rng& rng);
 
   /// Brownout control (driven by src/fault/FaultModel): while unavailable,
   /// every submit is dropped.

@@ -32,6 +32,11 @@ class Replicator {
     return pool_ ? pool_->size() : 1;
   }
 
+  /// The underlying pool, or nullptr when running inline (--jobs=1).
+  /// Lets callers hand the same workers to pool-aware analytics stages
+  /// (ModalityReport::build, classify_series) between replication waves.
+  [[nodiscard]] ThreadPool* pool() const { return pool_.get(); }
+
   /// Runs fn(i) for i in [0, n) and returns the results in index order.
   /// Error contract matches parallel_map: every task settles before the
   /// first exception (in index order) is rethrown.

@@ -8,7 +8,6 @@
 #pragma once
 
 #include <cstdint>
-#include <string>
 
 #include "des/time.hpp"
 #include "util/ids.hpp"
@@ -42,9 +41,12 @@ struct JobRequest {
   Duration fail_after = 0;
 
   // --- provenance, copied into accounting records ---
-  GatewayId gateway;             ///< valid if submitted through a gateway
-  std::string gateway_end_user;  ///< gateway attribute; may be empty (gap)
-  WorkflowId workflow;           ///< valid if part of a workflow/ensemble
+  GatewayId gateway;           ///< valid if submitted through a gateway
+  /// Interned gateway end-user attribute (see util/string_pool.hpp);
+  /// invalid when unreported (the paper's measurement gap). Strings exist
+  /// only at the I/O boundary — the hot path moves this 4-byte id.
+  EndUserId gateway_end_user;
+  WorkflowId workflow;         ///< valid if part of a workflow/ensemble
   bool interactive = false;      ///< interactive/viz session job
   bool coallocated = false;      ///< part of a cross-site co-allocation
 };

@@ -1,7 +1,6 @@
 #include "sched/profile.hpp"
 
 #include <algorithm>
-#include <limits>
 
 #include "util/error.hpp"
 
@@ -16,8 +15,46 @@ void Profile::subtract(SimTime from, SimTime to, int nodes) {
   if (nodes == 0 || to <= from) return;
   from = std::max(from, now_);
   if (to <= from) return;
-  deltas_[from] -= nodes;
-  deltas_[to] += nodes;
+  if (!built_) {
+    events_.push_back({from, -nodes});
+    events_.push_back({to, nodes});
+    return;
+  }
+  apply(from, -nodes);
+  apply(to, nodes);
+}
+
+void Profile::apply(SimTime t, int delta) {
+  const auto it = std::lower_bound(
+      events_.begin(), events_.end(), t,
+      [](const Event& e, SimTime at) { return e.time < at; });
+  if (it != events_.end() && it->time == t) {
+    it->delta += delta;  // zero-sum entries are harmless in the sweep
+    return;
+  }
+  events_.insert(it, Event{t, delta});
+}
+
+void Profile::ensure_built() const {
+  if (built_) return;
+  std::sort(events_.begin(), events_.end(),
+            [](const Event& a, const Event& b) { return a.time < b.time; });
+  // Merge runs of equal times in place; summation makes the result
+  // independent of the (unspecified) tie order after the sort.
+  std::size_t out = 0;
+  std::size_t i = 0;
+  while (i < events_.size()) {
+    Event merged = events_[i];
+    std::size_t j = i + 1;
+    while (j < events_.size() && events_[j].time == merged.time) {
+      merged.delta += events_[j].delta;
+      ++j;
+    }
+    events_[out++] = merged;
+    i = j;
+  }
+  events_.resize(out);
+  built_ = true;
 }
 
 void Profile::add_fence(SimTime t) {
@@ -28,10 +65,11 @@ void Profile::add_fence(SimTime t) {
 }
 
 int Profile::free_at(SimTime t) const {
+  ensure_built();
   int free = capacity_;
-  for (const auto& [time, delta] : deltas_) {
-    if (time > t) break;
-    free += delta;
+  for (const Event& e : events_) {
+    if (e.time > t) break;
+    free += e.delta;
   }
   return free;
 }
@@ -39,6 +77,7 @@ int Profile::free_at(SimTime t) const {
 SimTime Profile::earliest_fit(int nodes, Duration duration,
                               SimTime earliest) const {
   TG_REQUIRE(nodes >= 0 && duration >= 0, "bad fit query");
+  ensure_built();
   earliest = std::max(earliest, now_);
   if (nodes > capacity_) return -1;
 
@@ -56,17 +95,17 @@ SimTime Profile::earliest_fit(int nodes, Duration duration,
   };
   note_feasible(now_);
 
-  auto d = deltas_.begin();
+  auto d = events_.begin();
   auto f = std::upper_bound(fences_.begin(), fences_.end(), earliest);
-  while (d != deltas_.end() || f != fences_.end()) {
+  while (d != events_.end() || f != fences_.end()) {
     const bool take_delta =
-        f == fences_.end() || (d != deltas_.end() && d->first <= *f);
-    const SimTime t = take_delta ? d->first : *f;
+        f == fences_.end() || (d != events_.end() && d->time <= *f);
+    const SimTime t = take_delta ? d->time : *f;
     // The run [s, t) is feasible; done if the job fits before this event.
     if (s >= 0 && s + duration <= t) return s;
     if (take_delta) {
-      // Merge all deltas at time t (map keys are unique, so just one).
-      free += d->second;
+      // Times are unique after the merge, so one event per step.
+      free += d->delta;
       ++d;
       // A fence at exactly t must also be processed before continuing.
       if (f != fences_.end() && *f == t) {

@@ -1,8 +1,16 @@
 // Node-availability profile: piecewise-constant free-node count over future
 // time, used by all scheduling policies to find feasible start times.
+//
+// Representation: a flat vector of (time, delta) breakpoints instead of a
+// std::map. Profiles are built in bulk (one subtract per running job /
+// reservation) and then swept repeatedly by earliest_fit, so the events
+// accumulate unsorted and are sorted + merged once on first query; the
+// occasional subtract *after* a query (a job started or reserved mid-pass)
+// splices into the sorted vector in place. The sweep itself is a linear
+// scan over contiguous memory — no per-node pointer chases, no tree
+// rebalancing, no per-breakpoint allocation.
 #pragma once
 
-#include <map>
 #include <vector>
 
 #include "des/time.hpp"
@@ -35,10 +43,22 @@ class Profile {
   [[nodiscard]] int capacity() const { return capacity_; }
 
  private:
+  /// Delta encoding: free(t) = capacity + sum of deltas at times <= t.
+  struct Event {
+    SimTime time;
+    int delta;
+  };
+
+  /// Sorts the accumulated events and merges equal times (delta summation
+  /// is commutative, so the result is independent of insertion order).
+  void ensure_built() const;
+  /// Post-build insertion keeping events_ sorted with unique times.
+  void apply(SimTime t, int delta);
+
   SimTime now_;
   int capacity_;
-  /// Delta encoding: free(t) = capacity + sum of deltas at times <= t.
-  std::map<SimTime, int> deltas_;
+  mutable std::vector<Event> events_;
+  mutable bool built_ = false;
   std::vector<SimTime> fences_;  // kept sorted
 };
 

@@ -89,6 +89,58 @@ JobId ResourceScheduler::allocate_job_id() {
   return JobId{next_job_++};
 }
 
+ResourceScheduler::JobSlot* ResourceScheduler::find_slot(JobId id) {
+  if (!id.valid()) return nullptr;
+  const auto local = static_cast<std::uint64_t>(id.value() - job_id_base_);
+  if (local >= slot_index_.size()) return nullptr;
+  const std::uint32_t slot = slot_index_[local];
+  return slot == kNoSlot ? nullptr : &slots_[slot];
+}
+
+const ResourceScheduler::JobSlot* ResourceScheduler::find_slot(
+    JobId id) const {
+  return const_cast<ResourceScheduler*>(this)->find_slot(id);
+}
+
+ResourceScheduler::JobSlot& ResourceScheduler::slot_at(JobId id) {
+  JobSlot* s = find_slot(id);
+  TG_CHECK(s != nullptr, "job " << id << " is not live on " << resource_.name);
+  return *s;
+}
+
+const ResourceScheduler::JobSlot& ResourceScheduler::slot_at(JobId id) const {
+  return const_cast<ResourceScheduler*>(this)->slot_at(id);
+}
+
+ResourceScheduler::JobSlot& ResourceScheduler::acquire_slot(JobId id) {
+  const auto local = static_cast<std::size_t>(id.value() - job_id_base_);
+  if (local >= slot_index_.size()) slot_index_.resize(local + 1, kNoSlot);
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  slot_index_[local] = slot;
+  JobSlot& s = slots_[slot];
+  s.live = true;
+  return s;
+}
+
+void ResourceScheduler::release_slot(JobId id) {
+  const auto local = static_cast<std::size_t>(id.value() - job_id_base_);
+  const std::uint32_t slot = slot_index_[local];
+  slot_index_[local] = kNoSlot;
+  JobSlot& s = slots_[slot];
+  s.job = Job{};
+  s.end_event = kInvalidEvent;
+  s.reservation = ReservationId{};
+  s.live = false;
+  free_slots_.push_back(slot);
+}
+
 Duration ResourceScheduler::planned_duration(const Job& job) const {
   return job.req.requested_walltime;
 }
@@ -105,13 +157,12 @@ JobId ResourceScheduler::submit(JobRequest request) {
   TG_REQUIRE(request.actual_runtime > 0, "actual runtime must be positive");
 
   const JobId id = allocate_job_id();
-  Job job;
+  Job& job = acquire_slot(id).job;
   job.id = id;
   job.resource = resource_.id;
   job.req = std::move(request);
   job.submit_time = engine_.now();
   job.state = JobState::kQueued;
-  jobs_.emplace(id, std::move(job));
   queue_.push_back(id);
   schedule_pass();
   return id;
@@ -120,9 +171,9 @@ JobId ResourceScheduler::submit(JobRequest request) {
 bool ResourceScheduler::queue_entry_live(JobId id) const {
   // A preempted job awaiting its backoff is kQueued but must not be
   // schedulable through the stale entry of its previous attempt.
-  const auto it = jobs_.find(id);
-  return it != jobs_.end() && it->second.state == JobState::kQueued &&
-         !it->second.requeue_pending;
+  const JobSlot* s = find_slot(id);
+  return s != nullptr && s->job.state == JobState::kQueued &&
+         !s->job.requeue_pending;
 }
 
 void ResourceScheduler::compact_queue() {
@@ -132,16 +183,15 @@ void ResourceScheduler::compact_queue() {
 }
 
 bool ResourceScheduler::cancel(JobId id) {
-  const auto it = jobs_.find(id);
-  if (it == jobs_.end() || it->second.state != JobState::kQueued) return false;
-  Job job = std::move(it->second);
-  jobs_.erase(it);
-  const auto rit = job_reservation_.find(id);
-  if (rit != job_reservation_.end()) {
+  JobSlot* s = find_slot(id);
+  if (s == nullptr || s->job.state != JobState::kQueued) return false;
+  Job job = std::move(s->job);
+  const ReservationId res = s->reservation;
+  release_slot(id);
+  if (res.valid()) {
     // Reservation-attached jobs wait on their window, not in queue_;
     // detach so the reservation opens empty instead of dangling.
-    reservations_.at(rit->second).attached_job = JobId{};
-    job_reservation_.erase(rit);
+    reservations_.at(res.value()).attached_job = JobId{};
   } else if (job.requeue_pending) {
     // Preempted and awaiting its backoff: not in queue_, so there is no
     // entry to tombstone; the pending requeue event finds the job gone.
@@ -173,7 +223,7 @@ ReservationId ResourceScheduler::reserve(SimTime start, Duration duration,
   r.start = start;
   r.end = start + duration;
   r.nodes = nodes;
-  reservations_.emplace(id, r);
+  reservations_.insert_or_assign(id.value(), r);
   // Default (not completion) priority: at a tick where a running job's
   // planned end coincides with the reservation start, the job's release
   // must be processed before this acquisition.
@@ -186,9 +236,9 @@ ReservationId ResourceScheduler::reserve(SimTime start, Duration duration,
 
 JobId ResourceScheduler::attach_to_reservation(ReservationId id,
                                                JobRequest request) {
-  auto it = reservations_.find(id);
-  TG_REQUIRE(it != reservations_.end(), "unknown reservation " << id);
-  Reservation& r = it->second;
+  Reservation* rp = reservations_.find(id.value());
+  TG_REQUIRE(rp != nullptr, "unknown reservation " << id);
+  Reservation& r = *rp;
   TG_REQUIRE(!r.started, "reservation already started");
   TG_REQUIRE(!r.attached_job.valid(), "reservation already has a job");
   TG_REQUIRE(request.nodes <= r.nodes,
@@ -198,33 +248,35 @@ JobId ResourceScheduler::attach_to_reservation(ReservationId id,
              "job walltime exceeds reservation window");
 
   const JobId jid = allocate_job_id();
-  Job job;
+  JobSlot& slot = acquire_slot(jid);
+  Job& job = slot.job;
   job.id = jid;
   job.resource = resource_.id;
   job.req = std::move(request);
   job.submit_time = engine_.now();
   job.state = JobState::kQueued;
-  jobs_.emplace(jid, std::move(job));
+  slot.reservation = id;
   r.attached_job = jid;
-  job_reservation_.emplace(jid, id);
   return jid;
 }
 
 bool ResourceScheduler::cancel_reservation(ReservationId id) {
-  const auto it = reservations_.find(id);
-  if (it == reservations_.end() || it->second.started) return false;
-  if (it->second.attached_job.valid()) {
-    const auto jit = jobs_.find(it->second.attached_job);
-    if (jit != jobs_.end()) {
-      Job job = std::move(jit->second);
-      jobs_.erase(jit);
-      job_reservation_.erase(job.id);
+  const Reservation* rp = reservations_.find(id.value());
+  if (rp == nullptr || rp->started) return false;
+  // Erase before firing callbacks: an observer that places a new
+  // reservation would rehash the table out from under `rp`.
+  const JobId attached = rp->attached_job;
+  reservations_.erase(id.value());
+  if (attached.valid()) {
+    JobSlot* js = find_slot(attached);
+    if (js != nullptr) {
+      Job job = std::move(js->job);
+      release_slot(attached);
       job.state = JobState::kCancelled;
       job.end_time = engine_.now();
       for (const auto& cb : on_end_) cb(job);
     }
   }
-  reservations_.erase(it);
   schedule_pass();
   return true;
 }
@@ -232,21 +284,24 @@ bool ResourceScheduler::cancel_reservation(ReservationId id) {
 Profile ResourceScheduler::base_profile() const {
   const SimTime now = engine_.now();
   Profile profile(now, resource_.nodes);
-  for (const auto& [id, job] : jobs_) {
-    if (job.state != JobState::kRunning) continue;
-    if (job_reservation_.count(id)) continue;  // nodes held by reservation
+  // Slab and table iteration are not id-ordered; Profile::subtract is
+  // commutative (exact integer deltas), so the assembled profile is
+  // identical to the old ordered walk.
+  for (const JobSlot& s : slots_) {
+    if (!s.live || s.job.state != JobState::kRunning) continue;
+    if (s.reservation.valid()) continue;  // nodes held by reservation
     // A job holds its nodes until its completion event is *processed*; a
     // planned end <= now (event pending this tick, or overdue kill) must
     // still occupy the profile or a same-tick pass would overcommit.
     const SimTime planned_end =
-        std::max(job.start_time + planned_duration(job), now + 1);
-    profile.subtract(now, planned_end, job.req.nodes);
+        std::max(s.job.start_time + planned_duration(s.job), now + 1);
+    profile.subtract(now, planned_end, s.job.req.nodes);
   }
-  for (const auto& [id, r] : reservations_) {
-    if (r.finished) continue;
+  reservations_.for_each([&](std::int64_t, const Reservation& r) {
+    if (r.finished) return;
     const SimTime end = r.started ? std::max(r.end, now + 1) : r.end;
     profile.subtract(std::max(r.start, now), end, r.nodes);
-  }
+  });
   if (nodes_down_ > 0) {
     // Out-of-service nodes block the planner until the advised repair time
     // (or at least past this tick when the repair is overdue).
@@ -264,9 +319,11 @@ Profile ResourceScheduler::base_profile() const {
 }
 
 double ResourceScheduler::fair_share_usage(UserId user, SimTime now) const {
-  const auto it = usage_.find(user);
-  if (it == usage_.end()) return 0.0;
-  const auto [value, at] = it->second;
+  if (!user.valid()) return 0.0;
+  const auto idx = static_cast<std::size_t>(user.value());
+  if (idx >= usage_.size()) return 0.0;
+  const auto [value, at] = usage_[idx];
+  if (value == 0.0) return 0.0;  // never charged (or fully zero anyway)
   const double decay = std::exp2(
       -static_cast<double>(now - at) /
       static_cast<double>(config_.fair_share_half_life));
@@ -275,8 +332,11 @@ double ResourceScheduler::fair_share_usage(UserId user, SimTime now) const {
 
 void ResourceScheduler::charge_fair_share(UserId user, double core_seconds,
                                           SimTime now) {
+  if (!user.valid()) return;  // replayed traces may omit the user field
   const double current = fair_share_usage(user, now);
-  usage_[user] = {current + core_seconds, now};
+  const auto idx = static_cast<std::size_t>(user.value());
+  if (idx >= usage_.size()) usage_.resize(idx + 1, {0.0, 0});
+  usage_[idx] = {current + core_seconds, now};
 }
 
 std::vector<JobId> ResourceScheduler::ordered_queue() const {
@@ -288,14 +348,14 @@ std::vector<JobId> ResourceScheduler::ordered_queue() const {
   if (config_.fair_share) {
     const SimTime now = engine_.now();
     std::stable_sort(order.begin(), order.end(), [&](JobId a, JobId b) {
-      return fair_share_usage(jobs_.at(a).req.user, now) <
-             fair_share_usage(jobs_.at(b).req.user, now);
+      return fair_share_usage(slot_at(a).job.req.user, now) <
+             fair_share_usage(slot_at(b).job.req.user, now);
     });
   }
   if (config_.drain_period > 0) {
     const int thresh = capability_threshold();
     std::stable_partition(order.begin(), order.end(), [&](JobId id) {
-      return jobs_.at(id).req.nodes >= thresh;
+      return slot_at(id).job.req.nodes >= thresh;
     });
   }
   return order;
@@ -307,7 +367,7 @@ void ResourceScheduler::schedule_pass() {
   const SimTime now = engine_.now();
 
   const auto start_by_id = [&](JobId id) {
-    start_job(jobs_.at(id), /*from_reservation=*/false);
+    start_job(slot_at(id).job, /*from_reservation=*/false);
     ++queue_tombstones_;  // its queue_ entry is dead now (state kRunning)
   };
 
@@ -317,7 +377,7 @@ void ResourceScheduler::schedule_pass() {
   switch (config_.policy) {
     case SchedPolicy::kFcfs: {
       for (JobId id : order) {
-        const Job& job = jobs_.at(id);
+        const Job& job = slot_at(id).job;
         const Duration dur = planned_duration(job);
         if (profile.earliest_fit(job.req.nodes, dur, now) != now) break;
         profile.subtract(now, now + dur, job.req.nodes);
@@ -329,7 +389,7 @@ void ResourceScheduler::schedule_pass() {
       // Start jobs in order while they fit immediately.
       std::size_t head = 0;
       while (head < order.size()) {
-        const Job& job = jobs_.at(order[head]);
+        const Job& job = slot_at(order[head]).job;
         const Duration dur = planned_duration(job);
         if (profile.earliest_fit(job.req.nodes, dur, now) != now) break;
         profile.subtract(now, now + dur, job.req.nodes);
@@ -339,7 +399,7 @@ void ResourceScheduler::schedule_pass() {
       if (head < order.size()) {
         // Reserve the head job's slot, then backfill anything that fits
         // now without disturbing it.
-        const Job& headjob = jobs_.at(order[head]);
+        const Job& headjob = slot_at(order[head]).job;
         const Duration hdur = planned_duration(headjob);
         const SimTime shadow =
             profile.earliest_fit(headjob.req.nodes, hdur, now);
@@ -349,7 +409,7 @@ void ResourceScheduler::schedule_pass() {
             order.size(),
             head + 1 + static_cast<std::size_t>(config_.backfill_depth));
         for (std::size_t i = head + 1; i < scan_end; ++i) {
-          const Job& job = jobs_.at(order[i]);
+          const Job& job = slot_at(order[i]).job;
           const Duration dur = planned_duration(job);
           if (profile.earliest_fit(job.req.nodes, dur, now) == now) {
             profile.subtract(now, now + dur, job.req.nodes);
@@ -364,7 +424,7 @@ void ResourceScheduler::schedule_pass() {
           order.size(), static_cast<std::size_t>(config_.backfill_depth));
       for (std::size_t i = 0; i < scan_end; ++i) {
         const JobId id = order[i];
-        const Job& job = jobs_.at(id);
+        const Job& job = slot_at(id).job;
         const Duration dur = planned_duration(job);
         const SimTime s = profile.earliest_fit(job.req.nodes, dur, now);
         TG_CHECK(s >= 0, "job cannot ever fit");
@@ -381,8 +441,21 @@ void ResourceScheduler::schedule_pass() {
   // (a drain fence, a reservation window opening), arrange a wakeup pass —
   // otherwise an idle-but-fenced machine would never reconsider its queue.
   if (queue_length() > 0) {
-    const std::vector<JobId> remaining = ordered_queue();
-    const Job& head = jobs_.at(remaining.front());
+    // Only the ordering's head matters here. Without fair-share or drain
+    // priority that is the first live FIFO entry — found by a short scan
+    // instead of materializing the whole ordered queue again.
+    JobId head_id{};
+    if (!config_.fair_share && config_.drain_period <= 0) {
+      for (const JobId id : queue_) {
+        if (queue_entry_live(id)) {
+          head_id = id;
+          break;
+        }
+      }
+    } else {
+      head_id = ordered_queue().front();
+    }
+    const Job& head = slot_at(head_id).job;
     const Profile fresh = base_profile();
     const SimTime t =
         fresh.earliest_fit(head.req.nodes, planned_duration(head), now);
@@ -411,15 +484,15 @@ void ResourceScheduler::start_job(Job& job, bool from_reservation) {
     dur = std::min(dur, std::max<Duration>(job.req.fail_after, kMillisecond));
   }
   const JobId id = job.id;
-  end_events_[id] = engine_.schedule_in(
+  slot_at(id).end_event = engine_.schedule_in(
       dur, [this, id] { finish_job(id); }, EventPriority::kCompletion);
   for (const auto& cb : on_start_) cb(job);
 }
 
 void ResourceScheduler::finish_job(JobId id) {
-  const auto it = jobs_.find(id);
-  TG_CHECK(it != jobs_.end(), "finishing unknown job " << id);
-  const Job& job = it->second;
+  JobSlot* s = find_slot(id);
+  TG_CHECK(s != nullptr, "finishing unknown job " << id);
+  const Job& job = s->job;
   const Duration ran = engine_.now() - job.start_time;
   JobState state;
   if (job.req.fails && ran < job.req.actual_runtime &&
@@ -430,15 +503,15 @@ void ResourceScheduler::finish_job(JobId id) {
   } else {
     state = JobState::kCompleted;
   }
-  end_events_.erase(id);
+  s->end_event = kInvalidEvent;  // fired, not cancelled
   complete_job(id, state);
 }
 
 void ResourceScheduler::complete_job(JobId id, JobState state) {
-  auto it = jobs_.find(id);
-  TG_CHECK(it != jobs_.end(), "completing unknown job " << id);
-  Job job = std::move(it->second);
-  jobs_.erase(it);
+  JobSlot& s = slot_at(id);
+  Job job = std::move(s.job);
+  const ReservationId res = s.reservation;
+  release_slot(id);
   --running_count_;
 
   job.end_time = engine_.now();
@@ -447,15 +520,12 @@ void ResourceScheduler::complete_job(JobId id, JobState state) {
 
   // Release nodes. Reservation-attached jobs release through their
   // reservation (ending it early).
-  const auto rit = job_reservation_.find(id);
-  if (rit != job_reservation_.end()) {
-    const ReservationId res = rit->second;
-    job_reservation_.erase(rit);
-    auto& r = reservations_.at(res);
+  if (res.valid()) {
+    Reservation& r = reservations_.at(res.value());
     TG_CHECK(r.started && !r.finished, "job finished outside its reservation");
     r.finished = true;
     free_nodes_ += r.nodes;
-    reservations_.erase(res);
+    reservations_.erase(res.value());
   } else {
     free_nodes_ += job.req.nodes;
   }
@@ -485,15 +555,18 @@ int ResourceScheduler::begin_outage(int nodes, SimTime repair) {
   in_pass_ = true;
   while (free_nodes_ < nodes) {
     // Victim: youngest running non-reservation job (latest start, then
-    // highest id) — the cheapest partial work to lose.
+    // highest id) — the cheapest partial work to lose. The slab is not
+    // id-ordered, so the tie-break the old ascending-id map walk got for
+    // free is spelled out explicitly.
     JobId victim;
     SimTime latest = -1;
-    for (const auto& [id, job] : jobs_) {
-      if (job.state != JobState::kRunning) continue;
-      if (job_reservation_.count(id)) continue;  // reservations survive
-      if (job.start_time >= latest) {
-        latest = job.start_time;
-        victim = id;
+    for (const JobSlot& s : slots_) {
+      if (!s.live || s.job.state != JobState::kRunning) continue;
+      if (s.reservation.valid()) continue;  // reservations survive
+      if (s.job.start_time > latest ||
+          (s.job.start_time == latest && s.job.id.value() > victim.value())) {
+        latest = s.job.start_time;
+        victim = s.job.id;
       }
     }
     if (!victim.valid()) break;  // only reservations left; take what's free
@@ -526,27 +599,25 @@ bool ResourceScheduler::interrupt(JobId id, JobState state) {
   TG_REQUIRE(state == JobState::kFailed || state == JobState::kKilled ||
                  state == JobState::kKilledByOutage,
              "interrupt requires a terminal state, got " << to_string(state));
-  const auto it = jobs_.find(id);
-  if (it == jobs_.end() || it->second.state != JobState::kRunning) {
+  JobSlot* s = find_slot(id);
+  if (s == nullptr || s->job.state != JobState::kRunning) {
     return false;
   }
-  const auto ev = end_events_.find(id);
-  TG_CHECK(ev != end_events_.end(), "running job without an end event");
-  engine_.cancel(ev->second);
-  end_events_.erase(ev);
+  TG_CHECK(s->end_event != kInvalidEvent, "running job without an end event");
+  engine_.cancel(s->end_event);
+  s->end_event = kInvalidEvent;
   complete_job(id, state);
   return true;
 }
 
 void ResourceScheduler::preempt_job(JobId id) {
-  const auto it = jobs_.find(id);
-  TG_CHECK(it != jobs_.end() && it->second.state == JobState::kRunning,
+  JobSlot* s = find_slot(id);
+  TG_CHECK(s != nullptr && s->job.state == JobState::kRunning,
            "preempting a non-running job " << id);
-  Job& job = it->second;
-  const auto ev = end_events_.find(id);
-  TG_CHECK(ev != end_events_.end(), "running job without an end event");
-  engine_.cancel(ev->second);
-  end_events_.erase(ev);
+  Job& job = s->job;
+  TG_CHECK(s->end_event != kInvalidEvent, "running job without an end event");
+  engine_.cancel(s->end_event);
+  s->end_event = kInvalidEvent;
   --running_count_;
   free_nodes_ += job.req.nodes;
 
@@ -581,8 +652,8 @@ void ResourceScheduler::preempt_job(JobId id) {
                         EventPriority::kSubmission);
     for (const auto& cb : on_end_) cb(attempt);
   } else {
-    Job dead = std::move(it->second);
-    jobs_.erase(it);
+    Job dead = std::move(s->job);
+    release_slot(id);
     dead.end_time = now;
     dead.state = JobState::kKilledByOutage;
     for (const auto& cb : on_end_) cb(dead);
@@ -590,12 +661,12 @@ void ResourceScheduler::preempt_job(JobId id) {
 }
 
 void ResourceScheduler::requeue_job(JobId id) {
-  const auto it = jobs_.find(id);
-  if (it == jobs_.end() || it->second.state != JobState::kQueued ||
-      !it->second.requeue_pending) {
+  JobSlot* s = find_slot(id);
+  if (s == nullptr || s->job.state != JobState::kQueued ||
+      !s->job.requeue_pending) {
     return;  // cancelled while the backoff was pending
   }
-  it->second.requeue_pending = false;
+  s->job.requeue_pending = false;
   // Drop stale entries from this job's previous attempts (each was counted
   // as a tombstone when that attempt started); left in place they would
   // resurrect as schedulable duplicates now that the job is queued again.
@@ -605,55 +676,58 @@ void ResourceScheduler::requeue_job(JobId id) {
 }
 
 void ResourceScheduler::on_reservation_start(ReservationId id) {
-  auto it = reservations_.find(id);
-  if (it == reservations_.end()) return;  // cancelled meanwhile
-  Reservation& r = it->second;
-  if (free_nodes_ < r.nodes) {
+  Reservation* rp = reservations_.find(id.value());
+  if (rp == nullptr) return;  // cancelled meanwhile
+  if (free_nodes_ < rp->nodes) {
     // reserve() validated this window against every other commitment, so a
     // shortfall here means an outage took the promised nodes. Break the
     // reservation (cancelling its attached job) rather than over-commit —
     // what a real site does when a machine partition dies under an
-    // advance reservation.
+    // advance reservation. Erase before the callbacks: an observer that
+    // reserves would rehash the table out from under `rp`.
     TG_CHECK(nodes_down_ > 0,
              "reservation window not honoured on " << resource_.name);
-    if (r.attached_job.valid()) {
-      const auto jit = jobs_.find(r.attached_job);
-      if (jit != jobs_.end()) {
-        Job job = std::move(jit->second);
-        jobs_.erase(jit);
-        job_reservation_.erase(job.id);
+    const JobId attached = rp->attached_job;
+    reservations_.erase(id.value());
+    if (attached.valid()) {
+      JobSlot* js = find_slot(attached);
+      if (js != nullptr) {
+        Job job = std::move(js->job);
+        release_slot(attached);
         job.state = JobState::kCancelled;
         job.end_time = engine_.now();
         for (const auto& cb : on_end_) cb(job);
       }
     }
-    reservations_.erase(it);
     schedule_pass();
     return;
   }
-  r.started = true;
-  free_nodes_ -= r.nodes;
-  if (r.attached_job.valid()) {
-    start_job(jobs_.at(r.attached_job), /*from_reservation=*/true);
+  rp->started = true;
+  free_nodes_ -= rp->nodes;
+  // Copy what the tail needs: a start callback that places a new
+  // reservation would invalidate `rp`.
+  const JobId attached = rp->attached_job;
+  const SimTime rend = rp->end;
+  if (attached.valid()) {
+    start_job(slot_at(attached).job, /*from_reservation=*/true);
   }
-  engine_.schedule_at(r.end, [this, id] { on_reservation_end(id); },
+  engine_.schedule_at(rend, [this, id] { on_reservation_end(id); },
                       EventPriority::kCompletion);
 }
 
 void ResourceScheduler::on_reservation_end(ReservationId id) {
-  const auto it = reservations_.find(id);
-  if (it == reservations_.end()) return;  // released early by its job
-  Reservation& r = it->second;
-  TG_CHECK(r.started, "reservation ended before starting");
-  if (r.attached_job.valid() && jobs_.count(r.attached_job)) {
+  Reservation* rp = reservations_.find(id.value());
+  if (rp == nullptr) return;  // released early by its job
+  TG_CHECK(rp->started, "reservation ended before starting");
+  if (rp->attached_job.valid() && find_slot(rp->attached_job) != nullptr) {
     // The attached job is still running at window end; it was validated to
     // fit, so this means its end event is at exactly this tick — let the
     // job's own finish release the nodes.
     return;
   }
-  r.finished = true;
-  free_nodes_ += r.nodes;
-  reservations_.erase(it);
+  const int nodes = rp->nodes;
+  reservations_.erase(id.value());
+  free_nodes_ += nodes;
   schedule_pass();
 }
 
@@ -666,7 +740,7 @@ SimTime ResourceScheduler::estimate_start(int nodes, Duration walltime) const {
   const std::size_t scan_end = std::min(
       order.size(), static_cast<std::size_t>(config_.backfill_depth));
   for (std::size_t i = 0; i < scan_end; ++i) {
-    const Job& job = jobs_.at(order[i]);
+    const Job& job = slot_at(order[i]).job;
     const Duration dur = planned_duration(job);
     const SimTime s = profile.earliest_fit(job.req.nodes, dur, now);
     if (s >= 0) profile.subtract(s, s + dur, job.req.nodes);
@@ -675,9 +749,9 @@ SimTime ResourceScheduler::estimate_start(int nodes, Duration walltime) const {
 }
 
 const Job& ResourceScheduler::job(JobId id) const {
-  const auto it = jobs_.find(id);
-  TG_REQUIRE(it != jobs_.end(), "job " << id << " is not live");
-  return it->second;
+  const JobSlot* s = find_slot(id);
+  TG_REQUIRE(s != nullptr, "job " << id << " is not live");
+  return s->job;
 }
 
 }  // namespace tg

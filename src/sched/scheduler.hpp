@@ -8,9 +8,10 @@
 // early trigger a new scheduling pass, which is where backfill wins.
 #pragma once
 
+#include <cstdint>
 #include <deque>
 #include <functional>
-#include <map>
+#include <utility>
 #include <vector>
 
 #include "des/engine.hpp"
@@ -18,6 +19,7 @@
 #include "sched/job.hpp"
 #include "sched/metrics.hpp"
 #include "sched/profile.hpp"
+#include "util/flat_map.hpp"
 
 namespace tg {
 
@@ -166,6 +168,33 @@ class ResourceScheduler {
   [[nodiscard]] double fair_share_usage(UserId user, SimTime now) const;
 
  private:
+  static constexpr std::uint32_t kNoSlot = ~std::uint32_t{0};
+
+  /// One slab entry: a live job plus its per-job scheduler state (end
+  /// event, owning reservation), flattened so the per-event lookups that
+  /// used to walk three std::maps are one index plus slot fields. Slots
+  /// live in a deque for pointer stability — Job& references are held
+  /// across re-entrant start/end callbacks — and freed slots recycle
+  /// through free_slots_.
+  struct JobSlot {
+    Job job;
+    EventId end_event = kInvalidEvent;
+    ReservationId reservation;  ///< invalid unless reservation-attached
+    bool live = false;
+  };
+
+  /// Slot for a live (queued or running) job, or nullptr.
+  [[nodiscard]] JobSlot* find_slot(JobId id);
+  [[nodiscard]] const JobSlot* find_slot(JobId id) const;
+  /// Slot for a job that must be live.
+  [[nodiscard]] JobSlot& slot_at(JobId id);
+  [[nodiscard]] const JobSlot& slot_at(JobId id) const;
+  /// Binds a fresh (or recycled) slot to `id` and returns it.
+  [[nodiscard]] JobSlot& acquire_slot(JobId id);
+  /// Unbinds `id`'s slot and recycles it. Any Job content the caller still
+  /// needs must be moved out first.
+  void release_slot(JobId id);
+
   void schedule_pass();
   /// Builds the availability profile from running jobs, reservations and
   /// fences (queued jobs excluded).
@@ -202,16 +231,23 @@ class ResourceScheduler {
   Engine& engine_;
   ComputeResource resource_;
   SchedulerConfig config_;
-  std::map<JobId, Job> jobs_;  // queued + running
+  std::deque<JobSlot> slots_;  ///< queued + running jobs (slab)
+  std::vector<std::uint32_t> free_slots_;  ///< recyclable slots_ indexes
+  /// slot_index_[id - job_id_base_] = the slot holding that job, or
+  /// kNoSlot. Local ids are a dense allocation counter, so every per-event
+  /// lookup is one vector index instead of a tree walk.
+  std::vector<std::uint32_t> slot_index_;
   std::deque<JobId> queue_;    // FIFO arrival order; may hold tombstones
   std::size_t queue_tombstones_ = 0;  ///< dead entries still in queue_
-  std::map<JobId, EventId> end_events_;
-  std::map<ReservationId, Reservation> reservations_;
-  std::map<JobId, ReservationId> job_reservation_;
+  /// Open-addressed by reservation id; erased on completion so the table
+  /// tracks only pending/active reservations. Iterated (slot order) only
+  /// for the commutative profile reduction.
+  FlatMap<Reservation> reservations_;
   std::vector<JobCallback> on_start_;
   std::vector<JobCallback> on_end_;
-  /// Fair-share bookkeeping: decayed usage value and its reference time.
-  mutable std::map<UserId, std::pair<double, SimTime>> usage_;
+  /// Fair-share bookkeeping, dense by user id: decayed usage value and its
+  /// reference time ({0, 0} = never charged).
+  mutable std::vector<std::pair<double, SimTime>> usage_;
   SchedulerMetrics metrics_;
   int free_nodes_ = 0;
   int nodes_down_ = 0;  ///< nodes taken by begin_outage, not yet returned

@@ -14,23 +14,35 @@ CsvWriter::CsvWriter(const std::string& path,
 void CsvWriter::write_row(const std::vector<std::string>& cells) {
   TG_REQUIRE(cells.size() == columns_,
              "CSV row has " << cells.size() << " cells, expected " << columns_);
+  // One buffered append per cell and a single stream write per row: the
+  // per-cell operator<< path costs a sentry + virtual dispatch per insert,
+  // which dominates wide sweep outputs.
+  row_buffer_.clear();
   for (std::size_t i = 0; i < cells.size(); ++i) {
-    if (i) out_ << ',';
-    out_ << escape(cells[i]);
+    if (i) row_buffer_ += ',';
+    append_escaped(row_buffer_, cells[i]);
   }
-  out_ << '\n';
+  row_buffer_ += '\n';
+  out_.write(row_buffer_.data(),
+             static_cast<std::streamsize>(row_buffer_.size()));
 }
 
-std::string CsvWriter::escape(const std::string& field) {
-  const bool needs_quote =
-      field.find_first_of(",\"\n\r") != std::string::npos;
-  if (!needs_quote) return field;
-  std::string out = "\"";
-  for (char c : field) {
+void CsvWriter::append_escaped(std::string& out, const std::string& field) {
+  if (field.find_first_of(",\"\n\r") == std::string::npos) {
+    out += field;
+    return;
+  }
+  out += '"';
+  for (const char c : field) {
     if (c == '"') out += '"';
     out += c;
   }
   out += '"';
+}
+
+std::string CsvWriter::escape(const std::string& field) {
+  std::string out;
+  append_escaped(out, field);
   return out;
 }
 

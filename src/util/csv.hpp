@@ -24,8 +24,12 @@ class CsvWriter {
   [[nodiscard]] static std::string escape(const std::string& field);
 
  private:
+  /// Appends `field` to `out`, quoting it if it needs escaping.
+  static void append_escaped(std::string& out, const std::string& field);
+
   std::ofstream out_;
   std::size_t columns_;
+  std::string row_buffer_;  ///< reused across rows; one write per row
 };
 
 }  // namespace tg

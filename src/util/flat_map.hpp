@@ -1,0 +1,160 @@
+// Open-addressing hash map for non-negative integer keys.
+//
+// The scheduler's per-event bookkeeping (live jobs, reservation attachment)
+// is keyed by ids that are dense within a resource's band; a red-black
+// std::map costs a pointer chase per tree level on every event. This table
+// is a single flat array with linear probing, Fibonacci hashing and
+// backward-shift deletion: one cache line for the common hit, no per-node
+// allocation, no tombstone accumulation.
+//
+// Contract: keys are int64 >= 0 (the invalid id -1 is the empty sentinel).
+// Values must be movable. Iteration order is unspecified — callers that
+// need a deterministic order must impose their own (the scheduler keeps
+// order-sensitive traversals on explicit comparators or sorted structures).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace tg {
+
+template <class Value>
+class FlatMap {
+ public:
+  using Key = std::int64_t;
+
+  FlatMap() = default;
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+
+  /// Pointer to the value for `key`, or nullptr. Never allocates. Negative
+  /// keys (invalid ids) are never present — they would alias the empty
+  /// sentinel, so they short-circuit here.
+  [[nodiscard]] Value* find(Key key) {
+    if (key < 0 || slots_.empty()) return nullptr;
+    const std::size_t slot = probe(key);
+    return slots_[slot].key == key ? &slots_[slot].value : nullptr;
+  }
+  [[nodiscard]] const Value* find(Key key) const {
+    return const_cast<FlatMap*>(this)->find(key);
+  }
+  [[nodiscard]] bool contains(Key key) const { return find(key) != nullptr; }
+
+  /// Value for a key that must be present.
+  [[nodiscard]] Value& at(Key key) {
+    Value* v = find(key);
+    TG_CHECK(v != nullptr, "FlatMap: missing key " << key);
+    return *v;
+  }
+  [[nodiscard]] const Value& at(Key key) const {
+    return const_cast<FlatMap*>(this)->at(key);
+  }
+
+  /// Inserts or overwrites. References into the map are invalidated.
+  void insert_or_assign(Key key, Value value) {
+    TG_CHECK(key >= 0, "FlatMap keys must be non-negative, got " << key);
+    if ((size_ + 1) * 4 > slots_.size() * 3) grow();
+    const std::size_t slot = probe(key);
+    if (slots_[slot].key == key) {
+      slots_[slot].value = std::move(value);
+      return;
+    }
+    slots_[slot].key = key;
+    slots_[slot].value = std::move(value);
+    ++size_;
+  }
+
+  /// Removes `key` if present; returns whether it was. Backward-shift
+  /// deletion keeps probe chains tombstone-free.
+  bool erase(Key key) {
+    if (key < 0 || slots_.empty()) return false;
+    std::size_t slot = probe(key);
+    if (slots_[slot].key != key) return false;
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t hole = slot;
+    std::size_t next = (hole + 1) & mask;
+    while (slots_[next].key != kEmpty) {
+      const std::size_t home = index_of(slots_[next].key);
+      // `next`'s probe walked through `hole` iff the cyclic distance
+      // home -> hole is shorter than home -> next; only then may it
+      // backfill the hole without breaking its own chain.
+      if (((hole - home) & mask) < ((next - home) & mask)) {
+        slots_[hole] = std::move(slots_[next]);
+        hole = next;
+      }
+      next = (next + 1) & mask;
+    }
+    slots_[hole].key = kEmpty;
+    slots_[hole].value = Value{};
+    --size_;
+    return true;
+  }
+
+  void clear() {
+    slots_.clear();
+    size_ = 0;
+  }
+
+  /// Visits every (key, value) in slot order — deterministic for a given
+  /// insertion/erase history, but NOT key order. Only for order-insensitive
+  /// reductions; do not mutate the map during the visit.
+  template <class Fn>
+  void for_each(Fn&& fn) const {
+    for (const Slot& s : slots_) {
+      if (s.key != kEmpty) fn(s.key, s.value);
+    }
+  }
+  template <class Fn>
+  void for_each(Fn&& fn) {
+    for (Slot& s : slots_) {
+      if (s.key != kEmpty) fn(s.key, s.value);
+    }
+  }
+
+ private:
+  static constexpr Key kEmpty = -1;
+
+  struct Slot {
+    Key key = kEmpty;
+    Value value{};
+  };
+
+  [[nodiscard]] std::size_t index_of(Key key) const {
+    // Fibonacci hashing: dense ids spread over the table without clumping.
+    const auto h =
+        static_cast<std::uint64_t>(key) * 0x9E3779B97F4A7C15ull;
+    return static_cast<std::size_t>(h >> 32) & (slots_.size() - 1);
+  }
+
+  /// Slot containing `key`, or the empty slot where it would go.
+  [[nodiscard]] std::size_t probe(Key key) const {
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t slot = index_of(key);
+    while (slots_[slot].key != kEmpty && slots_[slot].key != key) {
+      slot = (slot + 1) & mask;
+    }
+    return slot;
+  }
+
+  void grow() {
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(old.empty() ? 16 : old.size() * 2, Slot{});
+    const std::size_t mask = slots_.size() - 1;
+    for (Slot& s : old) {
+      if (s.key == kEmpty) continue;
+      std::size_t slot = index_of(s.key);
+      while (slots_[slot].key != kEmpty) slot = (slot + 1) & mask;
+      slots_[slot] = std::move(s);
+    }
+  }
+
+  std::vector<Slot> slots_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace tg

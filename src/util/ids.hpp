@@ -44,6 +44,8 @@ using SiteId = Id<struct SiteIdTag>;
 using ResourceId = Id<struct ResourceIdTag>;
 using JobId = Id<struct JobIdTag, std::int64_t>;
 using GatewayId = Id<struct GatewayIdTag>;
+/// Dense id of an interned gateway end-user label (see util/string_pool.hpp).
+using EndUserId = Id<struct EndUserIdTag>;
 using WorkflowId = Id<struct WorkflowIdTag, std::int64_t>;
 using TransferId = Id<struct TransferIdTag, std::int64_t>;
 using ReservationId = Id<struct ReservationIdTag, std::int64_t>;

@@ -1,0 +1,115 @@
+#include "util/memstats.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+// Sanitizers replace the allocator themselves; defining the replaceable
+// operators alongside them double-books every allocation (or deadlocks on
+// some runtimes), so the hooks exist only in plain builds.
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define TG_ALLOC_HOOKS 0
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer) || \
+    __has_feature(memory_sanitizer)
+#define TG_ALLOC_HOOKS 0
+#else
+#define TG_ALLOC_HOOKS 1
+#endif
+#else
+#define TG_ALLOC_HOOKS 1
+#endif
+
+namespace tg {
+
+namespace {
+std::atomic<std::uint64_t> g_allocations{0};
+std::atomic<std::uint64_t> g_bytes{0};
+}  // namespace
+
+AllocStats allocation_stats() {
+  AllocStats s;
+  s.allocations = g_allocations.load(std::memory_order_relaxed);
+  s.bytes = g_bytes.load(std::memory_order_relaxed);
+  return s;
+}
+
+bool allocation_counting_enabled() { return TG_ALLOC_HOOKS != 0; }
+
+std::size_t peak_rss_bytes() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage {};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+#if defined(__APPLE__)
+  return static_cast<std::size_t>(usage.ru_maxrss);  // bytes on macOS
+#else
+  return static_cast<std::size_t>(usage.ru_maxrss) * 1024;  // KiB on Linux
+#endif
+#else
+  return 0;
+#endif
+}
+
+namespace detail {
+inline void* counted_alloc(std::size_t size, std::size_t alignment) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  g_bytes.fetch_add(size, std::memory_order_relaxed);
+  if (alignment > alignof(std::max_align_t)) {
+    // aligned_alloc requires size to be a multiple of the alignment.
+    const std::size_t padded = (size + alignment - 1) / alignment * alignment;
+    return std::aligned_alloc(alignment, padded);
+  }
+  return std::malloc(size);
+}
+}  // namespace detail
+
+}  // namespace tg
+
+#if TG_ALLOC_HOOKS
+
+void* operator new(std::size_t size) {
+  if (void* p = tg::detail::counted_alloc(size, 0)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void* operator new(std::size_t size, std::align_val_t align) {
+  if (void* p =
+          tg::detail::counted_alloc(size, static_cast<std::size_t>(align))) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return ::operator new(size, align);
+}
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return tg::detail::counted_alloc(size, 0);
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return tg::detail::counted_alloc(size, 0);
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+
+#endif  // TG_ALLOC_HOOKS

@@ -1,0 +1,33 @@
+// Process memory instrumentation for benchmarks and experiments.
+//
+// Two cheap signals that make memory wins visible next to wall time:
+//  * peak resident set size, read from the OS (getrusage), and
+//  * global allocation counters, maintained by replaceable operator
+//    new/delete hooks (relaxed atomics; a handful of cycles per call).
+//
+// Under ASan/TSan/MSan the allocator is owned by the sanitizer runtime and
+// the hooks are compiled out — the counters then read 0 and `counting()`
+// reports false, so callers can label the column "n/a" instead of lying.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace tg {
+
+struct AllocStats {
+  std::uint64_t allocations = 0;  ///< operator new / new[] calls
+  std::uint64_t bytes = 0;        ///< sum of requested sizes
+};
+
+/// Cumulative allocation counters since process start (zeros when the
+/// hooks are compiled out).
+[[nodiscard]] AllocStats allocation_stats();
+
+/// True when the operator-new hooks are active in this build.
+[[nodiscard]] bool allocation_counting_enabled();
+
+/// Peak resident set size of this process in bytes (0 if unavailable).
+[[nodiscard]] std::size_t peak_rss_bytes();
+
+}  // namespace tg

@@ -1,0 +1,78 @@
+#include "util/string_pool.hpp"
+
+#include "util/error.hpp"
+
+namespace tg {
+
+namespace {
+
+/// FNV-1a: stable across platforms (determinism contract) and good enough
+/// for short labels.
+std::uint64_t hash_bytes(std::string_view s) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+std::size_t StringPool::probe(std::string_view s) const {
+  const std::size_t mask = table_.size() - 1;
+  std::size_t slot = static_cast<std::size_t>(hash_bytes(s)) & mask;
+  while (table_[slot] != kEmptySlot) {
+    const Span& span = spans_[static_cast<std::size_t>(table_[slot])];
+    if (view(span) == s) return slot;
+    slot = (slot + 1) & mask;
+  }
+  return slot;
+}
+
+void StringPool::grow_table() {
+  const std::size_t capacity = table_.empty() ? 64 : table_.size() * 2;
+  table_.assign(capacity, kEmptySlot);
+  const std::size_t mask = capacity - 1;
+  for (std::size_t id = 0; id < spans_.size(); ++id) {
+    std::size_t slot =
+        static_cast<std::size_t>(hash_bytes(view(spans_[id]))) & mask;
+    while (table_[slot] != kEmptySlot) slot = (slot + 1) & mask;
+    table_[slot] = static_cast<std::int32_t>(id);
+  }
+}
+
+EndUserId StringPool::intern(std::string_view s) {
+  if (s.empty()) return EndUserId{};
+  // Keep the load factor under 1/2 (counting the insert about to happen).
+  if (table_.empty() || (spans_.size() + 1) * 2 > table_.size()) grow_table();
+  const std::size_t slot = probe(s);
+  if (table_[slot] != kEmptySlot) {
+    return EndUserId{table_[slot]};
+  }
+  TG_REQUIRE(arena_.size() + s.size() <= UINT32_MAX,
+             "string pool arena exhausted");
+  const auto id = static_cast<std::int32_t>(spans_.size());
+  Span span;
+  span.offset = static_cast<std::uint32_t>(arena_.size());
+  span.length = static_cast<std::uint32_t>(s.size());
+  arena_.append(s);
+  spans_.push_back(span);
+  table_[slot] = id;
+  return EndUserId{id};
+}
+
+EndUserId StringPool::find(std::string_view s) const {
+  if (s.empty() || table_.empty()) return EndUserId{};
+  const std::size_t slot = probe(s);
+  return table_[slot] == kEmptySlot ? EndUserId{} : EndUserId{table_[slot]};
+}
+
+std::string_view StringPool::at(EndUserId id) const {
+  if (!id.valid()) return {};
+  const auto slot = static_cast<std::size_t>(id.value());
+  TG_REQUIRE(slot < spans_.size(), "string pool id " << id << " out of range");
+  return view(spans_[slot]);
+}
+
+}  // namespace tg

@@ -1,0 +1,66 @@
+// String interning for hot-path record attributes.
+//
+// The gateway end-user attribute is a short opaque label ("nanohub:user17")
+// attached to millions of job records. Carrying it as std::string means a
+// heap-allocated copy in every JobRequest, Job and JobRecord plus
+// string-keyed set churn in analysis. A StringPool interns each distinct
+// label once into a contiguous character arena and hands out a dense
+// EndUserId; the simulation hot path moves 4-byte ids and strings survive
+// only at the I/O boundary (population synthesis, SWF interchange, display).
+//
+// Ids are dense [0, size()) in first-intern order, so analytics can use
+// them as direct vector indexes. Interning is deterministic: the same
+// sequence of intern() calls yields the same ids regardless of platform.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/ids.hpp"
+
+namespace tg {
+
+class StringPool {
+ public:
+  StringPool() = default;
+
+  /// Returns the id for `s`, interning it on first sight. The empty string
+  /// is never interned: it denotes "attribute absent" and maps to the
+  /// invalid id.
+  EndUserId intern(std::string_view s);
+
+  /// Id for an already-interned string; invalid id if never interned.
+  [[nodiscard]] EndUserId find(std::string_view s) const;
+
+  /// The string for a pool id; empty view for the invalid id. Requires
+  /// id.value() < size() otherwise.
+  [[nodiscard]] std::string_view at(EndUserId id) const;
+
+  /// Number of distinct strings interned (== one past the largest id).
+  [[nodiscard]] std::size_t size() const { return spans_.size(); }
+  [[nodiscard]] bool empty() const { return spans_.empty(); }
+
+ private:
+  struct Span {
+    std::uint32_t offset = 0;
+    std::uint32_t length = 0;
+  };
+
+  [[nodiscard]] std::string_view view(const Span& s) const {
+    return {arena_.data() + s.offset, s.length};
+  }
+  /// Open-addressing lookup: slot holding `s`'s id, or the empty slot where
+  /// it would be inserted. `table_` is always a power of two.
+  [[nodiscard]] std::size_t probe(std::string_view s) const;
+  void grow_table();
+
+  static constexpr std::int32_t kEmptySlot = -1;
+
+  std::string arena_;                ///< all interned bytes, back to back
+  std::vector<Span> spans_;          ///< id -> arena span
+  std::vector<std::int32_t> table_;  ///< open-addressing hash -> id
+};
+
+}  // namespace tg

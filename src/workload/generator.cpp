@@ -430,11 +430,11 @@ void TrafficGenerator::run_gateway_session(std::size_t end_user_idx) {
     spec.fail_after = spec.actual_runtime / 3;
     const SimTime at = engine_.now() + offset;
     if (at < horizon_) {
-      const std::string label = eu.label;
+      const EndUserId end_user = eu.id;
       engine_.schedule_at(
           at,
-          [this, &gw, label, spec, end_user_idx] {
-            gw.submit(label, spec, end_user_rng(end_user_idx));
+          [this, &gw, end_user, spec, end_user_idx] {
+            gw.submit(end_user, spec, end_user_rng(end_user_idx));
           },
           EventPriority::kSubmission);
     }

@@ -155,6 +155,7 @@ Population build_population(const Platform& platform,
     eu.gateway_index = gateway_pick.sample(scales) - 1;
     eu.label = pop.gateway_configs[eu.gateway_index].name + ":user" +
                std::to_string(i);
+    eu.id = pop.end_user_pool.intern(eu.label);
     eu.activity_scale = activity.sample(scales);
     if (scales.bernoulli(config.gateway_adoption_ramp)) {
       eu.active_from = static_cast<SimTime>(

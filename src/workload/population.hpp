@@ -10,6 +10,7 @@
 #include "infra/community.hpp"
 #include "infra/platform.hpp"
 #include "util/rng.hpp"
+#include "util/string_pool.hpp"
 #include "workload/archetypes.hpp"
 
 namespace tg {
@@ -29,6 +30,9 @@ struct SyntheticUser {
 /// A gateway end-user label with its activity parameters.
 struct GatewayEndUser {
   std::string label;
+  /// `label` interned into Population::end_user_pool; what the generator
+  /// hands to Gateway::submit (the hot path never touches the string).
+  EndUserId id;
   std::size_t gateway_index = 0;
   double activity_scale = 1.0;
   SimTime active_from = 0;
@@ -53,6 +57,10 @@ struct Population {
   std::vector<SyntheticUser> users;
   std::vector<GatewayConfig> gateway_configs;  ///< community accounts included
   std::vector<GatewayEndUser> gateway_end_users;
+  /// Interned end-user labels; ids are dense [0, gateway_end_users.size()).
+  /// The UsageDatabase borrows this pool to resolve record attributes back
+  /// to labels at the I/O boundary.
+  StringPool end_user_pool;
   GroundTruth truth;  ///< primary modality per account user (community
                       ///< accounts are labelled kGateway)
 };

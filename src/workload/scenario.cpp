@@ -19,6 +19,8 @@ Scenario::Scenario(ScenarioConfig config)
         return build_population(platform_, pc, rng);
       }()),
       ledger_(population_.community) {
+  // Lets report/label stages resolve interned end-user ids back to labels.
+  db_.set_end_user_pool(&population_.end_user_pool);
   pool_ = std::make_unique<SchedulerPool>(engine_, platform_, config_.sched);
   if (config_.enable_flows) {
     flows_ = std::make_unique<FlowManager>(engine_, platform_);
@@ -62,15 +64,18 @@ void Scenario::run() {
   engine_.run();
 }
 
-ModalityReport Scenario::report(const RuleClassifier& classifier) const {
+ModalityReport Scenario::report(const RuleClassifier& classifier,
+                                ThreadPool* analysis_pool) const {
   return ModalityReport::build(platform_, db_, classifier, 0,
-                               engine_.now() + 1, config_.features);
+                               engine_.now() + 1, config_.features,
+                               analysis_pool);
 }
 
 Scenario::LabelledPredictions Scenario::predictions(
-    const RuleClassifier& classifier) const {
+    const RuleClassifier& classifier, ThreadPool* analysis_pool) const {
   const FeatureExtractor extractor(platform_, config_.features);
-  const auto features = extractor.extract(db_, 0, engine_.now() + 1);
+  const auto features =
+      extractor.extract(db_, 0, engine_.now() + 1, analysis_pool);
   const auto sets = classifier.classify(features);
   LabelledPredictions out;
   for (std::size_t i = 0; i < features.size(); ++i) {

@@ -81,9 +81,13 @@ class Scenario {
     return faults_ ? faults_->stats() : FaultModel::Stats{};
   }
 
-  /// Convenience: the headline modality report over the full horizon.
+  /// Convenience: the headline modality report over the full horizon. A
+  /// non-null `analysis_pool` fans the per-user feature extraction across
+  /// its workers (deterministic index-ordered fan-in; byte-identical to the
+  /// sequential pass).
   [[nodiscard]] ModalityReport report(
-      const RuleClassifier& classifier) const;
+      const RuleClassifier& classifier,
+      ThreadPool* analysis_pool = nullptr) const;
 
   /// Aligned (truth, predicted-primary) vectors over active account users,
   /// for classifier scoring. Users with no recorded activity are skipped.
@@ -93,7 +97,8 @@ class Scenario {
     std::vector<UserId> users;
   };
   [[nodiscard]] LabelledPredictions predictions(
-      const RuleClassifier& classifier) const;
+      const RuleClassifier& classifier,
+      ThreadPool* analysis_pool = nullptr) const;
 
  private:
   ScenarioConfig config_;

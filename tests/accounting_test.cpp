@@ -173,7 +173,7 @@ TEST_F(RecorderFixture, GatewayAttributesFlowThrough) {
   const ResourceId target = platform.compute()[0].id;
   JobRequest r = request(1, kHour);
   r.gateway = GatewayId{2};
-  r.gateway_end_user = "portal:alice";
+  r.gateway_end_user = EndUserId{7};
   r.workflow = WorkflowId{5};
   r.interactive = true;
   r.coallocated = true;
@@ -182,7 +182,7 @@ TEST_F(RecorderFixture, GatewayAttributesFlowThrough) {
   ASSERT_EQ(db.jobs().size(), 1u);
   const JobRecord& rec = db.jobs()[0];
   EXPECT_EQ(rec.gateway, GatewayId{2});
-  EXPECT_EQ(rec.gateway_end_user, "portal:alice");
+  EXPECT_EQ(rec.gateway_end_user, EndUserId{7});
   EXPECT_EQ(rec.workflow, WorkflowId{5});
   EXPECT_TRUE(rec.interactive);
   EXPECT_TRUE(rec.coallocated);

@@ -296,13 +296,13 @@ TEST(Gateway, BrownoutDropsSubmissions) {
   spec.requested_walltime = kHour;
   spec.actual_runtime = kHour;
   EXPECT_TRUE(gw.available());
-  EXPECT_TRUE(gw.submit("alice", spec, rng).valid());
+  EXPECT_TRUE(gw.submit(EndUserId{0}, spec, rng).valid());
   gw.set_available(false);
-  EXPECT_FALSE(gw.submit("bob", spec, rng).valid());
-  EXPECT_FALSE(gw.submit("carol", spec, rng).valid());
+  EXPECT_FALSE(gw.submit(EndUserId{1}, spec, rng).valid());
+  EXPECT_FALSE(gw.submit(EndUserId{2}, spec, rng).valid());
   EXPECT_EQ(gw.jobs_dropped(), 2u);
   gw.set_available(true);
-  EXPECT_TRUE(gw.submit("dave", spec, rng).valid());
+  EXPECT_TRUE(gw.submit(EndUserId{3}, spec, rng).valid());
   EXPECT_EQ(gw.jobs_submitted(), 2u);
 }
 

@@ -4,6 +4,7 @@
 
 #include "accounting/usage_db.hpp"
 #include "util/error.hpp"
+#include "util/string_pool.hpp"
 
 namespace tg {
 namespace {
@@ -14,6 +15,9 @@ struct GatewayFixture : ::testing::Test {
   SchedulerPool pool{engine, platform};
   UsageDatabase db;
   Recorder recorder{platform, db};
+  StringPool labels;
+
+  EndUserId eu(const std::string& label) { return labels.intern(label); }
 
   GatewayConfig config() {
     GatewayConfig c;
@@ -37,8 +41,8 @@ TEST_F(GatewayFixture, JobsRunUnderCommunityAccount) {
   recorder.attach(pool);
   Gateway gw(engine, pool, GatewayId{0}, config());
   Rng rng(1);
-  gw.submit("alice", spec(), rng);
-  gw.submit("bob", spec(), rng);
+  gw.submit(eu("alice"), spec(), rng);
+  gw.submit(eu("bob"), spec(), rng);
   engine.run();
   ASSERT_EQ(db.jobs().size(), 2u);
   for (const auto& r : db.jobs()) {
@@ -55,9 +59,9 @@ TEST_F(GatewayFixture, FullCoverageAttachesAllAttributes) {
   c.attribute_coverage = 1.0;
   Gateway gw(engine, pool, GatewayId{0}, c);
   Rng rng(2);
-  for (int i = 0; i < 20; ++i) gw.submit(std::string("u").append(std::to_string(i)), spec(), rng);
+  for (int i = 0; i < 20; ++i) gw.submit(eu("u" + std::to_string(i)), spec(), rng);
   engine.run();
-  for (const auto& r : db.jobs()) EXPECT_FALSE(r.gateway_end_user.empty());
+  for (const auto& r : db.jobs()) EXPECT_TRUE(r.gateway_end_user.valid());
 }
 
 TEST_F(GatewayFixture, ZeroCoverageAttachesNone) {
@@ -66,9 +70,9 @@ TEST_F(GatewayFixture, ZeroCoverageAttachesNone) {
   c.attribute_coverage = 0.0;
   Gateway gw(engine, pool, GatewayId{0}, c);
   Rng rng(3);
-  for (int i = 0; i < 20; ++i) gw.submit(std::string("u").append(std::to_string(i)), spec(), rng);
+  for (int i = 0; i < 20; ++i) gw.submit(eu("u" + std::to_string(i)), spec(), rng);
   engine.run();
-  for (const auto& r : db.jobs()) EXPECT_TRUE(r.gateway_end_user.empty());
+  for (const auto& r : db.jobs()) EXPECT_FALSE(r.gateway_end_user.valid());
 }
 
 TEST_F(GatewayFixture, PartialCoverageApproximatesRate) {
@@ -78,11 +82,11 @@ TEST_F(GatewayFixture, PartialCoverageApproximatesRate) {
   Gateway gw(engine, pool, GatewayId{0}, c);
   Rng rng(4);
   constexpr int kN = 2000;
-  for (int i = 0; i < kN; ++i) gw.submit("u", spec(), rng);
+  for (int i = 0; i < kN; ++i) gw.submit(eu("u"), spec(), rng);
   engine.run_until(kYear);
   int with = 0;
   for (const auto& r : db.jobs()) {
-    if (!r.gateway_end_user.empty()) ++with;
+    if (r.gateway_end_user.valid()) ++with;
   }
   EXPECT_GT(db.jobs().size(), 100u);
   EXPECT_NEAR(static_cast<double>(with) / static_cast<double>(db.jobs().size()),
@@ -95,7 +99,7 @@ TEST_F(GatewayFixture, TargetWeightsRespected) {
   c.target_weights = {1.0, 0.0};  // everything to ClusterA
   Gateway gw(engine, pool, GatewayId{0}, c);
   Rng rng(5);
-  for (int i = 0; i < 30; ++i) gw.submit("u", spec(), rng);
+  for (int i = 0; i < 30; ++i) gw.submit(eu("u"), spec(), rng);
   engine.run();
   for (const auto& r : db.jobs()) {
     EXPECT_EQ(r.resource, platform.compute()[0].id);
@@ -121,7 +125,7 @@ TEST_F(GatewayFixture, FailingJobSpecProducesFailedRecord) {
   GatewayJobSpec s = spec();
   s.fails = true;
   s.fail_after = 5 * kMinute;
-  gw.submit("alice", s, rng);
+  gw.submit(eu("alice"), s, rng);
   engine.run();
   ASSERT_EQ(db.jobs().size(), 1u);
   EXPECT_EQ(db.jobs()[0].final_state, JobState::kFailed);

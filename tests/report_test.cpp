@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "util/string_pool.hpp"
+
 namespace tg {
 namespace {
 
@@ -10,6 +12,7 @@ class ReportFixture : public ::testing::Test {
   Platform platform = mini_platform();
   UsageDatabase db;
   RuleClassifier classifier;
+  StringPool labels;
 
   void add_job(UserId user, int nodes, double nu, SimTime end,
                const std::string& gw_user = "",
@@ -26,7 +29,7 @@ class ReportFixture : public ::testing::Test {
     r.charged_nu = nu;
     r.charged_su = nu;
     r.gateway = gw;
-    r.gateway_end_user = gw_user;
+    if (!gw_user.empty()) r.gateway_end_user = labels.intern(gw_user);
     db.add(r);
   }
 };
