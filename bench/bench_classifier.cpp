@@ -2,6 +2,8 @@
 // year of TGCDB-scale records be turned into a modality report?
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_common.hpp"
+
 #include "core/report.hpp"
 #include "util/rng.hpp"
 
@@ -80,4 +82,6 @@ BENCHMARK(BM_FullReport);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return tg::exp::run_benchmarks(argc, argv, "bench_classifier");
+}

@@ -2,6 +2,8 @@
 // and heap behaviour at depth.
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_common.hpp"
+
 #include <functional>
 
 #include "des/engine.hpp"
@@ -120,4 +122,6 @@ BENCHMARK(BM_ScheduleThenCancelAll)->Arg(100000);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return tg::exp::run_benchmarks(argc, argv, "bench_des_kernel");
+}

@@ -4,6 +4,8 @@
 // numbers for the columnar-index work live in BENCH_analytics.json.
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_common.hpp"
+
 #include <algorithm>
 
 #include "core/features.hpp"
@@ -152,7 +154,7 @@ void BM_JobsInDayWindow(benchmark::State& state) {
   const auto db = make_db(static_cast<int>(state.range(0)));
   SimTime day = 20;
   for (auto _ : state) {
-    auto jobs = db.jobs_in(day * kDay, (day + 1) * kDay);
+    auto jobs = db.jobs_ending_in(day * kDay, (day + 1) * kDay);
     benchmark::DoNotOptimize(jobs);
     day = (day + 37) % 360;
   }
@@ -162,4 +164,6 @@ BENCHMARK(BM_JobsInDayWindow)->Arg(1)->Arg(4)->Arg(16);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return tg::exp::run_benchmarks(argc, argv, "bench_features");
+}

@@ -4,6 +4,7 @@
 // systems" claim of the simulator quantified.
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_common.hpp"
 #include "util/memstats.hpp"
 #include "workload/scenario.hpp"
 
@@ -11,19 +12,14 @@ namespace {
 
 using namespace tg;
 
+// The default mix is exactly 4x the scale-1 population of this benchmark,
+// so scale N maps to a uniform N/4 factor (with_scale rounds half away
+// from zero, matching the old hand-multiplied counts at every Arg).
 ScenarioConfig scaled_config(int scale) {
-  ScenarioConfig config;
-  config.seed = 42;
-  config.horizon = 90 * kDay;
-  config.mix.capacity_users = 75 * scale;
-  config.mix.capability_users = 8 * scale;
-  config.mix.gateway_end_users = 60 * scale;
-  config.mix.workflow_users = 25 * scale;
-  config.mix.coupled_users = 4 * scale;
-  config.mix.viz_users = 10 * scale;
-  config.mix.data_users = 10 * scale;
-  config.mix.exploratory_users = 35 * scale;
-  return config;
+  return ScenarioConfig::defaults()
+      .with_seed(42)
+      .with_horizon(90 * kDay)
+      .with_scale(scale / 4.0);
 }
 
 void BM_ScenarioQuarter(benchmark::State& state) {
@@ -62,10 +58,8 @@ BENCHMARK(BM_ScenarioQuarter)->Arg(1)->Arg(4)->Arg(16)->Arg(64)
 
 void BM_FullYearDefault(benchmark::State& state) {
   for (auto _ : state) {
-    ScenarioConfig config;
-    config.seed = 42;
-    config.horizon = kYear;
-    Scenario scenario(std::move(config));
+    Scenario scenario(
+        ScenarioConfig::defaults().with_seed(42).with_horizon(kYear));
     scenario.run();
     benchmark::DoNotOptimize(scenario.db().jobs().size());
   }
@@ -74,4 +68,6 @@ BENCHMARK(BM_FullYearDefault)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return tg::exp::run_benchmarks(argc, argv, "bench_scenario_scale");
+}

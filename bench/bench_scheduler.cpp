@@ -2,6 +2,8 @@
 // and policy, and end-to-end throughput of a saturated machine.
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_common.hpp"
+
 #include "sched/scheduler.hpp"
 #include "util/rng.hpp"
 
@@ -88,4 +90,6 @@ BENCHMARK(BM_ReservationBooking);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return tg::exp::run_benchmarks(argc, argv, "bench_scheduler");
+}

@@ -34,10 +34,12 @@ Scenario make_scenario(double engine_prob) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  const exp::Options options =
+      exp::Options::parse(argc, argv, "exp_burst_detection");
+  exp::Observability obsv(options);
   exp::banner("F10", "Burst-clustering ablation (untagged ensembles)");
 
-  exp::OptionalCsv csv(exp::csv_path(argc, argv, "exp_burst_detection"),
-                       {"sweep", "x", "recall"});
+  exp::OptionalCsv csv(options.csv, {"sweep", "x", "recall"});
 
   std::cout << "(a) Workflow-modality recall vs fraction of campaigns using "
                "the tagged engine:\n";
@@ -102,5 +104,6 @@ int main(int argc, char** argv) {
             << "\nTags alone miss the scripted half of ensemble use; burst\n"
                "clustering recovers it, degrading only when the threshold\n"
                "exceeds typical sweep widths.\n";
+  obsv.finish();
   return 0;
 }

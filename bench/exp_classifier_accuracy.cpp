@@ -32,11 +32,14 @@ SeedResult run_seed(std::uint64_t seed) {
 
 int main(int argc, char** argv) {
   using namespace tg;
+  const exp::Options options =
+      exp::Options::parse(argc, argv, "exp_classifier_accuracy");
+  exp::Observability obsv(options);
   exp::banner("F3", "Classifier quality vs ground truth (10 seeds)");
 
   constexpr std::size_t kSeeds = 10;
-  Replicator pool(exp::jobs_requested(argc, argv));
-  const auto results = exp::run_seeds(
+  Replicator pool(options.jobs);
+  const auto results = obsv.replicate(
       pool, kSeeds, [](std::size_t i) { return run_seed(1000 + i); });
 
   ConfusionMatrix aggregate;
@@ -61,7 +64,7 @@ int main(int argc, char** argv) {
             << "Macro-F1:  mean " << Table::num(macro_f1.mean(), 3)
             << "  stddev " << Table::num(macro_f1.stddev(), 4) << "\n";
 
-  exp::OptionalCsv csv(exp::csv_path(argc, argv, "exp_classifier_accuracy"),
+  exp::OptionalCsv csv(options.csv,
                        {"modality", "precision", "recall", "f1"});
   for (std::size_t m = 0; m < kModalityCount; ++m) {
     const auto mod = static_cast<Modality>(m);
@@ -69,5 +72,6 @@ int main(int argc, char** argv) {
              Table::num(aggregate.recall(mod), 4),
              Table::num(aggregate.f1(mod), 4)});
   }
+  obsv.finish();
   return 0;
 }

@@ -96,10 +96,13 @@ LoadResult run_load(double load) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  const exp::Options options =
+      exp::Options::parse(argc, argv, "exp_coallocation");
+  exp::Observability obsv(options);
   exp::banner("F6", "Co-allocation wait penalty vs background load");
   Table t({"Background load", "Probes", "Single-site wait (h)",
            "Co-alloc wait (h)", "Penalty"});
-  exp::OptionalCsv csv(exp::csv_path(argc, argv, "exp_coallocation"),
+  exp::OptionalCsv csv(options.csv,
                        {"load", "single_wait_h", "coalloc_wait_h",
                         "penalty_factor"});
   for (const double load : {0.2, 0.4, 0.6, 0.8}) {
@@ -116,5 +119,6 @@ int main(int argc, char** argv) {
   std::cout << t
             << "\nExpected shape: the co-allocation wait is the max over\n"
                "member machines' waits, so the penalty grows with load.\n";
+  obsv.finish();
   return 0;
 }

@@ -1,6 +1,12 @@
 // Shared helpers for the experiment binaries (exp_*): each binary
 // regenerates one table/figure of the reconstructed evaluation (see
 // DESIGN.md §4) and optionally dumps CSV next to its stdout table.
+//
+// Every binary parses the same declarative flag surface (exp::Options) and
+// wires observability the same way (exp::Observability): `--trace=FILE`
+// and `--metrics=FILE` export the obs subsystem's structured trace and
+// metric registry without touching stdout, so the primary outputs stay
+// byte-stable whether or not observability is enabled.
 #pragma once
 
 #include <chrono>
@@ -15,6 +21,10 @@
 
 #include "des/engine.hpp"
 #include "fault/invariants.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/profile.hpp"
+#include "obs/trace.hpp"
 #include "parallel/replicate.hpp"
 #include "util/csv.hpp"
 #include "util/memstats.hpp"
@@ -22,20 +32,140 @@
 
 namespace tg::exp {
 
-/// Parses `--jobs=N`: worker count for multi-replication experiments.
-/// Default 0 = one worker per hardware thread; `--jobs=1` runs the
-/// replication loop inline (no threads). Output is byte-identical at every
-/// jobs level — see the Replicator determinism contract.
-inline std::size_t jobs_requested(int argc, char** argv) {
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg.rfind("--jobs=", 0) == 0) {
-      const long n = std::strtol(arg.c_str() + 7, nullptr, 10);
-      return n > 0 ? static_cast<std::size_t>(n) : 1;
+/// The declarative flag surface shared by every experiment and benchmark
+/// binary. parse() replaces the old per-binary argv scans: it recognizes
+/// exactly the flags below, prints usage and exits(2) on anything else
+/// (and exits(0) on --help), so a typo can no longer silently run the
+/// default configuration.
+struct Options {
+  /// --jobs=N: worker count for replication/analytics fan-out. 0 = one
+  /// worker per hardware thread; 1 = inline, no threads. Output is
+  /// byte-identical at every level (Replicator determinism contract).
+  std::size_t jobs = 0;
+  /// --engine-stats: append the event-core counters after the tables.
+  bool engine_stats = false;
+  /// --stats: append a run-resource summary (throughput, RSS, allocs).
+  bool stats = false;
+  /// --check-invariants: audit the run and exit non-zero on violation.
+  bool check_invariants = false;
+  /// --csv[=path]: dump the table rows as CSV (default <name>.csv).
+  std::optional<std::string> csv;
+  /// --trace[=path]: export the structured sim-time trace as JSONL (or
+  /// CSV by extension; default <name>.trace.jsonl).
+  std::optional<std::string> trace;
+  /// --metrics[=path]: export the metric registry (default
+  /// <name>.metrics.jsonl).
+  std::optional<std::string> metrics;
+
+  /// Parses argv. `name` seeds the default output filenames and the usage
+  /// text. Unknown flags (or positional arguments) are fatal.
+  static Options parse(int argc, char** argv, const std::string& name) {
+    Options out;
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--help" || arg == "-h") {
+        print_usage(std::cout, name);
+        std::exit(0);
+      } else if (arg.rfind("--jobs=", 0) == 0) {
+        const long n = std::strtol(arg.c_str() + 7, nullptr, 10);
+        out.jobs = n > 0 ? static_cast<std::size_t>(n) : 1;
+      } else if (arg == "--engine-stats") {
+        out.engine_stats = true;
+      } else if (arg == "--stats") {
+        out.stats = true;
+      } else if (arg == "--check-invariants") {
+        out.check_invariants = true;
+      } else if (arg == "--csv") {
+        out.csv = name + ".csv";
+      } else if (arg.rfind("--csv=", 0) == 0) {
+        out.csv = arg.substr(6);
+      } else if (arg == "--trace") {
+        out.trace = name + ".trace.jsonl";
+      } else if (arg.rfind("--trace=", 0) == 0) {
+        out.trace = arg.substr(8);
+      } else if (arg == "--metrics") {
+        out.metrics = name + ".metrics.jsonl";
+      } else if (arg.rfind("--metrics=", 0) == 0) {
+        out.metrics = arg.substr(10);
+      } else {
+        std::cerr << name << ": unknown option '" << arg << "'\n";
+        print_usage(std::cerr, name);
+        std::exit(2);
+      }
     }
+    return out;
   }
-  return 0;
-}
+
+  static void print_usage(std::ostream& os, const std::string& name) {
+    os << "usage: " << name << " [options]\n"
+       << "  --jobs=N            worker threads (0 = hardware, 1 = inline)\n"
+       << "  --csv[=PATH]        dump table rows as CSV (default " << name
+       << ".csv)\n"
+       << "  --trace[=PATH]      export the sim-time trace (JSONL, or CSV "
+          "by extension)\n"
+       << "  --metrics[=PATH]    export the metric registry (JSONL or CSV)\n"
+       << "  --engine-stats      append event-core counters\n"
+       << "  --stats             append run-resource summary\n"
+       << "  --check-invariants  audit the run; non-zero exit on violation\n"
+       << "  --help              show this help\n";
+  }
+};
+
+/// Owns the per-process observability state an experiment needs: the trace
+/// ring (allocated only when --trace was given, so tracing-off runs carry
+/// a null buffer everywhere), the metric registry, and a wall-clock phase
+/// profiler. Call finish() after the last table is printed.
+class Observability {
+ public:
+  explicit Observability(const Options& options) : options_(options) {
+    if (options_.trace) trace_ = std::make_unique<obs::TraceBuffer>();
+  }
+
+  /// Null unless --trace was given: wire this into ScenarioConfig::trace
+  /// (single-scenario binaries only — never share one buffer between
+  /// replications fanned out across threads).
+  [[nodiscard]] obs::TraceBuffer* trace() { return trace_.get(); }
+  [[nodiscard]] obs::MetricsRegistry& registry() { return registry_; }
+  [[nodiscard]] obs::PhaseProfiler& profiler() { return profiler_; }
+  [[nodiscard]] bool metrics_enabled() const {
+    return options_.metrics.has_value();
+  }
+
+  /// Fans `n` replications out over `pool` (exactly run_seeds), charging
+  /// the wave's wall time to the profiler and bracketing it with a
+  /// kReplicate span emitted from this (coordinating) thread — the trace
+  /// stays single-writer and byte-identical at any --jobs level.
+  template <class Fn>
+  auto replicate(Replicator& pool, std::size_t n, Fn fn)
+      -> std::vector<std::invoke_result_t<Fn, std::size_t>> {
+    obs::TraceSpan span(trace_.get(), 0, obs::TraceCategory::kReplication,
+                        obs::TracePoint::kReplicate, wave_++);
+    span.set_payload(static_cast<std::int64_t>(n));
+    const auto scope = profiler_.measure("replicate");
+    return pool.run(n, std::move(fn));
+  }
+
+  /// Writes the requested export files. Stdout is never touched, so the
+  /// primary outputs are byte-identical with or without observability.
+  void finish() {
+    if (options_.metrics) {
+      profiler_.publish(registry_);
+      if (trace_) {
+        registry_.counter("trace.events_emitted").set(trace_->emitted());
+        registry_.counter("trace.events_dropped").set(trace_->dropped());
+      }
+      obs::write_metrics_file(registry_, *options_.metrics);
+    }
+    if (options_.trace) obs::write_trace_file(*trace_, *options_.trace);
+  }
+
+ private:
+  Options options_;
+  std::unique_ptr<obs::TraceBuffer> trace_;
+  obs::MetricsRegistry registry_;
+  obs::PhaseProfiler profiler_;
+  std::int64_t wave_ = 0;
+};
 
 /// Fans `n` independent replications out over the pool and returns their
 /// results in seed-index order. The thin experiment-facing wrapper around
@@ -47,16 +177,6 @@ auto run_seeds(Replicator& pool, std::size_t n, Fn fn)
   return pool.run(n, std::move(fn));
 }
 
-/// Parses `--engine-stats`: when present, experiments append the event-core
-/// counters after their tables. Off by default so that the primary outputs
-/// stay byte-stable across runs and engine versions.
-inline bool engine_stats_requested(int argc, char** argv) {
-  for (int i = 1; i < argc; ++i) {
-    if (std::string(argv[i]) == "--engine-stats") return true;
-  }
-  return false;
-}
-
 /// Prints the engine's event-core counters (see Engine::Stats).
 inline void print_engine_stats(const Engine& engine) {
   const Engine::Stats& s = engine.stats();
@@ -64,17 +184,8 @@ inline void print_engine_stats(const Engine& engine) {
             << " fired=" << s.fired << " cancelled=" << s.cancelled
             << " tombstones=" << s.tombstones
             << " tombstone_ratio=" << s.tombstone_ratio()
-            << " heap_high_water=" << s.heap_high_water << "\n";
-}
-
-/// Parses `--check-invariants`: when present, experiments audit their runs
-/// with tg::check_invariants and report the result after their tables. Off
-/// by default so primary outputs stay byte-stable.
-inline bool invariants_requested(int argc, char** argv) {
-  for (int i = 1; i < argc; ++i) {
-    if (std::string(argv[i]) == "--check-invariants") return true;
-  }
-  return false;
+            << " heap_high_water="
+            << static_cast<std::uint64_t>(s.heap_high_water.value()) << "\n";
 }
 
 /// Prints an invariant report and exits non-zero on violation. Call last:
@@ -83,16 +194,6 @@ inline bool invariants_requested(int argc, char** argv) {
 inline void print_invariants(const InvariantReport& report) {
   std::cout << "\n[invariants] " << report.to_string() << "\n";
   if (!report.ok()) std::exit(1);
-}
-
-/// Parses `--stats`: when present, experiments append a run-resource
-/// summary (event throughput, job count, peak RSS, allocation counters)
-/// after their tables. Off by default so primary outputs stay byte-stable.
-inline bool stats_requested(int argc, char** argv) {
-  for (int i = 1; i < argc; ++i) {
-    if (std::string(argv[i]) == "--stats") return true;
-  }
-  return false;
 }
 
 /// Wall-clock scope for print_run_stats: construct before the simulation,
@@ -128,17 +229,6 @@ class RunStats {
  private:
   std::chrono::steady_clock::time_point start_;
 };
-
-/// Parses `--csv[=path]`; returns the path (default `<name>.csv`) if given.
-inline std::optional<std::string> csv_path(int argc, char** argv,
-                                           const std::string& name) {
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == "--csv") return name + ".csv";
-    if (arg.rfind("--csv=", 0) == 0) return arg.substr(6);
-  }
-  return std::nullopt;
-}
 
 /// Prints the standard experiment banner.
 inline void banner(const std::string& id, const std::string& title) {

@@ -81,12 +81,18 @@ RunResult run_one(double mtbf_hours, std::uint64_t seed) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  const exp::Options options =
+      exp::Options::parse(argc, argv, "exp_fault_sensitivity");
+  exp::Observability obsv(options);
   exp::banner("F12", "Modality-table drift vs infrastructure MTBF");
 
+  // Replications are self-contained (own Engine, own trace-free Scenario):
+  // the coordinating thread owns the only trace buffer, so the export stays
+  // byte-identical at every --jobs level.
   constexpr std::size_t kLevelCount = std::size(kLevels);
-  Replicator pool(exp::jobs_requested(argc, argv));
+  Replicator pool(options.jobs);
   const auto results =
-      exp::run_seeds(pool, kLevelCount * kSeedsPerLevel, [](std::size_t i) {
+      obsv.replicate(pool, kLevelCount * kSeedsPerLevel, [](std::size_t i) {
         return run_one(kLevels[i / kSeedsPerLevel].mtbf_hours,
                        4200 + i % kSeedsPerLevel);
       });
@@ -107,7 +113,7 @@ int main(int argc, char** argv) {
                "accuracy", "invariants"});
   bool all_ok = true;
   std::size_t total_checks = 0;
-  exp::OptionalCsv csv(exp::csv_path(argc, argv, "exp_fault_sensitivity"),
+  exp::OptionalCsv csv(options.csv,
                        {"level", "mtbf_hours", "outages", "node_hours_lost",
                         "requeued", "outage_killed", "hazard_failures",
                         "brownouts", "nu_drift", "accuracy"});
@@ -159,5 +165,6 @@ int main(int argc, char** argv) {
             << "Invariant audit: " << (all_ok ? "all runs pass" : "FAILED")
             << " (" << total_checks << " checks across "
             << kLevelCount * kSeedsPerLevel << " runs)\n";
+  obsv.finish();
   return all_ok ? 0 : 1;
 }

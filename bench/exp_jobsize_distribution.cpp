@@ -12,12 +12,15 @@
 
 int main(int argc, char** argv) {
   using namespace tg;
+  const exp::Options options =
+      exp::Options::parse(argc, argv, "exp_jobsize_distribution");
+  exp::Observability obsv(options);
   exp::banner("F2", "Job width (cores) CDF by modality, 1 year");
 
-  ScenarioConfig config;
-  config.seed = 42;
-  config.horizon = kYear;
-  Scenario scenario(std::move(config));
+  Scenario scenario(ScenarioConfig::defaults()
+                        .with_seed(42)
+                        .with_horizon(kYear)
+                        .with_trace(obsv.trace()));
   scenario.run();
 
   // Classify users from records, then attribute each job to its user's
@@ -48,8 +51,7 @@ int main(int argc, char** argv) {
     header.emplace_back(short_name(static_cast<Modality>(m)));
   }
   Table t(header);
-  exp::OptionalCsv csv(exp::csv_path(argc, argv, "exp_jobsize_distribution"),
-                       header);
+  exp::OptionalCsv csv(options.csv, header);
   std::array<double, kModalityCount> cum{};
   for (std::size_t b = 0; b < max_bin; ++b) {
     std::vector<std::string> row{
@@ -68,8 +70,10 @@ int main(int argc, char** argv) {
               << static_cast<long>(widths[m].total()) << " ";
   }
   std::cout << "\n";
-  if (exp::engine_stats_requested(argc, argv)) {
+  if (options.engine_stats) {
     exp::print_engine_stats(scenario.engine());
   }
+  if (obsv.metrics_enabled()) scenario.publish_metrics(obsv.registry());
+  obsv.finish();
   return 0;
 }

@@ -31,6 +31,9 @@ tg::ScenarioConfig config_with_coverage(double coverage) {
 
 int main(int argc, char** argv) {
   using namespace tg;
+  const exp::Options options =
+      exp::Options::parse(argc, argv, "exp_mechanism_coverage");
+  exp::Observability obsv(options);
   exp::banner("T3", "Measurement-mechanism coverage per modality");
 
   // --- (a) per-modality recall of the proposed mechanisms ---
@@ -59,7 +62,7 @@ int main(int argc, char** argv) {
   std::cout << "Gateway attribute coverage sweep:\n";
   Table sweep({"Coverage", "End users (true)", "Measured", "Jobs attributed",
                "Median days to identify"});
-  exp::OptionalCsv csv(exp::csv_path(argc, argv, "exp_mechanism_coverage"),
+  exp::OptionalCsv csv(options.csv,
                        {"coverage", "true_end_users", "measured_end_users",
                         "attributed_job_fraction", "median_identify_days"});
   const std::vector<double> coverages{0.25, 0.5, 0.75, 0.9, 1.0};
@@ -69,9 +72,9 @@ int main(int argc, char** argv) {
     double job_frac = 0.0;
     double median_delay = 0.0;
   };
-  Replicator pool(exp::jobs_requested(argc, argv));
+  Replicator pool(options.jobs);
   const auto rows =
-      exp::run_seeds(pool, coverages.size(), [&](std::size_t i) {
+      obsv.replicate(pool, coverages.size(), [&](std::size_t i) {
         Scenario scenario(config_with_coverage(coverages[i]));
         scenario.run();
         const RuleClassifier classifier;
@@ -125,5 +128,6 @@ int main(int argc, char** argv) {
             << "\nUser counts degrade slowly (one attributed job suffices to\n"
                "identify a user) but attributable charge falls linearly with\n"
                "coverage and new users stay invisible longer.\n";
+  obsv.finish();
   return 0;
 }

@@ -10,13 +10,16 @@
 
 int main(int argc, char** argv) {
   using namespace tg;
+  const exp::Options options =
+      exp::Options::parse(argc, argv, "exp_modality_churn");
+  exp::Observability obsv(options);
   exp::banner("F11", "Quarter-over-quarter modality churn & growth (2 years)");
 
-  ScenarioConfig config;
-  config.seed = 42;
-  config.horizon = 2 * kYear;
-  config.gateway_adoption_ramp = 0.8;
-  Scenario scenario(std::move(config));
+  Scenario scenario(ScenarioConfig::defaults()
+                        .with_seed(42)
+                        .with_horizon(2 * kYear)
+                        .with_gateway_adoption_ramp(0.8)
+                        .with_trace(obsv.trace()));
   scenario.run();
 
   // The eight quarterly windows are independent classifications of the same
@@ -25,8 +28,8 @@ int main(int argc, char** argv) {
   scenario.db().ensure_indexes();
   const RuleClassifier classifier;
   constexpr int kQuarters = 8;
-  Replicator pool(exp::jobs_requested(argc, argv));
-  const auto series = exp::run_seeds(pool, kQuarters, [&](std::size_t q) {
+  Replicator pool(options.jobs);
+  const auto series = obsv.replicate(pool, kQuarters, [&](std::size_t q) {
     return classify_window(scenario.platform(), scenario.db(), classifier,
                            static_cast<SimTime>(q) * kQuarter,
                            static_cast<SimTime>(q + 1) * kQuarter,
@@ -39,7 +42,7 @@ int main(int argc, char** argv) {
 
   Table retention({"Modality", "Retention", "Departed/quarter",
                    "Arrived/quarter"});
-  exp::OptionalCsv csv(exp::csv_path(argc, argv, "exp_modality_churn"),
+  exp::OptionalCsv csv(options.csv,
                        {"modality", "retention", "departed_per_q",
                         "arrived_per_q", "quarterly_growth"});
   const ModalityTrend trend = trend_from(series);
@@ -74,5 +77,7 @@ int main(int argc, char** argv) {
                "community-account rows stay constant — growth shows up in\n"
                "end-user attribute counts, figure F1) and exploratory use\n"
                "churn the most.\n";
+  if (obsv.metrics_enabled()) scenario.publish_metrics(obsv.registry());
+  obsv.finish();
   return 0;
 }

@@ -10,24 +10,28 @@
 
 int main(int argc, char** argv) {
   using namespace tg;
+  const exp::Options options =
+      exp::Options::parse(argc, argv, "exp_modality_timeseries");
+  exp::Observability obsv(options);
   exp::banner("F1", "Quarterly active users per modality (2 years)");
 
-  ScenarioConfig config;
-  config.seed = 42;
-  config.horizon = 2 * kYear;
-  config.gateway_adoption_ramp = 0.8;  // most portal users adopt over time
-  Scenario scenario(std::move(config));
+  Scenario scenario(ScenarioConfig::defaults()
+                        .with_seed(42)
+                        .with_horizon(2 * kYear)
+                        // most portal users adopt over time
+                        .with_gateway_adoption_ramp(0.8)
+                        .with_trace(obsv.trace()));
   scenario.run();
 
   const RuleClassifier classifier;
   // Whole quarters only; the drain tail past 8 x 91 days is excluded. The
   // eight windows classify in parallel (index-ordered fan-in keeps the
   // series byte-identical at every --jobs level).
-  Replicator workers(exp::jobs_requested(argc, argv));
+  Replicator workers(options.jobs);
   const ModalityTimeSeries series =
       quarterly_series(scenario.platform(), scenario.db(), classifier, 0,
                        8 * kQuarter, scenario.config().features,
-                       workers.pool());
+                       workers.pool(), obsv.trace());
 
   std::vector<std::string> header{"Quarter"};
   for (std::size_t m = 0; m < kModalityCount; ++m) {
@@ -35,8 +39,7 @@ int main(int argc, char** argv) {
   }
   header.emplace_back("gw-endusers");
   Table t(header);
-  exp::OptionalCsv csv(exp::csv_path(argc, argv, "exp_modality_timeseries"),
-                       header);
+  exp::OptionalCsv csv(options.csv, header);
   for (std::size_t q = 0; q < series.primary_users.size(); ++q) {
     std::vector<std::string> row{std::string("Q").append(
         std::to_string(q + 1))};
@@ -54,8 +57,10 @@ int main(int argc, char** argv) {
                              series.gateway_end_users.end());
   std::cout << "Gateway end-user growth: " << sparkline(growth) << "  ("
             << growth.front() << " -> " << growth.back() << ")\n";
-  if (exp::engine_stats_requested(argc, argv)) {
+  if (options.engine_stats) {
     exp::print_engine_stats(scenario.engine());
   }
+  if (obsv.metrics_enabled()) scenario.publish_metrics(obsv.registry());
+  obsv.finish();
   return 0;
 }

@@ -10,21 +10,30 @@
 
 int main(int argc, char** argv) {
   using namespace tg;
+  const exp::Options options =
+      exp::Options::parse(argc, argv, "exp_modality_usage");
+  exp::Observability obsv(options);
   exp::banner("T2", "Usage modalities on the simulated TeraGrid, 1 year");
 
   const exp::RunStats stats;
-  ScenarioConfig config;
-  config.seed = 42;
-  config.horizon = kYear;
-  Scenario scenario(std::move(config));
-  scenario.run();
+  Scenario scenario(ScenarioConfig::defaults()
+                        .with_seed(42)
+                        .with_horizon(kYear)
+                        .with_trace(obsv.trace()));
+  {
+    const auto phase = obsv.profiler().measure("simulate");
+    scenario.run();
+  }
 
   // The replication pool doubles as the analytics pool: per-user feature
   // extraction fans out across it with index-ordered fan-in, so the report
   // is byte-identical at every --jobs level.
-  Replicator workers(exp::jobs_requested(argc, argv));
+  Replicator workers(options.jobs);
   const RuleClassifier classifier;
-  const ModalityReport report = scenario.report(classifier, workers.pool());
+  const ModalityReport report = [&] {
+    const auto phase = obsv.profiler().measure("analyze");
+    return scenario.report(classifier, workers.pool());
+  }();
 
   std::cout << "Platform: 11 sites, "
             << scenario.platform().compute().size() << " compute systems, "
@@ -42,7 +51,7 @@ int main(int argc, char** argv) {
             << Table::pct(scenario.config().gateway_attribute_coverage)
             << ")\n";
 
-  exp::OptionalCsv csv(exp::csv_path(argc, argv, "exp_modality_usage"),
+  exp::OptionalCsv csv(options.csv,
                        {"modality", "users", "primary_users", "jobs", "nu",
                         "user_share", "nu_share"});
   for (const auto& row : report.rows()) {
@@ -51,14 +60,16 @@ int main(int argc, char** argv) {
              Table::num(row.nu, 1), Table::num(row.user_share, 4),
              Table::num(row.nu_share, 4)});
   }
-  if (exp::engine_stats_requested(argc, argv)) {
+  if (options.engine_stats) {
     exp::print_engine_stats(scenario.engine());
   }
-  if (exp::stats_requested(argc, argv)) {
+  if (options.stats) {
     stats.print(scenario.engine().events_processed(),
                 scenario.db().jobs().size());
   }
-  if (exp::invariants_requested(argc, argv)) {
+  if (obsv.metrics_enabled()) scenario.publish_metrics(obsv.registry());
+  obsv.finish();
+  if (options.check_invariants) {
     exp::print_invariants(check_invariants(
         scenario.platform(), scenario.db(), &scenario.ledger(),
         &scenario.community(), &scenario.pool()));

@@ -56,13 +56,16 @@ RunResult run_cluster(int recon_nodes, Duration reconfig_time,
 }  // namespace
 
 int main(int argc, char** argv) {
+  const exp::Options options =
+      exp::Options::parse(argc, argv, "exp_recon_nodes");
+  exp::Observability obsv(options);
   exp::banner("F7", "Reconfigurable-node sweep (16-node cluster, 400 tasks)");
 
   std::cout << "(a) Makespan vs number of reconfigurable nodes "
                "(reconfig 10 s, bitstream 32 MB):\n";
   Table a({"Recon nodes", "Makespan (h)", "Speedup vs 0", "On recon",
            "Reconfigs", "Config hits"});
-  exp::OptionalCsv csv(exp::csv_path(argc, argv, "exp_recon_nodes"),
+  exp::OptionalCsv csv(options.csv,
                        {"sweep", "value", "makespan_h", "on_recon",
                         "reconfigurations"});
   const RunResult base = run_cluster(0, 10 * kSecond, 32.0);
@@ -131,5 +134,6 @@ int main(int argc, char** argv) {
                "hardware on plain tasks and thrashes configurations;\n"
                "dedicated waits for hardware, which wins while the 8x\n"
                "speedup outweighs queueing and loses once it doesn't.\n";
+  obsv.finish();
   return 0;
 }

@@ -48,11 +48,14 @@ void offer_background(Engine& engine, ResourceScheduler& sched, double load,
 }  // namespace
 
 int main(int argc, char** argv) {
+  const exp::Options options =
+      exp::Options::parse(argc, argv, "exp_resource_selection");
+  exp::Observability obsv(options);
   exp::banner("F9", "Time-to-start advisor accuracy (resource selection)");
 
   Table t({"Load", "Probes", "Mean |error| (h)", "p90 |error| (h)",
            "Mean actual wait (h)", "Started early"});
-  exp::OptionalCsv csv(exp::csv_path(argc, argv, "exp_resource_selection"),
+  exp::OptionalCsv csv(options.csv,
                        {"load", "mean_abs_err_h", "p90_abs_err_h",
                         "mean_wait_h", "early_start_fraction"});
 
@@ -60,6 +63,7 @@ int main(int argc, char** argv) {
     const Platform platform = teragrid_2010();
     Engine engine;
     SchedulerPool pool(engine, platform);
+    pool.set_trace_all(obsv.trace());
     const ResourceSelector selector;
     Rng rng(31337);
     const Duration horizon = 15 * kDay;
@@ -141,5 +145,6 @@ int main(int argc, char** argv) {
             << "\nEstimates are conservative plans over the current queue:\n"
                "at low load they are exact; under load, early completions\n"
                "start probes sooner than promised (never later).\n";
+  obsv.finish();
   return 0;
 }

@@ -72,11 +72,14 @@ CellResult run_cell(int retry_limit, Duration backoff) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  const exp::Options options =
+      exp::Options::parse(argc, argv, "exp_retry_policies");
+  exp::Observability obsv(options);
   exp::banner("F13", "Outage retry policy sweep under heavy outage pressure");
 
   constexpr std::size_t kCells = std::size(kRetryLimits) * std::size(kBackoffs);
-  Replicator pool(exp::jobs_requested(argc, argv));
-  const auto results = exp::run_seeds(pool, kCells, [](std::size_t i) {
+  Replicator pool(options.jobs);
+  const auto results = obsv.replicate(pool, kCells, [](std::size_t i) {
     return run_cell(kRetryLimits[i / std::size(kBackoffs)],
                     kBackoffs[i % std::size(kBackoffs)]);
   });
@@ -84,7 +87,7 @@ int main(int argc, char** argv) {
   Table table({"retries", "backoff", "delivered NU", "lost core-h",
                "preempted", "requeued", "outage-killed", "mean wait h",
                "invariants"});
-  exp::OptionalCsv csv(exp::csv_path(argc, argv, "exp_retry_policies"),
+  exp::OptionalCsv csv(options.csv,
                        {"retry_limit", "backoff_min", "delivered_nu",
                         "lost_core_hours", "preempted", "requeued",
                         "outage_killed", "mean_wait_hours"});
@@ -112,5 +115,6 @@ int main(int argc, char** argv) {
   std::cout << table << "\n"
             << "Invariant audit: " << (all_ok ? "all cells pass" : "FAILED")
             << "\n";
+  obsv.finish();
   return all_ok ? 0 : 1;
 }

@@ -134,6 +134,9 @@ PolicyResult run_policy(const SchedulerConfig& cfg, double load) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  const exp::Options options =
+      exp::Options::parse(argc, argv, "exp_scheduler_policies");
+  exp::Observability obsv(options);
   exp::banner("F5",
               "Scheduling policies on a 1,024-node machine (30-day stream)");
 
@@ -156,7 +159,7 @@ int main(int argc, char** argv) {
   Table t({"Load", "Policy", "Jobs", "Utilization", "Makespan (d)",
            "Mean wait (h)", "p90 slowdown", "Capability wait (h)",
            "Light-user sd"});
-  exp::OptionalCsv csv(exp::csv_path(argc, argv, "exp_scheduler_policies"),
+  exp::OptionalCsv csv(options.csv,
                        {"load", "policy", "jobs", "utilization",
                         "makespan_days", "mean_wait_h", "p90_slowdown",
                         "capability_wait_h", "light_user_slowdown"});
@@ -183,5 +186,6 @@ int main(int argc, char** argv) {
                "weekly drain trades a little utilization for a large cut in\n"
                "capability-job wait; fair-share protects light users'\n"
                "service at heavy submitters' (and some packing) expense.\n";
+  obsv.finish();
   return 0;
 }

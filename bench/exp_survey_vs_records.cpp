@@ -11,12 +11,15 @@
 
 int main(int argc, char** argv) {
   using namespace tg;
+  const exp::Options options =
+      exp::Options::parse(argc, argv, "exp_survey_vs_records");
+  exp::Observability obsv(options);
   exp::banner("T4", "Records-based measurement vs user surveys");
 
-  ScenarioConfig config;
-  config.seed = 42;
-  config.horizon = 180 * kDay;
-  Scenario scenario(std::move(config));
+  Scenario scenario(ScenarioConfig::defaults()
+                        .with_seed(42)
+                        .with_horizon(180 * kDay)
+                        .with_trace(obsv.trace()));
   scenario.run();
 
   // Ground truth over *active* account users (the population a survey of
@@ -62,7 +65,7 @@ int main(int argc, char** argv) {
 
   Table t({"Modality", "Truth", "Records", "Survey (realistic)",
            "Survey (biased)", "Census+5% noise"});
-  exp::OptionalCsv csv(exp::csv_path(argc, argv, "exp_survey_vs_records"),
+  exp::OptionalCsv csv(options.csv,
                        {"modality", "truth", "records", "survey_realistic",
                         "survey_biased", "census_noisy"});
   for (std::size_t m = 0; m < kModalityCount; ++m) {
@@ -88,8 +91,8 @@ int main(int argc, char** argv) {
   // Each wave draws from its own Rng(100 + w); fan them out and sum the
   // index-ordered MAPEs so the mean matches the sequential loop bit for bit.
   constexpr std::size_t kWaves = 20;
-  Replicator pool(exp::jobs_requested(argc, argv));
-  const auto wave_mapes = exp::run_seeds(pool, kWaves, [&](std::size_t w) {
+  Replicator pool(options.jobs);
+  const auto wave_mapes = obsv.replicate(pool, kWaves, [&](std::size_t w) {
     return survey_mape(run_survey(realistic, 100 + w), truth_counts);
   });
   double survey_err = 0.0;
@@ -104,5 +107,7 @@ int main(int argc, char** argv) {
                "measure modalities an order of magnitude more accurately\n"
                "than surveys, and without response bias; surveys remain\n"
                "useful for the *why*, which records cannot capture.\n";
+  if (obsv.metrics_enabled()) scenario.publish_metrics(obsv.registry());
+  obsv.finish();
   return 0;
 }

@@ -12,12 +12,15 @@
 
 int main(int argc, char** argv) {
   using namespace tg;
+  const exp::Options options =
+      exp::Options::parse(argc, argv, "exp_threshold_sensitivity");
+  exp::Observability obsv(options);
   exp::banner("F4", "Classifier threshold sensitivity (macro-F1)");
 
-  ScenarioConfig config;
-  config.seed = 42;
-  config.horizon = 180 * kDay;
-  Scenario scenario(std::move(config));
+  Scenario scenario(ScenarioConfig::defaults()
+                        .with_seed(42)
+                        .with_horizon(180 * kDay)
+                        .with_trace(obsv.trace()));
   scenario.run();
   // The sweep evaluations below share the scenario read-only across
   // worker threads; build the accounting indexes once up front.
@@ -70,9 +73,9 @@ int main(int argc, char** argv) {
   for (const Sweep& sweep : sweeps) {
     for (double v : sweep.values) points.push_back({&sweep, v});
   }
-  Replicator pool(exp::jobs_requested(argc, argv));
+  Replicator pool(options.jobs);
   const auto scores =
-      exp::run_seeds(pool, points.size(), [&](std::size_t i) {
+      obsv.replicate(pool, points.size(), [&](std::size_t i) {
         ClassifierThresholds thresholds;
         if (points[i].sweep != nullptr) {
           points[i].sweep->apply(thresholds, points[i].value);
@@ -81,9 +84,8 @@ int main(int argc, char** argv) {
       });
 
   Table t({"Threshold", "Value", "Accuracy", "Macro-F1"});
-  exp::OptionalCsv csv(
-      exp::csv_path(argc, argv, "exp_threshold_sensitivity"),
-      {"threshold", "value", "accuracy", "macro_f1"});
+  exp::OptionalCsv csv(options.csv,
+                       {"threshold", "value", "accuracy", "macro_f1"});
   const auto [base_acc, base_f1] = scores.front();
   t.add_row({"(defaults)", "-", Table::pct(base_acc),
              Table::num(base_f1, 3)});
@@ -100,5 +102,7 @@ int main(int argc, char** argv) {
     t.add_rule();
   }
   std::cout << t;
+  if (obsv.metrics_enabled()) scenario.publish_metrics(obsv.registry());
+  obsv.finish();
   return 0;
 }

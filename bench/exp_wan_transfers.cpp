@@ -14,13 +14,15 @@ using namespace tg;
 }
 
 int main(int argc, char** argv) {
+  const exp::Options options =
+      exp::Options::parse(argc, argv, "exp_wan_transfers");
+  exp::Observability obsv(options);
   exp::banner("F8", "WAN flow model validation");
 
   // (a) N flows sharing one 10 Gb/s path: each should get 10/N Gb/s.
   std::cout << "(a) Max-min shares on a shared 10 Gb/s path:\n";
   Table a({"Concurrent flows", "Analytic Gb/s", "Measured Gb/s", "Error"});
-  exp::OptionalCsv csv(exp::csv_path(argc, argv, "exp_wan_transfers"),
-                       {"part", "x", "value"});
+  exp::OptionalCsv csv(options.csv, {"part", "x", "value"});
   for (const int n : {1, 2, 4, 8}) {
     Platform p;
     const SiteId s1 = p.add_site("a");
@@ -96,5 +98,6 @@ int main(int argc, char** argv) {
   std::cout << b
             << "\nBaseline: 10 GB at 10 Gb/s = 8 s; contention stretches\n"
                "the tail first (p99), as max-min fairness predicts.\n";
+  obsv.finish();
   return 0;
 }

@@ -1,134 +1,105 @@
-// Example: a nanoHUB-style science gateway serving a growing end-user
-// community through a community account.
+// Example: science gateways serving growing end-user communities through
+// community accounts — as the central accounting database sees them.
 //
-// Demonstrates: Gateway configuration, the end-user attribute mechanism,
-// and how the central database sees gateway load — thousands of small jobs
-// under one account, identified per-human only through attributes. Shows
-// the measured end-user count and per-quarter growth, plus what happens to
-// visibility when the gateway under-reports attributes.
+// Demonstrates: the Scenario facade configured through the fluent
+// ScenarioConfig builder, the end-user attribute mechanism, and the
+// measurement gap the paper calls out — thousands of small jobs land under
+// a handful of community accounts, and individual humans are visible only
+// when the gateway attaches attributes. Sweeps the attribute coverage rate
+// and reports how identification and attributable charge degrade, then
+// shows the quarterly end-user growth a ramping gateway produces.
 //
 // Run: ./build/examples/gateway_campaign
-#include <algorithm>
 #include <cstdint>
 #include <iostream>
 #include <vector>
 
-#include "accounting/usage_db.hpp"
-#include "gateway/gateway.hpp"
-#include "util/distributions.hpp"
-#include "util/string_pool.hpp"
 #include "util/table.hpp"
+#include "workload/scenario.hpp"
 
 using namespace tg;
 
 namespace {
 
-/// Simulates `users` portal users over `horizon`; each user activates at a
-/// random time and then submits sessions of small jobs.
-UsageDatabase run_gateway(double attribute_coverage, int users,
-                          Duration horizon, std::uint64_t seed) {
-  StringPool labels;
-  const Platform platform = teragrid_2010();
-  Engine engine;
-  SchedulerPool pool(engine, platform);
-  UsageDatabase db;
-  Recorder recorder(platform, db);
-  recorder.attach(pool);
+/// One year of default-population TeraGrid operation with the given
+/// gateway attribute-coverage rate. The adoption ramp makes the portal
+/// community grow over the year instead of arriving fully formed.
+ScenarioConfig campaign(double attribute_coverage) {
+  return ScenarioConfig::defaults()
+      .with_seed(17)
+      .with_horizon(kYear)
+      .with_gateway_attribute_coverage(attribute_coverage)
+      .with_gateway_adoption_ramp(0.8);
+}
 
-  GatewayConfig config;
-  config.name = "nanoHUB";
-  config.community_account = UserId{0};
-  config.project = ProjectId{0};
-  config.attribute_coverage = attribute_coverage;
-  config.targets = {platform.compute_by_name("Steele").id,
-                    platform.compute_by_name("BigRed").id,
-                    platform.compute_by_name("Abe").id};
-  Gateway gateway(engine, pool, GatewayId{0}, config);
+struct GatewayView {
+  long gateway_jobs = 0;
+  long identified_users = 0;
+  double attributed_nu = 0.0;
+  double gateway_nu = 0.0;
+};
 
-  Rng rng(seed);
-  const LogNormal runtime = LogNormal::from_mean_cv(0.4, 1.0);
-  for (int u = 0; u < users; ++u) {
-    // Uniform adoption over the horizon: the community grows.
-    const SimTime active_from =
-        static_cast<SimTime>(rng.uniform(0, static_cast<double>(horizon)));
-    // Interned in user order, so end-user id == u (dense, 0-based).
-    const EndUserId end_user =
-        labels.intern("nanohub:user" + std::to_string(u));
-    // Pre-plan this user's sessions (open-loop).
-    SimTime t = active_from;
-    Rng user_rng = rng.fork(static_cast<std::uint64_t>(u));
-    const Exponential gap(1.0 / (10.0 * static_cast<double>(kDay)));
-    while ((t += static_cast<Duration>(gap.sample(user_rng))) < horizon) {
-      const int jobs = static_cast<int>(user_rng.uniform_int(1, 6));
-      for (int j = 0; j < jobs; ++j) {
-        GatewayJobSpec spec;
-        spec.nodes = static_cast<int>(user_rng.uniform_int(1, 2));
-        spec.actual_runtime = std::max<Duration>(
-            kMinute, static_cast<Duration>(runtime.sample(user_rng) * kHour));
-        spec.requested_walltime = 2 * spec.actual_runtime;
-        engine.schedule_at(t + j * 5 * kMinute,
-                           [&gateway, end_user, spec, u, &rng]() mutable {
-                             Rng submit_rng = rng.fork(0xabcd + u);
-                             gateway.submit(end_user, spec, submit_rng);
-                           });
-      }
-    }
+/// What an analyst can recover from the job stream alone: distinct
+/// attributed end users and the attributable share of gateway charge.
+GatewayView measure(const Scenario& scenario) {
+  GatewayView view;
+  std::vector<std::uint8_t> seen(scenario.db().end_user_id_limit(), 0);
+  for (const JobRecord& r : scenario.db().jobs()) {
+    if (!r.gateway.valid()) continue;
+    ++view.gateway_jobs;
+    view.gateway_nu += r.charged_nu;
+    if (!r.gateway_end_user.valid()) continue;
+    view.attributed_nu += r.charged_nu;
+    std::uint8_t& slot =
+        seen[static_cast<std::size_t>(r.gateway_end_user.value())];
+    view.identified_users += 1 - slot;
+    slot = 1;
   }
-  engine.run();
-  return db;
+  return view;
 }
 
 }  // namespace
 
 int main() {
-  constexpr int kUsers = 300;
-  constexpr Duration kHorizon = kYear;
-
-  std::cout << "nanoHUB-style gateway, " << kUsers
-            << " portal users adopting over one year\n\n";
+  std::cout << "Science-gateway campaign on the simulated TeraGrid, "
+               "1 year, adoption ramping\n\n";
 
   for (const double coverage : {1.0, 0.8, 0.4}) {
-    const UsageDatabase db = run_gateway(coverage, kUsers, kHorizon, 17);
-
-    // Dense seen-bitmap over interned end-user ids (id == portal user
-    // index; see run_gateway).
-    std::vector<std::uint8_t> identified(kUsers, 0);
-    long identified_count = 0;
-    double attributed_nu = 0.0;
-    double total_nu = 0.0;
-    for (const JobRecord& r : db.jobs()) {
-      total_nu += r.charged_nu;
-      if (r.gateway_end_user.valid()) {
-        std::uint8_t& slot =
-            identified[static_cast<std::size_t>(r.gateway_end_user.value())];
-        identified_count += 1 - slot;
-        slot = 1;
-        attributed_nu += r.charged_nu;
-      }
-    }
+    Scenario scenario(campaign(coverage));
+    scenario.run();
+    const GatewayView view = measure(scenario);
+    const auto true_users =
+        static_cast<long>(scenario.population().gateway_end_users.size());
     std::cout << "attribute coverage " << Table::pct(coverage, 0) << ": "
-              << db.jobs().size() << " jobs, " << identified_count << "/"
-              << kUsers << " end users identified, "
-              << Table::pct(total_nu > 0 ? attributed_nu / total_nu : 0.0)
-              << " of charge attributable\n";
+              << view.gateway_jobs << " gateway jobs, "
+              << view.identified_users << "/" << true_users
+              << " end users identified, "
+              << Table::pct(view.gateway_nu > 0
+                                ? view.attributed_nu / view.gateway_nu
+                                : 0.0)
+              << " of gateway charge attributable\n";
   }
 
   std::cout << "\nQuarterly distinct end users (coverage 80%):\n";
-  const UsageDatabase db = run_gateway(0.8, kUsers, kHorizon, 17);
-  for (int q = 0; q < 4; ++q) {
-    std::vector<std::uint8_t> quarter_users(kUsers, 0);
-    long quarter_count = 0;
-    for (const JobRecord& r : db.jobs()) {
-      if (r.end_time >= q * kQuarter && r.end_time < (q + 1) * kQuarter &&
-          r.gateway_end_user.valid()) {
-        std::uint8_t& slot = quarter_users[static_cast<std::size_t>(
-            r.gateway_end_user.value())];
-        quarter_count += 1 - slot;
-        slot = 1;
+  Scenario scenario(campaign(0.8));
+  scenario.run();
+  for (SimTime q = 0; q < 4; ++q) {
+    std::vector<std::uint8_t> seen(scenario.db().end_user_id_limit(), 0);
+    long active = 0;
+    for (const JobRecord& r : scenario.db().jobs()) {
+      if (r.end_time < q * kQuarter || r.end_time >= (q + 1) * kQuarter ||
+          !r.gateway_end_user.valid()) {
+        continue;
       }
+      std::uint8_t& slot =
+          seen[static_cast<std::size_t>(r.gateway_end_user.value())];
+      active += 1 - slot;
+      slot = 1;
     }
-    std::cout << "  Q" << (q + 1) << ": " << quarter_count
-              << " active end users\n";
+    std::cout << "  Q" << (q + 1) << ": " << active << " active end users\n";
   }
+  std::cout << "\nUser counts degrade slowly with coverage (one attributed\n"
+               "job identifies a user) but attributable charge falls\n"
+               "linearly — the paper's case for mandatory attributes.\n";
   return 0;
 }

@@ -9,23 +9,24 @@
 #include "workload/scenario.hpp"
 
 int main() {
-  tg::ScenarioConfig config;
-  config.seed = 7;
-  config.horizon = tg::kQuarter;  // one reporting quarter
-  config.mix.capacity_users = 60;
-  config.mix.capability_users = 8;
-  config.mix.gateway_end_users = 50;
-  config.mix.workflow_users = 20;
-  config.mix.coupled_users = 4;
-  config.mix.viz_users = 10;
-  config.mix.data_users = 10;
-  config.mix.exploratory_users = 30;
+  tg::PopulationMix mix;
+  mix.capacity_users = 60;
+  mix.capability_users = 8;
+  mix.gateway_end_users = 50;
+  mix.workflow_users = 20;
+  mix.coupled_users = 4;
+  mix.viz_users = 10;
+  mix.data_users = 10;
+  mix.exploratory_users = 30;
 
   std::cout << "Simulating one quarter of a TeraGrid-like platform ("
-            << config.mix.account_users() << " account users, "
-            << config.mix.gateway_end_users << " gateway end users)...\n";
+            << mix.account_users() << " account users, "
+            << mix.gateway_end_users << " gateway end users)...\n";
 
-  tg::Scenario scenario(std::move(config));
+  tg::Scenario scenario(tg::ScenarioConfig::defaults()
+                            .with_seed(7)
+                            .with_horizon(tg::kQuarter)  // one quarter
+                            .with_mix(mix));
   scenario.run();
 
   std::cout << "Jobs recorded:      " << scenario.db().jobs().size() << "\n"

@@ -157,8 +157,8 @@ std::vector<const JobRecord*> UsageDatabase::jobs_of(UserId user) const {
   return out;
 }
 
-std::vector<const JobRecord*> UsageDatabase::jobs_in(SimTime from,
-                                                     SimTime to) const {
+std::vector<const JobRecord*> UsageDatabase::jobs_ending_in(
+    SimTime from, SimTime to) const {
   std::vector<const JobRecord*> out;
   if (from >= to) return out;
   jobs_index_.ensure(jobs_);

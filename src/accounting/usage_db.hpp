@@ -105,6 +105,21 @@ class UsageDatabase {
     return sessions_;
   }
 
+  // --- Query surface --------------------------------------------------------
+  // Everything below is read-only and index-backed; time windows are always
+  // half-open [from, to) over a record's *end* time (the TGCDB convention:
+  // a job is accounted when it finishes). Three tiers, cheapest first:
+  //
+  //  1. Aggregates maintained on append, O(1): total_nu(),
+  //     disposition_count(), end_user_id_limit().
+  //  2. Per-user and windowed record queries, served from the lazy columnar
+  //     indexes: jobs_of(), jobs_ending_in(), records_of() (and its
+  //     allocation-free overload — the feature extractor's inner loop).
+  //  3. Raw index access for analytics that manage their own iteration:
+  //     job_window()/transfer_window()/session_window() row ranges and the
+  //     *_rows_of() posting lists, plus ensure_indexes() to force the
+  //     build before fanning read-only work out over threads.
+
   /// Total NUs charged across all job records.
   [[nodiscard]] double total_nu() const { return total_nu_; }
   /// Number of job records with the given disposition (maintained on
@@ -115,8 +130,15 @@ class UsageDatabase {
   /// Job records for `user`, in arrival order.
   [[nodiscard]] std::vector<const JobRecord*> jobs_of(UserId user) const;
   /// Job records whose end time falls in [from, to), in arrival order.
+  [[nodiscard]] std::vector<const JobRecord*> jobs_ending_in(
+      SimTime from, SimTime to) const;
+  /// Old name of jobs_ending_in(); ambiguous about which timestamp the
+  /// window filters on.
+  [[deprecated("use jobs_ending_in(); windows filter on end time")]]
   [[nodiscard]] std::vector<const JobRecord*> jobs_in(SimTime from,
-                                                      SimTime to) const;
+                                                      SimTime to) const {
+    return jobs_ending_in(from, to);
+  }
   /// All of `user`'s records with end time in [from, to), in arrival order.
   [[nodiscard]] UserWindowRecords records_of(UserId user, SimTime from,
                                              SimTime to) const;

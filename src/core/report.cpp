@@ -39,11 +39,28 @@ ModalityReport ModalityReport::build(const Platform& platform,
                                      const RuleClassifier& classifier,
                                      SimTime from, SimTime to,
                                      FeatureConfig feature_config,
-                                     ThreadPool* pool) {
+                                     ThreadPool* pool,
+                                     obs::TraceBuffer* trace) {
+  // Spans are stamped with the window end: analytics run post-horizon,
+  // where the simulated clock no longer advances.
   const FeatureExtractor extractor(platform, feature_config);
-  const std::vector<UserFeatures> features =
-      extractor.extract(db, from, to, pool);
-  const std::vector<ModalitySet> sets = classifier.classify(features);
+  std::vector<UserFeatures> features;
+  {
+    obs::TraceSpan span(trace, to, obs::TraceCategory::kAnalytics,
+                        obs::TracePoint::kFeatureExtract);
+    features = extractor.extract(db, from, to, pool);
+    span.set_payload(static_cast<std::int64_t>(features.size()));
+  }
+  std::vector<ModalitySet> sets;
+  {
+    obs::TraceSpan span(trace, to, obs::TraceCategory::kAnalytics,
+                        obs::TracePoint::kClassify);
+    sets = classifier.classify(features);
+    span.set_payload(static_cast<std::int64_t>(sets.size()));
+  }
+  obs::TraceSpan aggregate_span(trace, to, obs::TraceCategory::kAnalytics,
+                                obs::TracePoint::kAggregate);
+  aggregate_span.set_payload(static_cast<std::int64_t>(kModalityCount));
 
   ModalityReport report;
   for (std::size_t m = 0; m < kModalityCount; ++m) {
@@ -97,7 +114,10 @@ ModalityTimeSeries quarterly_series(const Platform& platform,
                                     const RuleClassifier& classifier,
                                     SimTime from, SimTime to,
                                     FeatureConfig feature_config,
-                                    ThreadPool* pool) {
+                                    ThreadPool* pool,
+                                    obs::TraceBuffer* trace) {
+  obs::TraceSpan span(trace, to, obs::TraceCategory::kAnalytics,
+                      obs::TracePoint::kClassifySeries);
   ModalityTimeSeries series;
   const FeatureExtractor extractor(platform, feature_config);
   std::vector<std::pair<SimTime, SimTime>> windows;
@@ -137,6 +157,7 @@ ModalityTimeSeries quarterly_series(const Platform& platform,
     series.primary_users.push_back(c.primary);
     series.gateway_end_users.push_back(c.gateway_end_users);
   }
+  span.set_payload(static_cast<std::int64_t>(windows.size()));
   return series;
 }
 

@@ -6,6 +6,7 @@
 
 #include "core/classifier.hpp"
 #include "core/modality.hpp"
+#include "obs/trace.hpp"
 #include "util/table.hpp"
 
 namespace tg {
@@ -26,12 +27,16 @@ class ModalityReport {
  public:
   /// Builds the modality usage report over the window [from, to). A
   /// non-null `pool` parallelizes the per-user feature extraction
-  /// (deterministic: byte-identical output at any worker count).
+  /// (deterministic: byte-identical output at any worker count). A
+  /// non-null `trace` records extract/classify/aggregate spans — emitted
+  /// from the coordinating thread only, so the trace stays deterministic
+  /// at any worker count.
   static ModalityReport build(const Platform& platform,
                               const UsageDatabase& db,
                               const RuleClassifier& classifier, SimTime from,
                               SimTime to, FeatureConfig feature_config = {},
-                              ThreadPool* pool = nullptr);
+                              ThreadPool* pool = nullptr,
+                              obs::TraceBuffer* trace = nullptr);
 
   [[nodiscard]] const std::array<ModalityRow, kModalityCount>& rows() const {
     return rows_;
@@ -74,7 +79,8 @@ struct ModalityTimeSeries {
 [[nodiscard]] ModalityTimeSeries quarterly_series(
     const Platform& platform, const UsageDatabase& db,
     const RuleClassifier& classifier, SimTime from, SimTime to,
-    FeatureConfig feature_config = {}, ThreadPool* pool = nullptr);
+    FeatureConfig feature_config = {}, ThreadPool* pool = nullptr,
+    obs::TraceBuffer* trace = nullptr);
 
 /// Distinct gateway end-user attributes in job records ending in [from,to).
 /// One pass over the window's rows into a dense seen-bitmap sized by the

@@ -30,9 +30,15 @@ WindowModalities classify_window(const Platform& platform,
 std::vector<WindowModalities> classify_series(
     const Platform& platform, const UsageDatabase& db,
     const RuleClassifier& classifier, SimTime from, SimTime to,
-    Duration bucket, const FeatureConfig& features, ThreadPool* pool) {
+    Duration bucket, const FeatureConfig& features, ThreadPool* pool,
+    obs::TraceBuffer* trace) {
+  // Stamped with the series end; emitted from the coordinating thread
+  // only, so the span is identical at any worker count.
+  obs::TraceSpan span(trace, to, obs::TraceCategory::kAnalytics,
+                      obs::TracePoint::kClassifySeries);
   std::vector<SimTime> starts;
   for (SimTime q = from; q + bucket <= to; q += bucket) starts.push_back(q);
+  span.set_payload(static_cast<std::int64_t>(starts.size()));
   const auto one = [&](std::size_t i) {
     return classify_window(platform, db, classifier, starts[i],
                            starts[i] + bucket, features);
@@ -120,9 +126,10 @@ ModalityChurn churn_from(const std::vector<WindowModalities>& series) {
 ModalityChurn compute_churn(const Platform& platform, const UsageDatabase& db,
                             const RuleClassifier& classifier, SimTime from,
                             SimTime to, Duration bucket,
-                            FeatureConfig features, ThreadPool* pool) {
+                            FeatureConfig features, ThreadPool* pool,
+                            obs::TraceBuffer* trace) {
   return churn_from(classify_series(platform, db, classifier, from, to,
-                                    bucket, features, pool));
+                                    bucket, features, pool, trace));
 }
 
 ModalityTrend trend_from(const std::vector<WindowModalities>& series) {
@@ -153,9 +160,10 @@ ModalityTrend trend_from(const std::vector<WindowModalities>& series) {
 ModalityTrend compute_trend(const Platform& platform, const UsageDatabase& db,
                             const RuleClassifier& classifier, SimTime from,
                             SimTime to, Duration bucket,
-                            FeatureConfig features, ThreadPool* pool) {
+                            FeatureConfig features, ThreadPool* pool,
+                            obs::TraceBuffer* trace) {
   return trend_from(classify_series(platform, db, classifier, from, to,
-                                    bucket, features, pool));
+                                    bucket, features, pool, trace));
 }
 
 }  // namespace tg

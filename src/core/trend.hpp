@@ -15,6 +15,7 @@
 
 #include "core/classifier.hpp"
 #include "core/modality.hpp"
+#include "obs/trace.hpp"
 #include "util/table.hpp"
 
 namespace tg {
@@ -46,7 +47,7 @@ inline constexpr std::int8_t kInactiveUser = -1;
     const Platform& platform, const UsageDatabase& db,
     const RuleClassifier& classifier, SimTime from, SimTime to,
     Duration bucket = kQuarter, const FeatureConfig& features = {},
-    ThreadPool* pool = nullptr);
+    ThreadPool* pool = nullptr, obs::TraceBuffer* trace = nullptr);
 
 /// Transition counts between consecutive reporting quarters.
 struct ModalityChurn {
@@ -79,7 +80,8 @@ struct ModalityChurn {
                                           SimTime from, SimTime to,
                                           Duration bucket = kQuarter,
                                           FeatureConfig features = {},
-                                          ThreadPool* pool = nullptr);
+                                          ThreadPool* pool = nullptr,
+                                          obs::TraceBuffer* trace = nullptr);
 
 /// Per-modality compound quarterly growth rate of primary-user counts over
 /// the series (last vs first non-empty quarter, annualized per quarter).
@@ -101,6 +103,7 @@ struct ModalityTrend {
                                           SimTime from, SimTime to,
                                           Duration bucket = kQuarter,
                                           FeatureConfig features = {},
-                                          ThreadPool* pool = nullptr);
+                                          ThreadPool* pool = nullptr,
+                                          obs::TraceBuffer* trace = nullptr);
 
 }  // namespace tg

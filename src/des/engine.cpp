@@ -27,8 +27,8 @@ EventId Engine::commit_slot(SimTime t, std::uint32_t slot,
   s.armed = true;
   heap_push(Item{t, next_seq_++, slot, static_cast<std::int32_t>(priority)});
   ++live_count_;
-  ++stats_.scheduled;
-  stats_.heap_high_water = std::max(stats_.heap_high_water, heap_.size());
+  TG_METRIC_INC(stats_.scheduled);
+  stats_.heap_high_water.max_of(static_cast<double>(heap_.size()));
   return (static_cast<EventId>(slot) << 32) | s.generation;
 }
 
@@ -54,7 +54,7 @@ bool Engine::cancel(EventId id) {
   s.armed = false;
   s.cb.reset();
   --live_count_;
-  ++stats_.cancelled;
+  TG_METRIC_INC(stats_.cancelled);
   return true;
 }
 
@@ -115,7 +115,7 @@ void Engine::skim_tombstones() {
     const std::uint32_t slot = heap_.front().slot;
     if (slot_ref(slot).armed) return;
     heap_pop();
-    ++stats_.tombstones;
+    TG_METRIC_INC(stats_.tombstones);
     release(slot);
   }
 }
@@ -125,7 +125,7 @@ bool Engine::step() {
     const Item item = heap_pop();
     Slot& s = slot_ref(item.slot);
     if (!s.armed) {  // cancelled; reclaim the slot lazily
-      ++stats_.tombstones;
+      TG_METRIC_INC(stats_.tombstones);
       release(item.slot);
       continue;
     }
@@ -133,7 +133,7 @@ bool Engine::step() {
     now_ = item.time;
     s.armed = false;
     --live_count_;
-    ++stats_.fired;
+    TG_METRIC_INC(stats_.fired);
     // Invoke in place: chunk storage is stable, so `s` stays valid even if
     // the callback schedules (growing the slab) or cancels other events.
     // The slot itself is released only afterwards, so a handle to this
@@ -144,6 +144,14 @@ bool Engine::step() {
     return true;
   }
   return false;
+}
+
+void Engine::bind_metrics(obs::MetricsRegistry& registry) const {
+  registry.bind_counter("engine.events_scheduled", stats_.scheduled);
+  registry.bind_counter("engine.events_cancelled", stats_.cancelled);
+  registry.bind_counter("engine.events_fired", stats_.fired);
+  registry.bind_counter("engine.heap_tombstones", stats_.tombstones);
+  registry.bind_gauge("engine.heap_high_water", stats_.heap_high_water);
 }
 
 std::size_t Engine::run() {

@@ -23,6 +23,7 @@
 
 #include "des/callback.hpp"
 #include "des/time.hpp"
+#include "obs/metrics.hpp"
 #include "util/error.hpp"
 
 namespace tg {
@@ -47,18 +48,20 @@ class Engine {
   using Callback = EventCallback;
 
   /// Lightweight event-core counters, cheap enough to maintain always.
+  /// The cells are obs value types so bind_metrics() can hand them to a
+  /// MetricsRegistry by reference; they still read as plain integers.
   struct Stats {
-    std::uint64_t scheduled = 0;   ///< schedule_at/schedule_in calls
-    std::uint64_t cancelled = 0;   ///< successful cancel() calls
-    std::uint64_t fired = 0;       ///< callbacks actually run
-    std::uint64_t tombstones = 0;  ///< cancelled entries popped off the heap
-    std::size_t heap_high_water = 0;  ///< max heap size observed
+    obs::Counter scheduled;   ///< schedule_at/schedule_in calls
+    obs::Counter cancelled;   ///< successful cancel() calls
+    obs::Counter fired;       ///< callbacks actually run
+    obs::Counter tombstones;  ///< cancelled entries popped off the heap
+    obs::Gauge heap_high_water;  ///< max heap size observed
 
     /// Fraction of heap pops that were dead entries (cancellation churn).
     [[nodiscard]] double tombstone_ratio() const {
       const std::uint64_t pops = fired + tombstones;
       return pops == 0 ? 0.0
-                       : static_cast<double>(tombstones) /
+                       : static_cast<double>(tombstones.value()) /
                              static_cast<double>(pops);
     }
   };
@@ -123,6 +126,10 @@ class Engine {
   [[nodiscard]] std::size_t pending() const { return live_count_; }
   [[nodiscard]] std::uint64_t events_processed() const { return stats_.fired; }
   [[nodiscard]] const Stats& stats() const { return stats_; }
+
+  /// Registers the event-core counters with `registry` under "engine.".
+  /// The cells live in this Engine; the registry must not outlive it.
+  void bind_metrics(obs::MetricsRegistry& registry) const;
 
  private:
   /// Slab cell backing one scheduled event. `armed` is the tombstone flag:

@@ -121,8 +121,8 @@ void FaultModel::begin_outage(std::size_t i) {
       std::min(nodes, sched.resource().nodes - sched.nodes_down());
   if (taken > 0) {
     const int got = sched.begin_outage(taken, until);
-    ++stats_.outages;
-    stats_.node_hours_lost += static_cast<double>(got) * to_hours(repair);
+    TG_METRIC_INC(stats_.outages);
+    stats_.node_hours_lost.add(static_cast<double>(got) * to_hours(repair));
     engine_.schedule_at(until, [this, i, got] { end_outage(i, got); },
                         EventPriority::kCompletion);
   } else {
@@ -134,7 +134,7 @@ void FaultModel::begin_outage(std::size_t i) {
 void FaultModel::end_outage(std::size_t i, int taken) {
   if (taken > 0) {
     pool_.at(ids_[i]).end_outage(taken);
-    ++stats_.repairs;
+    TG_METRIC_INC(stats_.repairs);
   }
   schedule_outage(i);
 }
@@ -150,7 +150,11 @@ void FaultModel::on_job_start(const Job& job) {
   const ResourceId res = job.resource;
   engine_.schedule_in(at, [this, id, res] {
     if (pool_.at(res).interrupt(id, JobState::kFailed)) {
-      ++stats_.hazard_failures;
+      TG_METRIC_INC(stats_.hazard_failures);
+      if (trace_ != nullptr) {
+        trace_->emit(engine_.now(), obs::TraceCategory::kFault,
+                     obs::TracePoint::kHazardFail, id.value(), res.value());
+      }
     }
   });
 }
@@ -170,14 +174,31 @@ void FaultModel::begin_brownout(std::size_t g) {
   Rng& rng = gateway_rngs_[g];
   Gateway& gateway = *(*gateways_)[g];
   gateway.set_available(false);
-  ++stats_.brownouts;
+  TG_METRIC_INC(stats_.brownouts);
   const Duration length = std::max<Duration>(
       kMinute, from_hours(Exponential(1.0 / config_.brownout_mean_hours)
                               .sample(rng)));
+  if (trace_ != nullptr) {
+    trace_->emit(engine_.now(), obs::TraceCategory::kFault,
+                 obs::TracePoint::kBrownoutBegin, gateway.id().value(),
+                 length);
+  }
   engine_.schedule_in(length, [this, g] {
     (*gateways_)[g]->set_available(true);
+    if (trace_ != nullptr) {
+      trace_->emit(engine_.now(), obs::TraceCategory::kFault,
+                   obs::TracePoint::kBrownoutEnd, (*gateways_)[g]->id().value());
+    }
     schedule_brownout(g);
   });
+}
+
+void FaultModel::bind_metrics(obs::MetricsRegistry& registry) const {
+  registry.bind_counter("fault.outages", stats_.outages);
+  registry.bind_counter("fault.repairs", stats_.repairs);
+  registry.bind_gauge("fault.node_hours_lost", stats_.node_hours_lost);
+  registry.bind_counter("fault.hazard_failures", stats_.hazard_failures);
+  registry.bind_counter("fault.brownouts", stats_.brownouts);
 }
 
 }  // namespace tg

@@ -18,6 +18,8 @@
 
 #include "des/engine.hpp"
 #include "gateway/gateway.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sched/pool.hpp"
 #include "util/rng.hpp"
 
@@ -66,13 +68,15 @@ struct FaultConfig {
 
 class FaultModel {
  public:
+  /// Cells are obs value types (readable as plain integers/doubles) so
+  /// bind_metrics can export them by reference.
   struct Stats {
-    std::uint64_t outages = 0;  ///< outages that actually took nodes
-    std::uint64_t repairs = 0;
+    obs::Counter outages;  ///< outages that actually took nodes
+    obs::Counter repairs;
     /// Node-hours removed from service (planned repair durations).
-    double node_hours_lost = 0.0;
-    std::uint64_t hazard_failures = 0;  ///< jobs killed by the hazard
-    std::uint64_t brownouts = 0;
+    obs::Gauge node_hours_lost;
+    obs::Counter hazard_failures;  ///< jobs killed by the hazard
+    obs::Counter brownouts;
   };
 
   /// `gateways` may be null (or empty) when brownouts are disabled or the
@@ -90,6 +94,13 @@ class FaultModel {
 
   [[nodiscard]] const Stats& stats() const { return stats_; }
   [[nodiscard]] const FaultConfig& config() const { return config_; }
+
+  /// Attaches a trace buffer recording hazard failures and brownout
+  /// begin/end (node outages are traced by the scheduler they hit).
+  void set_trace(obs::TraceBuffer* trace) { trace_ = trace; }
+
+  /// Registers the fault tallies with `registry` under "fault.".
+  void bind_metrics(obs::MetricsRegistry& registry) const;
 
  private:
   void schedule_outage(std::size_t i);
@@ -111,6 +122,7 @@ class FaultModel {
   Rng hazard_rng_;
   std::vector<Rng> gateway_rngs_;  ///< one brownout stream per gateway
   Stats stats_;
+  obs::TraceBuffer* trace_ = nullptr;  ///< optional flight recorder
 };
 
 }  // namespace tg

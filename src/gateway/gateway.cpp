@@ -26,7 +26,12 @@ Gateway::Gateway(Engine& engine, SchedulerPool& pool, GatewayId id,
 JobId Gateway::submit(EndUserId end_user, const GatewayJobSpec& spec,
                       Rng& rng) {
   if (!available_) {
-    ++dropped_;
+    TG_METRIC_INC(dropped_);
+    if (trace_ != nullptr) {
+      trace_->emit(engine_.now(), obs::TraceCategory::kGateway,
+                   obs::TracePoint::kGatewayDrop, end_user.value(),
+                   id_.value());
+    }
     return JobId{};
   }
   const ResourceId target = config_.targets[target_picker_.sample(rng)];
@@ -42,8 +47,20 @@ JobId Gateway::submit(EndUserId end_user, const GatewayJobSpec& spec,
   if (rng.bernoulli(config_.attribute_coverage)) {
     req.gateway_end_user = end_user;
   }
-  ++submitted_;
-  return pool_.at(target).submit(std::move(req));
+  TG_METRIC_INC(submitted_);
+  const JobId job = pool_.at(target).submit(std::move(req));
+  if (trace_ != nullptr) {
+    trace_->emit(engine_.now(), obs::TraceCategory::kGateway,
+                 obs::TracePoint::kGatewaySubmit, end_user.value(),
+                 id_.value(), job.value());
+  }
+  return job;
+}
+
+void Gateway::bind_metrics(obs::MetricsRegistry& registry) const {
+  const std::string base = "gateway." + config_.name;
+  registry.bind_counter(base + ".jobs_submitted", submitted_);
+  registry.bind_counter(base + ".jobs_dropped", dropped_);
 }
 
 }  // namespace tg

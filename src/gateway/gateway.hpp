@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "des/engine.hpp"
+#include "obs/trace.hpp"
 #include "sched/pool.hpp"
 #include "util/distributions.hpp"
 #include "util/ids.hpp"
@@ -64,15 +65,24 @@ class Gateway {
   [[nodiscard]] const GatewayConfig& config() const { return config_; }
   [[nodiscard]] std::uint64_t jobs_submitted() const { return submitted_; }
 
+  /// Attaches a trace buffer recording submissions and brownout drops
+  /// (nullptr detaches). Must outlive the gateway or the next set_trace.
+  void set_trace(obs::TraceBuffer* trace) { trace_ = trace; }
+
+  /// Registers submission tallies with `registry` under
+  /// "gateway.<name>.".
+  void bind_metrics(obs::MetricsRegistry& registry) const;
+
  private:
   Engine& engine_;
   SchedulerPool& pool_;
   GatewayId id_;
   GatewayConfig config_;
   Discrete target_picker_;
-  std::uint64_t submitted_ = 0;
-  std::uint64_t dropped_ = 0;
+  obs::Counter submitted_;
+  obs::Counter dropped_;
   bool available_ = true;
+  obs::TraceBuffer* trace_ = nullptr;
 };
 
 }  // namespace tg

@@ -1,0 +1,140 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace tg::obs {
+
+void Histogram::observe(double v) {
+  int bucket = 0;
+  if (v >= 1.0) {
+    // ilogb(v) is floor(log2(v)) >= 0 here; [2^(i-1), 2^i) lands in i.
+    bucket = std::min(kBuckets - 1, std::ilogb(v) + 1);
+  }
+  ++buckets_[static_cast<std::size_t>(bucket)];
+  if (count_ == 0) {
+    min_ = v;
+    max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  ++count_;
+  sum_ += v;
+}
+
+const char* to_string(MetricsRegistry::Kind kind) {
+  switch (kind) {
+    case MetricsRegistry::Kind::kCounter: return "counter";
+    case MetricsRegistry::Kind::kGauge: return "gauge";
+    case MetricsRegistry::Kind::kHistogram: return "histogram";
+  }
+  return "unknown";
+}
+
+const MetricsRegistry::Entry* MetricsRegistry::find(
+    std::string_view name) const {
+  for (const Entry& e : entries_) {
+    if (e.name == name) return &e;
+  }
+  return nullptr;
+}
+
+MetricsRegistry::Entry& MetricsRegistry::add_entry(std::string_view name,
+                                                   Kind kind,
+                                                   const void* cell) {
+  TG_REQUIRE(!name.empty(), "metric name must not be empty");
+  entries_.push_back(Entry{std::string(name), kind, cell});
+  return entries_.back();
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  if (const Entry* e = find(name)) {
+    TG_REQUIRE(e->kind == Kind::kCounter,
+               "metric '" << std::string(name) << "' already registered as "
+                          << to_string(e->kind));
+    return *const_cast<Counter*>(static_cast<const Counter*>(e->cell));
+  }
+  Counter& cell = counters_.emplace_back();
+  add_entry(name, Kind::kCounter, &cell);
+  return cell;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  if (const Entry* e = find(name)) {
+    TG_REQUIRE(e->kind == Kind::kGauge,
+               "metric '" << std::string(name) << "' already registered as "
+                          << to_string(e->kind));
+    return *const_cast<Gauge*>(static_cast<const Gauge*>(e->cell));
+  }
+  Gauge& cell = gauges_.emplace_back();
+  add_entry(name, Kind::kGauge, &cell);
+  return cell;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+  if (const Entry* e = find(name)) {
+    TG_REQUIRE(e->kind == Kind::kHistogram,
+               "metric '" << std::string(name) << "' already registered as "
+                          << to_string(e->kind));
+    return *const_cast<Histogram*>(static_cast<const Histogram*>(e->cell));
+  }
+  Histogram& cell = histograms_.emplace_back();
+  add_entry(name, Kind::kHistogram, &cell);
+  return cell;
+}
+
+void MetricsRegistry::bind_counter(std::string_view name,
+                                   const Counter& cell) {
+  TG_REQUIRE(find(name) == nullptr,
+             "metric '" << std::string(name) << "' bound twice");
+  add_entry(name, Kind::kCounter, &cell);
+}
+
+void MetricsRegistry::bind_gauge(std::string_view name, const Gauge& cell) {
+  TG_REQUIRE(find(name) == nullptr,
+             "metric '" << std::string(name) << "' bound twice");
+  add_entry(name, Kind::kGauge, &cell);
+}
+
+void MetricsRegistry::bind_histogram(std::string_view name,
+                                     const Histogram& cell) {
+  TG_REQUIRE(find(name) == nullptr,
+             "metric '" << std::string(name) << "' bound twice");
+  add_entry(name, Kind::kHistogram, &cell);
+}
+
+bool MetricsRegistry::contains(std::string_view name) const {
+  return find(name) != nullptr;
+}
+
+std::vector<MetricsRegistry::Sample> MetricsRegistry::snapshot() const {
+  std::vector<Sample> out;
+  out.reserve(entries_.size());
+  for (const Entry& e : entries_) {
+    Sample s;
+    s.name = e.name;
+    s.kind = e.kind;
+    switch (e.kind) {
+      case Kind::kCounter:
+        s.value = static_cast<double>(
+            static_cast<const Counter*>(e.cell)->value());
+        break;
+      case Kind::kGauge:
+        s.value = static_cast<const Gauge*>(e.cell)->value();
+        break;
+      case Kind::kHistogram:
+        s.hist = static_cast<const Histogram*>(e.cell);
+        s.value = static_cast<double>(s.hist->count());
+        break;
+    }
+    out.push_back(std::move(s));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Sample& a, const Sample& b) { return a.name < b.name; });
+  return out;
+}
+
+}  // namespace tg::obs

@@ -1,36 +1,52 @@
 #include "sched/metrics.hpp"
 
+#include <string>
+
 namespace tg {
 
 void SchedulerMetrics::record_finished(Duration wait, Duration runtime,
                                        int nodes, int cores,
                                        double bounded_slowdown, bool killed,
                                        bool failed) {
-  ++finished_;
-  if (killed) ++killed_;
-  if (failed) ++failed_;
+  TG_METRIC_INC(finished_);
+  if (killed) TG_METRIC_INC(killed_);
+  if (failed) TG_METRIC_INC(failed_);
   wait_.add(to_seconds(wait));
   slowdown_.add(bounded_slowdown);
-  delivered_ += to_seconds(runtime) * static_cast<double>(nodes) *
-                static_cast<double>(cores);
+  delivered_.add(to_seconds(runtime) * static_cast<double>(nodes) *
+                 static_cast<double>(cores));
 }
 
 void SchedulerMetrics::record_preempted(double lost_core_seconds,
                                         bool killed) {
-  ++preempted_;
-  if (killed) ++outage_killed_;
-  lost_ += lost_core_seconds;
+  TG_METRIC_INC(preempted_);
+  if (killed) TG_METRIC_INC(outage_killed_);
+  lost_.add(lost_core_seconds);
 }
 
 void SchedulerMetrics::record_outage(int nodes_taken) {
-  ++outages_;
-  outage_nodes_ += nodes_taken;
+  TG_METRIC_INC(outages_);
+  TG_METRIC_ADD(outage_nodes_, static_cast<std::uint64_t>(nodes_taken));
 }
 
 double SchedulerMetrics::utilization(int total_cores, SimTime horizon) const {
   if (horizon <= 0 || total_cores <= 0) return 0.0;
   return delivered_ /
          (static_cast<double>(total_cores) * to_seconds(horizon));
+}
+
+void SchedulerMetrics::bind_metrics(obs::MetricsRegistry& registry,
+                                    std::string_view prefix) const {
+  const std::string base(prefix);
+  registry.bind_counter(base + ".jobs_finished", finished_);
+  registry.bind_counter(base + ".jobs_killed", killed_);
+  registry.bind_counter(base + ".jobs_failed", failed_);
+  registry.bind_counter(base + ".jobs_preempted", preempted_);
+  registry.bind_counter(base + ".jobs_killed_by_outage", outage_killed_);
+  registry.bind_counter(base + ".outages", outages_);
+  registry.bind_counter(base + ".outage_nodes_taken", outage_nodes_);
+  registry.bind_gauge(base + ".delivered_core_seconds", delivered_);
+  registry.bind_gauge(base + ".lost_core_seconds", lost_);
 }
 
 }  // namespace tg

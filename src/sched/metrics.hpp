@@ -1,9 +1,15 @@
 // Per-resource scheduling metrics, accumulated as jobs finish.
+//
+// The tallies live in obs value cells so a MetricsRegistry can export them
+// by reference (see bind_metrics); every accessor still reads as a plain
+// integer or double, and the record_* hot paths stay single inlined adds.
 #pragma once
 
 #include <cstdint>
+#include <string_view>
 
 #include "des/time.hpp"
+#include "obs/metrics.hpp"
 #include "util/stats.hpp"
 
 namespace tg {
@@ -30,7 +36,9 @@ class SchedulerMetrics {
     return outage_killed_;
   }
   [[nodiscard]] std::uint64_t outages() const { return outages_; }
-  [[nodiscard]] int outage_nodes_taken() const { return outage_nodes_; }
+  [[nodiscard]] int outage_nodes_taken() const {
+    return static_cast<int>(outage_nodes_.value());
+  }
   /// Core-seconds of partial work discarded by outage preemptions.
   [[nodiscard]] double lost_core_seconds() const { return lost_; }
   [[nodiscard]] const RunningStats& wait_seconds() const { return wait_; }
@@ -41,18 +49,23 @@ class SchedulerMetrics {
   /// Utilization of `total_cores` over [0, horizon].
   [[nodiscard]] double utilization(int total_cores, SimTime horizon) const;
 
+  /// Registers every tally with `registry` as "<prefix>.jobs_finished" etc.
+  /// The cells live here; the registry must not outlive this object.
+  void bind_metrics(obs::MetricsRegistry& registry,
+                    std::string_view prefix) const;
+
  private:
-  std::uint64_t finished_ = 0;
-  std::uint64_t killed_ = 0;
-  std::uint64_t failed_ = 0;
-  std::uint64_t preempted_ = 0;
-  std::uint64_t outage_killed_ = 0;
-  std::uint64_t outages_ = 0;
-  int outage_nodes_ = 0;
+  obs::Counter finished_;
+  obs::Counter killed_;
+  obs::Counter failed_;
+  obs::Counter preempted_;
+  obs::Counter outage_killed_;
+  obs::Counter outages_;
+  obs::Counter outage_nodes_;
   RunningStats wait_;
   RunningStats slowdown_;
-  double delivered_ = 0.0;
-  double lost_ = 0.0;
+  obs::Gauge delivered_;
+  obs::Gauge lost_;
 };
 
 }  // namespace tg

@@ -32,6 +32,16 @@ void SchedulerPool::add_on_start_all(ResourceScheduler::JobCallback cb) {
   for (auto& s : schedulers_) s->add_on_start(cb);
 }
 
+void SchedulerPool::set_trace_all(obs::TraceBuffer* trace) {
+  for (auto& s : schedulers_) s->set_trace(trace);
+}
+
+void SchedulerPool::bind_metrics(obs::MetricsRegistry& registry) const {
+  for (const auto& s : schedulers_) {
+    s->metrics().bind_metrics(registry, "sched." + s->resource().name);
+  }
+}
+
 std::vector<ResourceId> SchedulerPool::resource_ids() const {
   std::vector<ResourceId> ids;
   ids.reserve(schedulers_.size());

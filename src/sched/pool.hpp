@@ -28,6 +28,13 @@ class SchedulerPool {
   void add_on_end_all(ResourceScheduler::JobCallback cb);
   void add_on_start_all(ResourceScheduler::JobCallback cb);
 
+  /// Attaches `trace` to every scheduler (nullptr detaches).
+  void set_trace_all(obs::TraceBuffer* trace);
+
+  /// Registers each scheduler's metrics with `registry` under
+  /// "sched.<resource name>.".
+  void bind_metrics(obs::MetricsRegistry& registry) const;
+
   /// All compute resource ids, in platform order.
   [[nodiscard]] std::vector<ResourceId> resource_ids() const;
 

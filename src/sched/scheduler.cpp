@@ -164,6 +164,11 @@ JobId ResourceScheduler::submit(JobRequest request) {
   job.submit_time = engine_.now();
   job.state = JobState::kQueued;
   queue_.push_back(id);
+  if (trace_ != nullptr) {
+    trace_->emit(job.submit_time, obs::TraceCategory::kScheduler,
+                 obs::TracePoint::kJobSubmit, id.value(), job.req.nodes,
+                 job.req.requested_walltime);
+  }
   schedule_pass();
   return id;
 }
@@ -201,6 +206,10 @@ bool ResourceScheduler::cancel(JobId id) {
   }
   job.state = JobState::kCancelled;
   job.end_time = engine_.now();
+  if (trace_ != nullptr) {
+    trace_->emit(job.end_time, obs::TraceCategory::kScheduler,
+                 obs::TracePoint::kJobCancel, id.value());
+  }
   for (const auto& cb : on_end_) cb(job);
   return true;
 }
@@ -365,10 +374,15 @@ void ResourceScheduler::schedule_pass() {
   if (in_pass_) return;  // start_job callbacks may re-enter via submit
   in_pass_ = true;
   const SimTime now = engine_.now();
+  obs::TraceSpan pass_span(trace_, now, obs::TraceCategory::kScheduler,
+                           obs::TracePoint::kSchedulePass,
+                           resource_.id.value());
+  int started = 0;
 
   const auto start_by_id = [&](JobId id) {
     start_job(slot_at(id).job, /*from_reservation=*/false);
     ++queue_tombstones_;  // its queue_ entry is dead now (state kRunning)
+    ++started;
   };
 
   Profile profile = base_profile();
@@ -436,6 +450,7 @@ void ResourceScheduler::schedule_pass() {
   }
   in_pass_ = false;
   compact_queue();
+  pass_span.set_payload(started, static_cast<std::int64_t>(queue_length()));
 
   // If the head job's start is gated by something that fires no callback
   // (a drain fence, a reservation window opening), arrange a wakeup pass —
@@ -478,6 +493,11 @@ void ResourceScheduler::start_job(Job& job, bool from_reservation) {
   job.state = JobState::kRunning;
   job.start_time = engine_.now();
   ++running_count_;
+  if (trace_ != nullptr) {
+    trace_->emit(job.start_time, obs::TraceCategory::kScheduler,
+                 obs::TracePoint::kJobStart, job.id.value(), job.req.nodes,
+                 job.start_time - job.submit_time);
+  }
 
   Duration dur = std::min(job.req.actual_runtime, job.req.requested_walltime);
   if (job.req.fails) {
@@ -517,6 +537,11 @@ void ResourceScheduler::complete_job(JobId id, JobState state) {
   job.end_time = engine_.now();
   job.state = state;
   const Duration ran = job.end_time - job.start_time;
+  if (trace_ != nullptr) {
+    trace_->emit(job.end_time, obs::TraceCategory::kScheduler,
+                 obs::TracePoint::kJobEnd, job.id.value(),
+                 static_cast<std::int64_t>(state), ran);
+  }
 
   // Release nodes. Reservation-attached jobs release through their
   // reservation (ending it early).
@@ -578,6 +603,11 @@ int ResourceScheduler::begin_outage(int nodes, SimTime repair) {
   if (taken > 0) {
     outage_until_ = std::max(outage_until_, std::max(repair, now + 1));
     metrics_.record_outage(taken);
+    if (trace_ != nullptr) {
+      trace_->emit(now, obs::TraceCategory::kScheduler,
+                   obs::TracePoint::kOutageBegin, resource_.id.value(), taken,
+                   repair);
+    }
   }
   in_pass_ = false;
   schedule_pass();
@@ -592,6 +622,10 @@ void ResourceScheduler::end_outage(int nodes) {
   free_nodes_ += nodes;
   TG_CHECK(free_nodes_ <= resource_.nodes, "node accounting corrupted");
   if (nodes_down_ == 0) outage_until_ = 0;
+  if (trace_ != nullptr) {
+    trace_->emit(engine_.now(), obs::TraceCategory::kScheduler,
+                 obs::TracePoint::kOutageEnd, resource_.id.value(), nodes);
+  }
   schedule_pass();
 }
 
@@ -625,6 +659,11 @@ void ResourceScheduler::preempt_job(JobId id) {
   const Duration ran = now - job.start_time;
   ++job.preemptions;
   const bool requeue = job.preemptions <= config_.outage_retry_limit;
+  if (trace_ != nullptr) {
+    trace_->emit(now, obs::TraceCategory::kScheduler,
+                 obs::TracePoint::kJobPreempt, id.value(), job.preemptions,
+                 requeue ? 1 : 0);
+  }
   metrics_.record_preempted(to_seconds(ran) * job.req.nodes *
                                 static_cast<double>(resource_.cores_per_node),
                             !requeue);
@@ -672,6 +711,10 @@ void ResourceScheduler::requeue_job(JobId id) {
   // resurrect as schedulable duplicates now that the job is queued again.
   queue_tombstones_ -= static_cast<std::size_t>(std::erase(queue_, id));
   queue_.push_back(id);
+  if (trace_ != nullptr) {
+    trace_->emit(engine_.now(), obs::TraceCategory::kScheduler,
+                 obs::TracePoint::kJobRequeue, id.value());
+  }
   schedule_pass();
 }
 

@@ -16,6 +16,7 @@
 
 #include "des/engine.hpp"
 #include "infra/platform.hpp"
+#include "obs/trace.hpp"
 #include "sched/job.hpp"
 #include "sched/metrics.hpp"
 #include "sched/profile.hpp"
@@ -160,6 +161,12 @@ class ResourceScheduler {
   [[nodiscard]] std::size_t running_jobs() const { return running_count_; }
   [[nodiscard]] const SchedulerMetrics& metrics() const { return metrics_; }
 
+  /// Attaches a trace buffer: job lifecycle events, scheduling passes and
+  /// outages are recorded there (see obs/trace.hpp). Pass nullptr to
+  /// detach. The buffer must outlive the scheduler or the next set_trace.
+  void set_trace(obs::TraceBuffer* trace) { trace_ = trace; }
+  [[nodiscard]] obs::TraceBuffer* trace() const { return trace_; }
+
   /// Live (queued or running) job lookup; throws if unknown/finished.
   [[nodiscard]] const Job& job(JobId id) const;
 
@@ -260,6 +267,7 @@ class ResourceScheduler {
   ReservationId::rep next_reservation_ = 0;
   EventId wakeup_ = kInvalidEvent;
   bool in_pass_ = false;
+  obs::TraceBuffer* trace_ = nullptr;  ///< optional flight recorder
 };
 
 }  // namespace tg

@@ -1,8 +1,28 @@
 #include "workload/scenario.hpp"
 
+#include <algorithm>
+#include <cmath>
+
 #include "util/error.hpp"
 
 namespace tg {
+
+ScenarioConfig& ScenarioConfig::with_scale(double factor) {
+  TG_REQUIRE(factor > 0.0, "scale factor must be positive, got " << factor);
+  const auto scaled = [factor](int n) {
+    if (n <= 0) return n;
+    return std::max(1, static_cast<int>(std::lround(n * factor)));
+  };
+  mix.capacity_users = scaled(mix.capacity_users);
+  mix.capability_users = scaled(mix.capability_users);
+  mix.gateway_end_users = scaled(mix.gateway_end_users);
+  mix.workflow_users = scaled(mix.workflow_users);
+  mix.coupled_users = scaled(mix.coupled_users);
+  mix.viz_users = scaled(mix.viz_users);
+  mix.data_users = scaled(mix.data_users);
+  mix.exploratory_users = scaled(mix.exploratory_users);
+  return *this;
+}
 
 Scenario::Scenario(ScenarioConfig config)
     : config_(std::move(config)),
@@ -51,24 +71,34 @@ Scenario::Scenario(ScenarioConfig config)
                                            Rng(config_.seed).fork("faults"),
                                            &gateways_);
   }
+  if (config_.trace != nullptr) {
+    pool_->set_trace_all(config_.trace);
+    for (auto& g : gateways_) g->set_trace(config_.trace);
+    if (faults_) faults_->set_trace(config_.trace);
+  }
 }
 
 void Scenario::run() {
   TG_REQUIRE(!ran_, "Scenario::run() called twice");
   ran_ = true;
+  obs::TraceSpan span(config_.trace, engine_.now(),
+                      obs::TraceCategory::kEngine,
+                      obs::TracePoint::kScenarioRun);
   generator_->start();
   if (faults_) faults_->start();
   engine_.run_until(config_.horizon);
   // Drain: queued and running work completes, nothing new is initiated
   // (the generator guards every submission with the horizon).
   engine_.run();
+  span.set_payload(static_cast<std::int64_t>(engine_.events_processed()),
+                   static_cast<std::int64_t>(db_.jobs().size()));
 }
 
 ModalityReport Scenario::report(const RuleClassifier& classifier,
                                 ThreadPool* analysis_pool) const {
   return ModalityReport::build(platform_, db_, classifier, 0,
                                engine_.now() + 1, config_.features,
-                               analysis_pool);
+                               analysis_pool, config_.trace);
 }
 
 Scenario::LabelledPredictions Scenario::predictions(
@@ -85,6 +115,28 @@ Scenario::LabelledPredictions Scenario::predictions(
     out.predicted.push_back(sets[i].primary);
   }
   return out;
+}
+
+void Scenario::publish_metrics(obs::MetricsRegistry& registry) const {
+  engine_.bind_metrics(registry);
+  pool_->bind_metrics(registry);
+  for (const auto& g : gateways_) g->bind_metrics(registry);
+  if (faults_) faults_->bind_metrics(registry);
+  // Snapshot counts owned by the registry: stable after run().
+  registry.counter("scenario.job_records")
+      .set(static_cast<std::uint64_t>(db_.jobs().size()));
+  registry.counter("scenario.transfer_records")
+      .set(static_cast<std::uint64_t>(db_.transfers().size()));
+  registry.counter("scenario.session_records")
+      .set(static_cast<std::uint64_t>(db_.sessions().size()));
+  registry.counter("scenario.account_users")
+      .set(static_cast<std::uint64_t>(population_.users.size()));
+  registry.counter("scenario.gateway_end_users")
+      .set(static_cast<std::uint64_t>(population_.gateway_end_users.size()));
+  if (config_.trace != nullptr) {
+    registry.counter("trace.events_emitted").set(config_.trace->emitted());
+    registry.counter("trace.events_dropped").set(config_.trace->dropped());
+  }
 }
 
 }  // namespace tg

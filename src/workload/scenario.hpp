@@ -16,6 +16,8 @@
 #include "gateway/gateway.hpp"
 #include "meta/coalloc.hpp"
 #include "net/flow.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sched/pool.hpp"
 #include "workflow/engine.hpp"
 #include "workload/generator.hpp"
@@ -43,6 +45,86 @@ struct ScenarioConfig {
   /// Use the tiny 2-resource platform instead of the TeraGrid preset
   /// (integration tests).
   bool mini_platform = false;
+  /// Optional flight recorder, attached to every scheduler, gateway and
+  /// the fault model (see obs/trace.hpp). Single-writer: never share one
+  /// buffer between scenarios replicated across a thread pool.
+  obs::TraceBuffer* trace = nullptr;
+
+  // --- Fluent construction --------------------------------------------------
+  // `ScenarioConfig::defaults().with_scale(2.0).with_fault_model(f)` reads
+  // as the experiment it configures. Every with_* mutates one knob and
+  // returns the config for chaining; plain aggregate initialization keeps
+  // working unchanged.
+
+  [[nodiscard]] static ScenarioConfig defaults() { return ScenarioConfig{}; }
+
+  ScenarioConfig& with_seed(std::uint64_t s) {
+    seed = s;
+    return *this;
+  }
+  ScenarioConfig& with_horizon(Duration h) {
+    horizon = h;
+    return *this;
+  }
+  ScenarioConfig& with_mix(PopulationMix m) {
+    mix = m;
+    return *this;
+  }
+  /// Multiplies every archetype count in the current mix by `factor`
+  /// (rounded, floor 1 for counts that started positive).
+  ScenarioConfig& with_scale(double factor);
+  ScenarioConfig& with_archetypes(ArchetypeParams a) {
+    archetypes = a;
+    return *this;
+  }
+  ScenarioConfig& with_sched(SchedulerConfig s) {
+    sched = s;
+    return *this;
+  }
+  ScenarioConfig& with_policy(SchedPolicy p) {
+    sched.policy = p;
+    return *this;
+  }
+  ScenarioConfig& with_gateways(int n) {
+    gateways = n;
+    return *this;
+  }
+  ScenarioConfig& with_gateway_attribute_coverage(double coverage) {
+    gateway_attribute_coverage = coverage;
+    return *this;
+  }
+  ScenarioConfig& with_gateway_adoption_ramp(double ramp) {
+    gateway_adoption_ramp = ramp;
+    return *this;
+  }
+  ScenarioConfig& with_users_per_project(double upp) {
+    users_per_project = upp;
+    return *this;
+  }
+  ScenarioConfig& with_flows(bool enabled) {
+    enable_flows = enabled;
+    return *this;
+  }
+  ScenarioConfig& with_features(FeatureConfig f) {
+    features = f;
+    return *this;
+  }
+  ScenarioConfig& with_fault_model(FaultConfig f) {
+    faults = f;
+    return *this;
+  }
+  ScenarioConfig& with_charging(ChargePolicy c) {
+    charging = c;
+    return *this;
+  }
+  ScenarioConfig& with_mini_platform(bool mini = true) {
+    mini_platform = mini;
+    return *this;
+  }
+  ScenarioConfig& with_trace(obs::TraceBuffer* t) {
+    trace = t;
+    return *this;
+  }
 };
 
 class Scenario {
@@ -99,6 +181,12 @@ class Scenario {
   [[nodiscard]] LabelledPredictions predictions(
       const RuleClassifier& classifier,
       ThreadPool* analysis_pool = nullptr) const;
+
+  /// Registers every component's counters with `registry` — engine event
+  /// core, per-resource scheduler tallies, gateways, fault model — plus
+  /// owned "scenario.*" record counts. Call after run(); the registry must
+  /// not outlive this Scenario.
+  void publish_metrics(obs::MetricsRegistry& registry) const;
 
  private:
   ScenarioConfig config_;

@@ -164,8 +164,8 @@ TEST_F(RecorderFixture, QueryHelpers) {
   EXPECT_EQ(db.jobs_of(user).size(), 2u);
   EXPECT_EQ(db.jobs_of(other.user).size(), 1u);
   // Window [0, 1h+1) captures the two 1-hour jobs.
-  EXPECT_EQ(db.jobs_in(0, kHour + 1).size(), 2u);
-  EXPECT_EQ(db.jobs_in(kHour + 1, kDay).size(), 1u);
+  EXPECT_EQ(db.jobs_ending_in(0, kHour + 1).size(), 2u);
+  EXPECT_EQ(db.jobs_ending_in(kHour + 1, kDay).size(), 1u);
 }
 
 TEST_F(RecorderFixture, GatewayAttributesFlowThrough) {

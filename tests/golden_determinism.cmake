@@ -1,6 +1,10 @@
 # Run an experiment binary at --jobs=1 and --jobs=4 and fail unless the two
 # stdout captures are byte-identical. Invoked by ctest as
-#   cmake -DBIN=<exe> -DWORK_DIR=<dir> -P golden_determinism.cmake
+#   cmake -DBIN=<exe> -DWORK_DIR=<dir> [-DTRACE=ON] -P golden_determinism.cmake
+# With -DTRACE=ON each run also writes `--trace=<dir>/jobs<N>.trace.jsonl`
+# and the two trace exports must be byte-identical too — the determinism
+# contract of DESIGN.md §5.5: the trace is keyed by sim time and stable ids,
+# so the worker count must not change a single byte of it.
 if(NOT DEFINED BIN OR NOT DEFINED WORK_DIR)
   message(FATAL_ERROR "golden_determinism.cmake needs -DBIN=... -DWORK_DIR=...")
 endif()
@@ -8,8 +12,12 @@ endif()
 file(MAKE_DIRECTORY "${WORK_DIR}")
 
 foreach(jobs IN ITEMS 1 4)
+  set(run_args --jobs=${jobs})
+  if(TRACE)
+    list(APPEND run_args --trace=${WORK_DIR}/jobs${jobs}.trace.jsonl)
+  endif()
   execute_process(
-    COMMAND "${BIN}" --jobs=${jobs}
+    COMMAND "${BIN}" ${run_args}
     OUTPUT_FILE "${WORK_DIR}/jobs${jobs}.out"
     RESULT_VARIABLE rc)
   if(NOT rc EQUAL 0)
@@ -27,3 +35,16 @@ if(NOT diff EQUAL 0)
           "(see ${WORK_DIR})")
 endif()
 message(STATUS "byte-identical stdout at --jobs=1 and --jobs=4")
+
+if(TRACE)
+  execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files
+            "${WORK_DIR}/jobs1.trace.jsonl" "${WORK_DIR}/jobs4.trace.jsonl"
+    RESULT_VARIABLE trace_diff)
+  if(NOT trace_diff EQUAL 0)
+    message(FATAL_ERROR
+            "--trace output differs between --jobs=1 and --jobs=4 for ${BIN} "
+            "(see ${WORK_DIR})")
+  endif()
+  message(STATUS "byte-identical --trace output at --jobs=1 and --jobs=4")
+endif()

@@ -125,7 +125,7 @@ TEST(UsageIndex, AppendAfterQueryInvalidatesIndexes) {
   db.add(job_rec(1, 3 * kHour));  // widens the user id range too
   EXPECT_EQ(db.jobs_of(UserId{0}).size(), 2u);
   EXPECT_EQ(db.jobs_of(UserId{1}).size(), 1u);
-  EXPECT_EQ(db.jobs_in(0, 10 * kHour).size(), 3u);
+  EXPECT_EQ(db.jobs_ending_in(0, 10 * kHour).size(), 3u);
   // Same for the other streams.
   db.ensure_indexes();
   db.add(transfer_rec(2, kHour));
@@ -142,12 +142,12 @@ TEST(UsageIndex, EmptyWindowsAndUnknownUsers) {
   EXPECT_TRUE(db.records_of(UserId{0}, 100 * kHour, 50 * kHour).empty());
   EXPECT_TRUE(db.records_of(UserId{9999}, 0, kDay).empty());
   EXPECT_TRUE(db.records_of(UserId{}, 0, kDay).empty());  // invalid id
-  EXPECT_TRUE(db.jobs_in(0, 0).empty());
+  EXPECT_TRUE(db.jobs_ending_in(0, 0).empty());
 
   const UsageDatabase empty;
   EXPECT_EQ(empty.user_id_limit(), 0);
   EXPECT_TRUE(empty.jobs_of(UserId{0}).empty());
-  EXPECT_TRUE(empty.jobs_in(0, kDay).empty());
+  EXPECT_TRUE(empty.jobs_ending_in(0, kDay).empty());
   EXPECT_TRUE(empty.records_of(UserId{0}, 0, kDay).empty());
 }
 
@@ -162,7 +162,7 @@ TEST(UsageIndex, SingleUserDatabase) {
 
 TEST(UsageIndex, JobsInMatchesArrivalOrder) {
   const UsageDatabase db = make_db(/*sorted=*/false);
-  const auto got = db.jobs_in(60 * kHour, 120 * kHour);
+  const auto got = db.jobs_ending_in(60 * kHour, 120 * kHour);
   std::vector<const JobRecord*> expected;
   for (const JobRecord& r : db.jobs()) {
     if (r.end_time >= 60 * kHour && r.end_time < 120 * kHour) {
@@ -183,7 +183,7 @@ TEST(UsageIndex, ContiguousWindowOnSortedStream) {
     EXPECT_LT(end, 120 * kHour);
   }
   EXPECT_EQ(range.last - range.first,
-            db.jobs_in(60 * kHour, 120 * kHour).size());
+            db.jobs_ending_in(60 * kHour, 120 * kHour).size());
 }
 
 TEST(UsageIndex, TotalNuTracksAppends) {
