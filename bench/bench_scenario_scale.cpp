@@ -53,7 +53,7 @@ void BM_ScenarioQuarter(benchmark::State& state) {
         (1024.0 * 1024.0) / iters;
   }
 }
-BENCHMARK(BM_ScenarioQuarter)->Arg(1)->Arg(4)->Arg(16)->Arg(64)
+BENCHMARK(BM_ScenarioQuarter)->Arg(1)->Arg(4)->Arg(16)->Arg(64)->Arg(256)
     ->Unit(benchmark::kMillisecond);
 
 void BM_FullYearDefault(benchmark::State& state) {

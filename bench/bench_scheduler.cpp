@@ -58,11 +58,17 @@ BENCHMARK(BM_SaturatedThroughput)
     ->Args({static_cast<int>(SchedPolicy::kEasyBackfill), 5000})
     ->Args({static_cast<int>(SchedPolicy::kConservativeBackfill), 5000});
 
+// The B3 curve: estimate_start cost vs queue depth, with the incremental
+// plan cache on (arg1 = 1) and off (arg1 = 0, the from-scratch reference
+// planner). The cached curve should stay near-flat — each probe is one
+// earliest_fit against the live plan profile — while the reference curve
+// grows quadratically (every probe replans the whole queue).
 void BM_EstimateStartVsQueueDepth(benchmark::State& state) {
   const auto depth = static_cast<std::size_t>(state.range(0));
   Engine engine;
   SchedulerConfig cfg;
   cfg.backfill_depth = 1 << 20;  // do not cap; measure raw scaling
+  cfg.plan_cache = state.range(1) != 0;
   ResourceScheduler sched(engine, machine(), cfg);
   Rng rng(4);
   // Fill the machine, then stack a deep queue.
@@ -73,7 +79,50 @@ void BM_EstimateStartVsQueueDepth(benchmark::State& state) {
     benchmark::DoNotOptimize(sched.estimate_start(64, 4 * kHour));
   }
 }
-BENCHMARK(BM_EstimateStartVsQueueDepth)->Arg(16)->Arg(128)->Arg(1024);
+BENCHMARK(BM_EstimateStartVsQueueDepth)
+    ->Args({16, 0})
+    ->Args({128, 0})
+    ->Args({1024, 0})
+    ->Args({4096, 0})
+    ->Args({16, 1})
+    ->Args({128, 1})
+    ->Args({1024, 1})
+    ->Args({4096, 1});
+
+// Steady-state churn against a deep conservative backlog: each iteration
+// submits a narrow job, probes the advisor, and cancels the job again. With
+// the cache every step is incremental — the submit appends one planned
+// entry, the cancel pops the plan tail, the probe reads the live profile.
+// Without it each of the three replans the full queue from scratch.
+void BM_IncrementalReplanChurn(benchmark::State& state) {
+  const auto depth = static_cast<std::size_t>(state.range(0));
+  Engine engine;
+  SchedulerConfig cfg;
+  cfg.policy = SchedPolicy::kConservativeBackfill;
+  cfg.backfill_depth = 1 << 20;
+  cfg.plan_cache = state.range(1) != 0;
+  ResourceScheduler sched(engine, machine(), cfg);
+  Rng rng(5);
+  for (std::size_t i = 0; i < depth + 8; ++i) {
+    sched.submit(random_job(rng));
+  }
+  JobRequest probe;
+  probe.user = UserId{0};
+  probe.project = ProjectId{0};
+  probe.nodes = 1;
+  probe.actual_runtime = kHour;
+  probe.requested_walltime = kHour;
+  for (auto _ : state) {
+    const JobId id = sched.submit(probe);
+    benchmark::DoNotOptimize(sched.estimate_start(64, 4 * kHour));
+    sched.cancel(id);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_IncrementalReplanChurn)
+    ->Args({1024, 0})
+    ->Args({1024, 1})
+    ->Args({4096, 1});
 
 void BM_ReservationBooking(benchmark::State& state) {
   Engine engine;

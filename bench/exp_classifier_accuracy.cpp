@@ -17,9 +17,10 @@ struct SeedResult {
   std::vector<tg::Modality> predicted;
 };
 
-SeedResult run_seed(std::uint64_t seed) {
+SeedResult run_seed(std::uint64_t seed, bool plan_cache) {
   tg::ScenarioConfig config;
   config.seed = seed;
+  config.sched.plan_cache = plan_cache;
   config.horizon = 180 * tg::kDay;
   tg::Scenario scenario(std::move(config));
   scenario.run();
@@ -40,7 +41,10 @@ int main(int argc, char** argv) {
   constexpr std::size_t kSeeds = 10;
   Replicator pool(options.jobs);
   const auto results = obsv.replicate(
-      pool, kSeeds, [](std::size_t i) { return run_seed(1000 + i); });
+      pool, kSeeds,
+      [plan_cache = !options.exact_replan](std::size_t i) {
+        return run_seed(1000 + i, plan_cache);
+      });
 
   ConfusionMatrix aggregate;
   RunningStats accuracy;

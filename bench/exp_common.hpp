@@ -48,6 +48,11 @@ struct Options {
   bool stats = false;
   /// --check-invariants: audit the run and exit non-zero on violation.
   bool check_invariants = false;
+  /// --exact-replan: disable the incremental plan cache and replan every
+  /// scheduling decision from scratch (the reference planner). Primary
+  /// outputs must be byte-identical with or without this flag — CI diffs
+  /// the two (see tests/golden_determinism.cmake).
+  bool exact_replan = false;
   /// --csv[=path]: dump the table rows as CSV (default <name>.csv).
   std::optional<std::string> csv;
   /// --trace[=path]: export the structured sim-time trace as JSONL (or
@@ -75,6 +80,8 @@ struct Options {
         out.stats = true;
       } else if (arg == "--check-invariants") {
         out.check_invariants = true;
+      } else if (arg == "--exact-replan") {
+        out.exact_replan = true;
       } else if (arg == "--csv") {
         out.csv = name + ".csv";
       } else if (arg.rfind("--csv=", 0) == 0) {
@@ -107,6 +114,8 @@ struct Options {
        << "  --engine-stats      append event-core counters\n"
        << "  --stats             append run-resource summary\n"
        << "  --check-invariants  audit the run; non-zero exit on violation\n"
+       << "  --exact-replan      disable the incremental plan cache "
+          "(reference planner)\n"
        << "  --help              show this help\n";
   }
 };

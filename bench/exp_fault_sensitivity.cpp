@@ -45,10 +45,11 @@ struct RunResult {
   std::string first_violation;
 };
 
-RunResult run_one(double mtbf_hours, std::uint64_t seed) {
+RunResult run_one(double mtbf_hours, std::uint64_t seed, bool plan_cache) {
   ScenarioConfig config;
   config.seed = seed;
   config.horizon = 120 * kDay;
+  config.sched.plan_cache = plan_cache;
   if (mtbf_hours > 0.0) {
     config.faults.outage.mtbf_hours = mtbf_hours;
     config.faults.job_failure_rate_per_hour = 0.0005;
@@ -91,10 +92,11 @@ int main(int argc, char** argv) {
   // byte-identical at every --jobs level.
   constexpr std::size_t kLevelCount = std::size(kLevels);
   Replicator pool(options.jobs);
-  const auto results =
-      obsv.replicate(pool, kLevelCount * kSeedsPerLevel, [](std::size_t i) {
+  const bool plan_cache = !options.exact_replan;
+  const auto results = obsv.replicate(
+      pool, kLevelCount * kSeedsPerLevel, [plan_cache](std::size_t i) {
         return run_one(kLevels[i / kSeedsPerLevel].mtbf_hours,
-                       4200 + i % kSeedsPerLevel);
+                       4200 + i % kSeedsPerLevel, plan_cache);
       });
 
   // Per-level means; level 0 (fault-free) is the drift baseline.

@@ -20,6 +20,7 @@ int main(int argc, char** argv) {
   Scenario scenario(ScenarioConfig::defaults()
                         .with_seed(42)
                         .with_horizon(180 * kDay)
+                        .with_plan_cache(!options.exact_replan)
                         .with_trace(obsv.trace()));
   scenario.run();
   // The sweep evaluations below share the scenario read-only across

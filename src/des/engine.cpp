@@ -138,7 +138,9 @@ bool Engine::step() {
     // the callback schedules (growing the slab) or cancels other events.
     // The slot itself is released only afterwards, so a handle to this
     // event stays stale (armed == false) rather than aliasing a new one.
+    in_event_ = true;
     s.cb();
+    in_event_ = false;
     s.cb.reset();
     release(item.slot);
     return true;

@@ -35,11 +35,15 @@ using EventId = std::uint64_t;
 inline constexpr EventId kInvalidEvent = 0;
 
 /// Priority classes: completions run before submissions at the same tick so
-/// freed resources are visible to arriving work.
+/// freed resources are visible to arriving work, and deferred scheduling
+/// passes (kReplan) run after every state change of the tick has landed —
+/// that ordering is what lets a wave of same-tick completions coalesce into
+/// one replan instead of N.
 enum class EventPriority : int {
   kCompletion = 0,
   kDefault = 10,
   kSubmission = 20,
+  kReplan = 30,
   kReporting = 100,
 };
 
@@ -123,6 +127,12 @@ class Engine {
   /// callback completes.
   void stop() { stopped_ = true; }
 
+  /// True while a callback is being run by the event loop. Components use
+  /// this to pick between synchronous work (direct API calls, e.g. from
+  /// tests, expect immediate effects) and deferring to a same-tick event
+  /// (so same-timestamp triggers batch into one pass).
+  [[nodiscard]] bool in_event() const { return in_event_; }
+
   [[nodiscard]] std::size_t pending() const { return live_count_; }
   [[nodiscard]] std::uint64_t events_processed() const { return stats_.fired; }
   [[nodiscard]] const Stats& stats() const { return stats_; }
@@ -197,6 +207,7 @@ class Engine {
   std::size_t live_count_ = 0;
   Stats stats_;
   bool stopped_ = false;
+  bool in_event_ = false;  ///< a callback is currently running (see in_event)
 };
 
 }  // namespace tg

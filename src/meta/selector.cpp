@@ -33,6 +33,10 @@ ResourceId ResourceSelector::select(
       if (est >= 0 && est < best_start) {
         best_start = est;
         best = id;
+        // An immediate start cannot be beaten — ties keep the earliest
+        // candidate — so skip the remaining probes (each one is a planner
+        // query on that machine).
+        if (est <= sched.now()) break;
       }
     }
     if (best.valid()) break;

@@ -45,6 +45,9 @@ void SchedulerMetrics::bind_metrics(obs::MetricsRegistry& registry,
   registry.bind_counter(base + ".jobs_killed_by_outage", outage_killed_);
   registry.bind_counter(base + ".outages", outages_);
   registry.bind_counter(base + ".outage_nodes_taken", outage_nodes_);
+  registry.bind_counter(base + ".replan.full", replan_full_);
+  registry.bind_counter(base + ".replan.incremental", replan_incremental_);
+  registry.bind_counter(base + ".replan.coalesced", replan_coalesced_);
   registry.bind_gauge(base + ".delivered_core_seconds", delivered_);
   registry.bind_gauge(base + ".lost_core_seconds", lost_);
 }

@@ -24,6 +24,14 @@ class SchedulerMetrics {
   void record_preempted(double lost_core_seconds, bool killed);
   /// One outage that took `nodes_taken` nodes out of service.
   void record_outage(int nodes_taken);
+  /// One from-scratch replan: the cached plan was invalid (or caching is
+  /// off) and the queue prefix was planned against a fresh profile.
+  void record_replan_full() { replan_full_.inc(); }
+  /// One replan served from the live plan cache (possibly extended by a
+  /// few newly visible jobs).
+  void record_replan_incremental() { replan_incremental_.inc(); }
+  /// One pass request absorbed by an already-pending same-tick pass.
+  void record_replan_coalesced() { replan_coalesced_.inc(); }
 
   [[nodiscard]] std::uint64_t jobs_finished() const { return finished_; }
   [[nodiscard]] std::uint64_t jobs_killed() const { return killed_; }
@@ -36,6 +44,13 @@ class SchedulerMetrics {
     return outage_killed_;
   }
   [[nodiscard]] std::uint64_t outages() const { return outages_; }
+  [[nodiscard]] std::uint64_t replans_full() const { return replan_full_; }
+  [[nodiscard]] std::uint64_t replans_incremental() const {
+    return replan_incremental_;
+  }
+  [[nodiscard]] std::uint64_t replans_coalesced() const {
+    return replan_coalesced_;
+  }
   [[nodiscard]] int outage_nodes_taken() const {
     return static_cast<int>(outage_nodes_.value());
   }
@@ -62,6 +77,9 @@ class SchedulerMetrics {
   obs::Counter outage_killed_;
   obs::Counter outages_;
   obs::Counter outage_nodes_;
+  obs::Counter replan_full_;
+  obs::Counter replan_incremental_;
+  obs::Counter replan_coalesced_;
   RunningStats wait_;
   RunningStats slowdown_;
   obs::Gauge delivered_;

@@ -64,6 +64,11 @@ void Profile::add_fence(SimTime t) {
   fences_.insert(it, t);
 }
 
+void Profile::set_fence_period(Duration period) {
+  TG_REQUIRE(period >= 0, "negative fence period");
+  fence_period_ = period;
+}
+
 int Profile::free_at(SimTime t) const {
   ensure_built();
   int free = capacity_;
@@ -80,10 +85,13 @@ SimTime Profile::earliest_fit(int nodes, Duration duration,
   ensure_built();
   earliest = std::max(earliest, now_);
   if (nodes > capacity_) return -1;
+  // Every window between consecutive periodic fences is one period long;
+  // a longer job straddles a fence wherever it starts.
+  if (fence_period_ > 0 && duration > fence_period_) return -1;
 
-  // Single forward sweep over the merged (delta breakpoints, fences)
-  // event stream, tracking the earliest candidate start `s` of a
-  // continuously-feasible run. O(B + F).
+  // Single forward sweep over the merged (delta breakpoints, explicit
+  // fences, periodic fences) event stream, tracking the earliest candidate
+  // start `s` of a continuously-feasible run. O(B + F).
   SimTime s = -1;
   int free = capacity_;
   const auto note_feasible = [&](SimTime at) {
@@ -97,32 +105,66 @@ SimTime Profile::earliest_fit(int nodes, Duration duration,
 
   auto d = events_.begin();
   auto f = std::upper_bound(fences_.begin(), fences_.end(), earliest);
-  while (d != events_.end() || f != fences_.end()) {
-    const bool take_delta =
-        f == fences_.end() || (d != events_.end() && d->time <= *f);
-    const SimTime t = take_delta ? d->time : *f;
+  // Next periodic fence strictly after `earliest`; advanced analytically,
+  // so the fence stream has no horizon (-1 = none).
+  SimTime pf =
+      fence_period_ > 0 ? (earliest / fence_period_ + 1) * fence_period_ : -1;
+  for (;;) {
+    SimTime fence = pf;
+    if (f != fences_.end() && (fence < 0 || *f < fence)) fence = *f;
+    const bool have_delta = d != events_.end();
+    if (!have_delta && fence < 0) break;
+    const bool take_delta = have_delta && (fence < 0 || d->time <= fence);
+    const SimTime t = take_delta ? d->time : fence;
     // The run [s, t) is feasible; done if the job fits before this event.
     if (s >= 0 && s + duration <= t) return s;
     if (take_delta) {
-      // Times are unique after the merge, so one event per step.
+      // Times are unique after the merge, so one delta per step.
       free += d->delta;
       ++d;
-      // A fence at exactly t must also be processed before continuing.
-      if (f != fences_.end() && *f == t) {
-        if (s >= 0 && s < t) s = -1;  // would straddle the fence
-        ++f;
-      }
-      note_feasible(t);
-    } else {
-      // Fence: a candidate run may not straddle it; restart at the fence.
+    }
+    if (fence == t) {
+      // A candidate run may not straddle a fence; restart at it.
       if (s >= 0 && s < t) s = -1;
-      ++f;
-      note_feasible(t);
+      if (f != fences_.end() && *f == t) ++f;
+      if (pf == t) pf += fence_period_;
+    }
+    note_feasible(t);
+    if (!take_delta && d == events_.end() && f == fences_.end()) {
+      // Only periodic fences remain and the free count is `capacity_`
+      // forever: this fence opens a full period, which fits `duration`
+      // (checked up front), so the candidate set here is final.
+      return s;
     }
   }
-  // Tail region: free == capacity_ >= nodes forever.
+  // Tail region: free == capacity_ >= nodes forever, no fences.
   if (s < 0) s = earliest;
   return s;
+}
+
+bool Profile::fits_at(SimTime t, int nodes, Duration duration) const {
+  TG_REQUIRE(nodes >= 0 && duration >= 0, "bad fit query");
+  ensure_built();
+  t = std::max(t, now_);
+  if (nodes > capacity_) return false;
+  if (duration > 0) {
+    // No fence may lie strictly inside (t, t + duration).
+    const auto f = std::upper_bound(fences_.begin(), fences_.end(), t);
+    if (f != fences_.end() && *f < t + duration) return false;
+    if (fence_period_ > 0 &&
+        (t / fence_period_ + 1) * fence_period_ < t + duration) {
+      return false;
+    }
+  }
+  int free = capacity_;
+  auto d = events_.begin();
+  for (; d != events_.end() && d->time <= t; ++d) free += d->delta;
+  if (free < nodes) return false;
+  for (; d != events_.end() && d->time < t + duration; ++d) {
+    free += d->delta;
+    if (free < nodes) return false;
+  }
+  return true;
 }
 
 }  // namespace tg

@@ -29,15 +29,28 @@ class Profile {
   /// periodic full-machine drains).
   void add_fence(SimTime t);
 
+  /// Declares a fence at every positive multiple of `period`. Periodic
+  /// fences are handled analytically by the sweeps — never materialized —
+  /// so the stream extends arbitrarily far into the future: a plan pushed
+  /// out by deep backlog cannot cross a fence that a materialization
+  /// horizon would have hidden. Pass 0 to clear.
+  void set_fence_period(Duration period);
+
   /// Free nodes at instant `t` (t >= now).
   [[nodiscard]] int free_at(SimTime t) const;
 
   /// Earliest start >= `earliest` at which `nodes` are free for the whole
   /// interval [s, s+duration) and no fence lies strictly inside it.
-  /// Returns -1 if no feasible start exists (never happens while
-  /// nodes <= machine size, since the far future is always free).
+  /// Returns -1 if no feasible start exists: `nodes` exceeds the machine,
+  /// or a fence period shorter than `duration` fences every window.
   [[nodiscard]] SimTime earliest_fit(int nodes, Duration duration,
                                      SimTime earliest) const;
+
+  /// True iff `nodes` are free over the whole [t, t+duration) and no fence
+  /// lies strictly inside it — equivalent to earliest_fit(..., t) == t but
+  /// bails at the first shortage instead of sweeping the whole profile (on
+  /// a saturated machine that is the first breakpoint).
+  [[nodiscard]] bool fits_at(SimTime t, int nodes, Duration duration) const;
 
   [[nodiscard]] SimTime origin() const { return now_; }
   [[nodiscard]] int capacity() const { return capacity_; }
@@ -60,6 +73,7 @@ class Profile {
   mutable std::vector<Event> events_;
   mutable bool built_ = false;
   std::vector<SimTime> fences_;  // kept sorted
+  Duration fence_period_ = 0;    // 0 = no periodic fences
 };
 
 }  // namespace tg

@@ -18,10 +18,6 @@ const char* to_string(SchedPolicy p) {
 }
 
 namespace {
-/// Fences are materialized over this planning horizon past `now`; nothing
-/// on a TeraGrid machine plans further ahead than this.
-constexpr Duration kFenceHorizon = 120 * kDay;
-
 /// Validates the id before shifting: run from the member initializer, where
 /// an out-of-range id would otherwise overflow (UB) before any ctor-body
 /// check could reject it.
@@ -134,6 +130,7 @@ void ResourceScheduler::release_slot(JobId id) {
   const std::uint32_t slot = slot_index_[local];
   slot_index_[local] = kNoSlot;
   JobSlot& s = slots_[slot];
+  TG_CHECK(s.running_pos < 0, "releasing a slot still tracked as running");
   s.job = Job{};
   s.end_event = kInvalidEvent;
   s.reservation = ReservationId{};
@@ -154,6 +151,14 @@ JobId ResourceScheduler::submit(JobRequest request) {
                  request.requested_walltime <= resource_.max_walltime,
              "requested walltime " << request.requested_walltime
                                    << " outside limits of " << resource_.name);
+  // Under a drain policy every run window is at most one period long; a
+  // longer job could never legally start (it would straddle a fence
+  // wherever it was placed), so refuse it up front.
+  TG_REQUIRE(config_.drain_period <= 0 ||
+                 request.requested_walltime <= config_.drain_period,
+             "requested walltime " << request.requested_walltime
+                                   << " exceeds the drain period of "
+                                   << resource_.name);
   TG_REQUIRE(request.actual_runtime > 0, "actual runtime must be positive");
 
   const JobId id = allocate_job_id();
@@ -169,7 +174,11 @@ JobId ResourceScheduler::submit(JobRequest request) {
                  obs::TracePoint::kJobSubmit, id.value(), job.req.nodes,
                  job.req.requested_walltime);
   }
-  schedule_pass();
+  // Incremental append: a live plan absorbs the newcomer by planning it
+  // against the cached profile (O(profile), not a full replan). When the
+  // plan window is already full the entry just waits beyond the cursor.
+  if (plan_.valid && extend_plan() > 0) metrics_.record_replan_incremental();
+  request_pass();
   return id;
 }
 
@@ -185,11 +194,44 @@ void ResourceScheduler::compact_queue() {
   if (queue_.size() < 64 || queue_tombstones_ * 2 <= queue_.size()) return;
   std::erase_if(queue_, [this](JobId id) { return !queue_entry_live(id); });
   queue_tombstones_ = 0;
+  queue_front_ = 0;  // indices shifted; the dead prefix is gone anyway
+  invalidate_plan();  // the plan cursor indexes into the old queue_ layout
+}
+
+void ResourceScheduler::untrack_running(JobSlot& s) {
+  if (s.running_pos < 0) return;
+  const auto pos = static_cast<std::size_t>(s.running_pos);
+  const JobId moved = running_ids_.back();
+  running_ids_[pos] = moved;
+  running_ids_.pop_back();
+  if (pos < running_ids_.size()) {
+    slot_at(moved).running_pos = static_cast<std::int32_t>(pos);
+  }
+  s.running_pos = -1;
 }
 
 bool ResourceScheduler::cancel(JobId id) {
   JobSlot* s = find_slot(id);
   if (s == nullptr || s->job.state != JobState::kQueued) return false;
+  // Plan upkeep while the job's width/walltime are still at hand.
+  // Reservation-attached and backoff-pending jobs are never planned.
+  if (plan_.valid && !s->reservation.valid() && !s->job.requeue_pending) {
+    if (!plan_.jobs.empty() && plan_.jobs.back() == id) {
+      // Un-plan the tail entry in place: give its window back and retry
+      // any horizon cut (the freed window may pull the cut job in).
+      const Duration dur = planned_duration(s->job);
+      const SimTime st = plan_.starts.back();
+      plan_.profile.subtract(st, st + dur, -s->job.req.nodes);
+      plan_.jobs.pop_back();
+      plan_.starts.pop_back();
+      plan_.horizon_cut = false;
+    } else if (std::find(plan_.jobs.begin(), plan_.jobs.end(), id) !=
+               plan_.jobs.end()) {
+      // A mid-plan hole shifts every later planned start.
+      invalidate_plan();
+    }
+    // Unplanned entries just tombstone; the cursor scan skips them.
+  }
   Job job = std::move(s->job);
   const ReservationId res = s->reservation;
   release_slot(id);
@@ -239,7 +281,8 @@ ReservationId ResourceScheduler::reserve(SimTime start, Duration duration,
   engine_.schedule_at(start, [this, id] { on_reservation_start(id); },
                       EventPriority::kDefault);
   // A new blocking window can invalidate planned backfill; re-plan.
-  schedule_pass();
+  invalidate_plan();
+  request_pass();
   return id;
 }
 
@@ -286,19 +329,20 @@ bool ResourceScheduler::cancel_reservation(ReservationId id) {
       for (const auto& cb : on_end_) cb(job);
     }
   }
-  schedule_pass();
+  invalidate_plan();  // the cached profile still holds the freed window
+  request_pass();
   return true;
 }
 
 Profile ResourceScheduler::base_profile() const {
   const SimTime now = engine_.now();
   Profile profile(now, resource_.nodes);
-  // Slab and table iteration are not id-ordered; Profile::subtract is
-  // commutative (exact integer deltas), so the assembled profile is
-  // identical to the old ordered walk.
-  for (const JobSlot& s : slots_) {
-    if (!s.live || s.job.state != JobState::kRunning) continue;
-    if (s.reservation.valid()) continue;  // nodes held by reservation
+  // running_ids_ holds exactly the running non-reservation jobs, in no
+  // particular order; Profile::subtract is commutative (exact integer
+  // deltas), so the assembled profile is identical to a full slab walk —
+  // at O(running) instead of O(backlog) cost.
+  for (const JobId rid : running_ids_) {
+    const JobSlot& s = slot_at(rid);
     // A job holds its nodes until its completion event is *processed*; a
     // planned end <= now (event pending this tick, or overdue kill) must
     // still occupy the profile or a same-tick pass would overcommit.
@@ -317,12 +361,10 @@ Profile ResourceScheduler::base_profile() const {
     profile.subtract(now, std::max(outage_until_, now + 1), nodes_down_);
   }
   if (config_.drain_period > 0) {
-    const SimTime first =
-        ((now / config_.drain_period) + 1) * config_.drain_period;
-    for (SimTime f = first; f <= now + kFenceHorizon;
-         f += config_.drain_period) {
-      profile.add_fence(f);
-    }
+    // Analytic periodic fences: the profile evaluates them at any horizon,
+    // so a plan pushed out by deep backlog can no longer cross a fence
+    // that a materialization cutoff would have hidden.
+    profile.set_fence_period(config_.drain_period);
   }
   return profile;
 }
@@ -370,6 +412,121 @@ std::vector<JobId> ResourceScheduler::ordered_queue() const {
   return order;
 }
 
+void ResourceScheduler::request_pass() {
+  if (!engine_.in_event()) {
+    // Direct API use (tests, setup code) expects immediate effects; a
+    // re-entrant call during a pass still falls out via the in_pass_
+    // guard, exactly as before.
+    schedule_pass();
+    return;
+  }
+  if (pass_event_ != kInvalidEvent) {
+    metrics_.record_replan_coalesced();
+    return;  // a pass is already queued for this tick
+  }
+  // Deferred to kReplan priority: every completion/submission/outage of
+  // this tick lands first, then one pass covers them all.
+  pass_event_ = engine_.schedule_at(
+      engine_.now(),
+      [this] {
+        pass_event_ = kInvalidEvent;
+        schedule_pass();
+      },
+      EventPriority::kReplan);
+}
+
+std::size_t ResourceScheduler::extend_plan() const {
+  if (!plan_.valid || plan_.horizon_cut) return 0;
+  const auto depth = static_cast<std::size_t>(config_.backfill_depth);
+  const SimTime now = engine_.now();
+  const SimTime horizon =
+      config_.plan_horizon > 0 ? now + config_.plan_horizon : -1;
+  std::size_t planned = 0;
+  while (plan_.cursor < queue_.size() && plan_.jobs.size() < depth) {
+    const JobId id = queue_[plan_.cursor];
+    if (!queue_entry_live(id)) {
+      ++plan_.cursor;
+      continue;
+    }
+    const Job& job = slot_at(id).job;
+    const Duration dur = planned_duration(job);
+    const SimTime s = plan_.profile.earliest_fit(job.req.nodes, dur, now);
+    TG_CHECK(s >= 0, "job cannot ever fit");
+    if (horizon >= 0 && s > horizon && !plan_.jobs.empty()) {
+      plan_.horizon_cut = true;  // the cursor stays on this entry
+      break;
+    }
+    plan_.profile.subtract(s, s + dur, job.req.nodes);
+    plan_.jobs.push_back(id);
+    plan_.starts.push_back(s);
+    ++plan_.cursor;
+    ++planned;
+  }
+  return planned;
+}
+
+void ResourceScheduler::rebuild_plan() const {
+  const SimTime now = engine_.now();
+  plan_.profile = base_profile();
+  plan_.jobs.clear();
+  plan_.starts.clear();
+  plan_.cursor = queue_front_;  // everything before it is dead
+  plan_.horizon_cut = false;
+  plan_.built_at = now;
+  metrics_.record_replan_full();
+  if (plan_cacheable()) {
+    plan_.valid = true;
+    extend_plan();
+    return;
+  }
+  // Reference / reordered path: materialize the scheduling order and plan
+  // the first backfill_depth jobs. Never reused across events.
+  plan_.valid = false;
+  const std::vector<JobId> order = ordered_queue();
+  const std::size_t scan_end = std::min(
+      order.size(), static_cast<std::size_t>(config_.backfill_depth));
+  const SimTime horizon =
+      config_.plan_horizon > 0 ? now + config_.plan_horizon : -1;
+  for (std::size_t i = 0; i < scan_end; ++i) {
+    const Job& job = slot_at(order[i]).job;
+    const Duration dur = planned_duration(job);
+    const SimTime s = plan_.profile.earliest_fit(job.req.nodes, dur, now);
+    TG_CHECK(s >= 0, "job cannot ever fit");
+    if (horizon >= 0 && s > horizon && !plan_.jobs.empty()) {
+      plan_.horizon_cut = true;
+      break;
+    }
+    plan_.profile.subtract(s, s + dur, job.req.nodes);
+    plan_.jobs.push_back(order[i]);
+    plan_.starts.push_back(s);
+  }
+}
+
+const ResourceScheduler::PlanCache& ResourceScheduler::ensure_plan() const {
+  if (plan_.valid) {
+    const SimTime now = engine_.now();
+    // A planned start in the past means its gating moment fired no event
+    // (a backfill hole opened mid-window); the reference planner would
+    // replan such jobs at `now`, so staleness forces a rebuild. Likewise
+    // an overdue outage advisory: the cached profile freed those nodes at
+    // the advised repair time, but they are still down.
+    bool stale = nodes_down_ > 0 && outage_until_ <= now;
+    for (std::size_t i = 0; !stale && i < plan_.starts.size(); ++i) {
+      stale = plan_.starts[i] < now;
+    }
+    if (!stale) {
+      // The horizon window moves with `now`: a job cut at the last build
+      // may fall inside it by now, so retry the cut (one earliest_fit when
+      // it still stands — the knob's per-event cost).
+      plan_.horizon_cut = false;
+      if (extend_plan() > 0) metrics_.record_replan_incremental();
+      return plan_;
+    }
+  }
+  rebuild_plan();
+  return plan_;
+}
+
 void ResourceScheduler::schedule_pass() {
   if (in_pass_) return;  // start_job callbacks may re-enter via submit
   in_pass_ = true;
@@ -385,102 +542,151 @@ void ResourceScheduler::schedule_pass() {
     ++started;
   };
 
-  Profile profile = base_profile();
-  std::vector<JobId> order = ordered_queue();
+  // Compaction rewrites queue_ indices (and thereby the plan cursor), so
+  // it runs before planning instead of after. Then advance the dead-prefix
+  // pointer: under FIFO churn the head entries die first (start/cancel
+  // tombstones), and without the pointer every pass re-walks them.
+  compact_queue();
+  while (queue_front_ < queue_.size() &&
+         !queue_entry_live(queue_[queue_front_])) {
+    ++queue_front_;
+  }
 
-  switch (config_.policy) {
-    case SchedPolicy::kFcfs: {
-      for (JobId id : order) {
-        const Job& job = slot_at(id).job;
-        const Duration dur = planned_duration(job);
-        if (profile.earliest_fit(job.req.nodes, dur, now) != now) break;
-        profile.subtract(now, now + dur, job.req.nodes);
-        start_by_id(id);
+  // Earliest start gated by something that fires no callback (a drain
+  // fence, a reservation window opening); -1 = nothing to wake for.
+  SimTime wake = -1;
+
+  if (config_.policy == SchedPolicy::kConservativeBackfill) {
+    ensure_plan();
+    // Collect due entries first: start callbacks may re-enter (submit,
+    // cancel, estimate) and mutate the plan under this loop.
+    std::vector<JobId> due;
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < plan_.jobs.size(); ++i) {
+      if (plan_.starts[i] <= now) {
+        due.push_back(plan_.jobs[i]);
+      } else {
+        plan_.jobs[kept] = plan_.jobs[i];
+        plan_.starts[kept] = plan_.starts[i];
+        ++kept;
       }
-      break;
     }
-    case SchedPolicy::kEasyBackfill: {
-      // Start jobs in order while they fit immediately.
-      std::size_t head = 0;
-      while (head < order.size()) {
-        const Job& job = slot_at(order[head]).job;
-        const Duration dur = planned_duration(job);
-        if (profile.earliest_fit(job.req.nodes, dur, now) != now) break;
-        profile.subtract(now, now + dur, job.req.nodes);
-        start_by_id(order[head]);
-        ++head;
+    plan_.jobs.resize(kept);
+    plan_.starts.resize(kept);
+    in_plan_start_ = true;
+    for (const JobId id : due) {
+      // An earlier start's callback may have cancelled a later due job.
+      if (!queue_entry_live(id)) continue;
+      start_by_id(id);
+    }
+    in_plan_start_ = false;
+    if (!plan_.starts.empty()) {
+      // The remaining head was planned against exactly the commitments a
+      // fresh base profile would show, so its planned start doubles as
+      // the head-fit wakeup target — no second profile build.
+      wake = plan_.starts.front();
+    } else if (queue_length() > 0) {
+      // Degenerate window (backfill_depth == 0, or every planned job just
+      // left): fall back to an explicit head fit.
+      JobId head_id{};
+      if (!config_.fair_share && config_.drain_period <= 0) {
+        for (std::size_t i = queue_front_; i < queue_.size(); ++i) {
+          if (queue_entry_live(queue_[i])) {
+            head_id = queue_[i];
+            break;
+          }
+        }
+      } else {
+        head_id = ordered_queue().front();
       }
-      if (head < order.size()) {
+      const Job& head = slot_at(head_id).job;
+      wake = plan_.profile.earliest_fit(head.req.nodes,
+                                        planned_duration(head), now);
+    }
+  } else {
+    Profile profile = base_profile();
+    // Lazy ordered-queue prefix: plain FIFO yields live entries on demand
+    // and stops at what the policy consumes (started run + head + the
+    // backfill window) instead of materializing the whole queue every
+    // pass. Fair-share and drain ordering still sort the full queue.
+    std::vector<JobId> order;
+    const bool fifo = !config_.fair_share && config_.drain_period <= 0;
+    if (!fifo) order = ordered_queue();
+    // Entries appended by mid-pass callbacks are this pass's business no
+    // more than they were when the order was a materialized snapshot.
+    const std::size_t limit = fifo ? queue_.size() : order.size();
+    std::size_t pos = fifo ? queue_front_ : 0;
+    const auto next_live = [&]() -> JobId {
+      while (pos < limit) {
+        const JobId id = fifo ? queue_[pos] : order[pos];
+        ++pos;
+        if (queue_entry_live(id)) return id;
+      }
+      return JobId{};
+    };
+
+    JobId head{};
+    for (JobId id = next_live(); id.valid(); id = next_live()) {
+      const Job& job = slot_at(id).job;
+      const Duration dur = planned_duration(job);
+      // The profile's value at `now` never exceeds free_nodes_ (it also
+      // carries unstarted reservation windows), so a width check is a free
+      // short-circuit — on a packed machine the pass does no profile work.
+      if (job.req.nodes > free_nodes_ ||
+          !profile.fits_at(now, job.req.nodes, dur)) {
+        head = id;
+        break;
+      }
+      profile.subtract(now, now + dur, job.req.nodes);
+      start_by_id(id);
+    }
+    if (head.valid()) {
+      const Job& headjob = slot_at(head).job;
+      const Duration hdur = planned_duration(headjob);
+      // At this point the profile holds base + started windows — exactly
+      // the fresh base profile the old wakeup tail rebuilt — so the head
+      // fit is computed once and reused as both the EASY shadow and the
+      // wakeup target.
+      const SimTime shadow =
+          profile.earliest_fit(headjob.req.nodes, hdur, now);
+      TG_CHECK(shadow >= 0, "head job cannot ever fit");
+      wake = shadow;
+      if (config_.policy == SchedPolicy::kEasyBackfill) {
         // Reserve the head job's slot, then backfill anything that fits
         // now without disturbing it.
-        const Job& headjob = slot_at(order[head]).job;
-        const Duration hdur = planned_duration(headjob);
-        const SimTime shadow =
-            profile.earliest_fit(headjob.req.nodes, hdur, now);
-        TG_CHECK(shadow >= 0, "head job cannot ever fit");
         profile.subtract(shadow, shadow + hdur, headjob.req.nodes);
-        const std::size_t scan_end = std::min(
-            order.size(),
-            head + 1 + static_cast<std::size_t>(config_.backfill_depth));
-        for (std::size_t i = head + 1; i < scan_end; ++i) {
-          const Job& job = slot_at(order[i]).job;
+        // free_nodes_ == 0 makes every remaining fits_at provably false
+        // (see the width short-circuit above), so stop scanning outright.
+        for (int scanned = 0;
+             scanned < config_.backfill_depth && free_nodes_ > 0; ++scanned) {
+          const JobId id = next_live();
+          if (!id.valid()) break;
+          const Job& job = slot_at(id).job;
           const Duration dur = planned_duration(job);
-          if (profile.earliest_fit(job.req.nodes, dur, now) == now) {
+          if (job.req.nodes <= free_nodes_ &&
+              profile.fits_at(now, job.req.nodes, dur)) {
             profile.subtract(now, now + dur, job.req.nodes);
-            start_by_id(order[i]);
+            start_by_id(id);
           }
         }
       }
-      break;
-    }
-    case SchedPolicy::kConservativeBackfill: {
-      const std::size_t scan_end = std::min(
-          order.size(), static_cast<std::size_t>(config_.backfill_depth));
-      for (std::size_t i = 0; i < scan_end; ++i) {
-        const JobId id = order[i];
-        const Job& job = slot_at(id).job;
-        const Duration dur = planned_duration(job);
-        const SimTime s = profile.earliest_fit(job.req.nodes, dur, now);
-        TG_CHECK(s >= 0, "job cannot ever fit");
-        profile.subtract(s, s + dur, job.req.nodes);
-        if (s == now) start_by_id(id);
-      }
-      break;
     }
   }
   in_pass_ = false;
-  compact_queue();
   pass_span.set_payload(started, static_cast<std::int64_t>(queue_length()));
 
-  // If the head job's start is gated by something that fires no callback
-  // (a drain fence, a reservation window opening), arrange a wakeup pass —
-  // otherwise an idle-but-fenced machine would never reconsider its queue.
-  if (queue_length() > 0) {
-    // Only the ordering's head matters here. Without fair-share or drain
-    // priority that is the first live FIFO entry — found by a short scan
-    // instead of materializing the whole ordered queue again.
-    JobId head_id{};
-    if (!config_.fair_share && config_.drain_period <= 0) {
-      for (const JobId id : queue_) {
-        if (queue_entry_live(id)) {
-          head_id = id;
-          break;
-        }
-      }
-    } else {
-      head_id = ordered_queue().front();
-    }
-    const Job& head = slot_at(head_id).job;
-    const Profile fresh = base_profile();
-    const SimTime t =
-        fresh.earliest_fit(head.req.nodes, planned_duration(head), now);
-    if (t > now) {
-      if (wakeup_ != kInvalidEvent) engine_.cancel(wakeup_);
-      wakeup_ = engine_.schedule_at(t, [this] {
-        wakeup_ = kInvalidEvent;
-        schedule_pass();
-      });
-    }
+  // If the head job's start is gated by something that fires no callback,
+  // arrange a wakeup pass — otherwise an idle-but-fenced machine would
+  // never reconsider its queue. Skip the cancel/reschedule churn when the
+  // target tick is unchanged (the common case under a steady backlog).
+  if (wake > now && (wakeup_ == kInvalidEvent || wakeup_time_ != wake)) {
+    if (wakeup_ != kInvalidEvent) engine_.cancel(wakeup_);
+    wakeup_time_ = wake;
+    wakeup_ = engine_.schedule_at(wake, [this] {
+      wakeup_ = kInvalidEvent;
+      wakeup_time_ = -1;
+      schedule_pass();
+    });
   }
 }
 
@@ -489,6 +695,13 @@ void ResourceScheduler::start_job(Job& job, bool from_reservation) {
   if (!from_reservation) {
     TG_CHECK(free_nodes_ >= job.req.nodes, "overcommitted " << resource_.name);
     free_nodes_ -= job.req.nodes;
+    // A plan-driven start occupies exactly the window the cached profile
+    // already holds for it; any other start (EASY/FCFS pass, test harness)
+    // commits nodes the plan knows nothing about.
+    if (!in_plan_start_) invalidate_plan();
+    JobSlot& s = slot_at(job.id);
+    s.running_pos = static_cast<std::int32_t>(running_ids_.size());
+    running_ids_.push_back(job.id);
   }
   job.state = JobState::kRunning;
   job.start_time = engine_.now();
@@ -531,12 +744,23 @@ void ResourceScheduler::complete_job(JobId id, JobState state) {
   JobSlot& s = slot_at(id);
   Job job = std::move(s.job);
   const ReservationId res = s.reservation;
+  untrack_running(s);
   release_slot(id);
   --running_count_;
 
   job.end_time = engine_.now();
   job.state = state;
   const Duration ran = job.end_time - job.start_time;
+  // An exact-walltime completion releases its nodes at precisely the moment
+  // the cached plan assumed, so the plan survives — the common case under
+  // walltime-accurate workloads. Anything earlier frees capacity the plan
+  // did not anticipate. The built_at guard covers plans built this very
+  // tick, where base_profile clamps an already-elapsed window to now + 1.
+  if (res.valid() ||
+      job.end_time != job.start_time + planned_duration(job) ||
+      plan_.built_at == job.end_time) {
+    invalidate_plan();
+  }
   if (trace_ != nullptr) {
     trace_->emit(job.end_time, obs::TraceCategory::kScheduler,
                  obs::TracePoint::kJobEnd, job.id.value(),
@@ -567,7 +791,7 @@ void ResourceScheduler::complete_job(JobId id, JobState state) {
                       job.end_time);
   }
   for (const auto& cb : on_end_) cb(job);
-  schedule_pass();
+  request_pass();
 }
 
 int ResourceScheduler::begin_outage(int nodes, SimTime repair) {
@@ -578,6 +802,7 @@ int ResourceScheduler::begin_outage(int nodes, SimTime repair) {
   // observers may submit, and a pass could otherwise grab the just-freed
   // nodes before the outage claims them.
   in_pass_ = true;
+  invalidate_plan();  // the cached profile has no down-nodes window
   while (free_nodes_ < nodes) {
     // Victim: youngest running non-reservation job (latest start, then
     // highest id) — the cheapest partial work to lose. The slab is not
@@ -585,13 +810,12 @@ int ResourceScheduler::begin_outage(int nodes, SimTime repair) {
     // free is spelled out explicitly.
     JobId victim;
     SimTime latest = -1;
-    for (const JobSlot& s : slots_) {
-      if (!s.live || s.job.state != JobState::kRunning) continue;
-      if (s.reservation.valid()) continue;  // reservations survive
-      if (s.job.start_time > latest ||
-          (s.job.start_time == latest && s.job.id.value() > victim.value())) {
-        latest = s.job.start_time;
-        victim = s.job.id;
+    for (const JobId rid : running_ids_) {
+      const Job& job = slot_at(rid).job;
+      if (job.start_time > latest ||
+          (job.start_time == latest && job.id.value() > victim.value())) {
+        latest = job.start_time;
+        victim = job.id;
       }
     }
     if (!victim.valid()) break;  // only reservations left; take what's free
@@ -610,7 +834,7 @@ int ResourceScheduler::begin_outage(int nodes, SimTime repair) {
     }
   }
   in_pass_ = false;
-  schedule_pass();
+  request_pass();
   return taken;
 }
 
@@ -626,7 +850,8 @@ void ResourceScheduler::end_outage(int nodes) {
     trace_->emit(engine_.now(), obs::TraceCategory::kScheduler,
                  obs::TracePoint::kOutageEnd, resource_.id.value(), nodes);
   }
-  schedule_pass();
+  invalidate_plan();  // nodes came back earlier than the advisory said
+  request_pass();
 }
 
 bool ResourceScheduler::interrupt(JobId id, JobState state) {
@@ -648,10 +873,12 @@ void ResourceScheduler::preempt_job(JobId id) {
   JobSlot* s = find_slot(id);
   TG_CHECK(s != nullptr && s->job.state == JobState::kRunning,
            "preempting a non-running job " << id);
+  invalidate_plan();  // the victim's window vanishes from the profile
   Job& job = s->job;
   TG_CHECK(s->end_event != kInvalidEvent, "running job without an end event");
   engine_.cancel(s->end_event);
   s->end_event = kInvalidEvent;
+  untrack_running(*s);
   --running_count_;
   free_nodes_ += job.req.nodes;
 
@@ -710,12 +937,14 @@ void ResourceScheduler::requeue_job(JobId id) {
   // as a tombstone when that attempt started); left in place they would
   // resurrect as schedulable duplicates now that the job is queued again.
   queue_tombstones_ -= static_cast<std::size_t>(std::erase(queue_, id));
+  queue_front_ = 0;  // the erase shifted positions under the prefix pointer
   queue_.push_back(id);
   if (trace_ != nullptr) {
     trace_->emit(engine_.now(), obs::TraceCategory::kScheduler,
                  obs::TracePoint::kJobRequeue, id.value());
   }
-  schedule_pass();
+  invalidate_plan();  // the erase above shifts the plan cursor's indices
+  request_pass();
 }
 
 void ResourceScheduler::on_reservation_start(ReservationId id) {
@@ -742,7 +971,8 @@ void ResourceScheduler::on_reservation_start(ReservationId id) {
         for (const auto& cb : on_end_) cb(job);
       }
     }
-    schedule_pass();
+    invalidate_plan();  // the cached profile still holds the broken window
+    request_pass();
     return;
   }
   rp->started = true;
@@ -771,24 +1001,22 @@ void ResourceScheduler::on_reservation_end(ReservationId id) {
   const int nodes = rp->nodes;
   reservations_.erase(id.value());
   free_nodes_ += nodes;
-  schedule_pass();
+  // The cached plan's window for this reservation ends exactly now, so it
+  // survives — unless it was built this very tick, where base_profile
+  // clamped the elapsed window to now + 1.
+  if (plan_.built_at == engine_.now()) invalidate_plan();
+  request_pass();
 }
 
 SimTime ResourceScheduler::estimate_start(int nodes, Duration walltime) const {
   TG_REQUIRE(nodes >= 1 && nodes <= resource_.nodes,
              "estimate width invalid for " << resource_.name);
-  Profile profile = base_profile();
-  const SimTime now = engine_.now();
-  const std::vector<JobId> order = ordered_queue();
-  const std::size_t scan_end = std::min(
-      order.size(), static_cast<std::size_t>(config_.backfill_depth));
-  for (std::size_t i = 0; i < scan_end; ++i) {
-    const Job& job = slot_at(order[i]).job;
-    const Duration dur = planned_duration(job);
-    const SimTime s = profile.earliest_fit(job.req.nodes, dur, now);
-    if (s >= 0) profile.subtract(s, s + dur, job.req.nodes);
-  }
-  return profile.earliest_fit(nodes, walltime, now);
+  // The conservative plan *is* the estimate's scaffolding: queue-prefix
+  // commitments subtracted from the base profile. Served from the cache
+  // when live (O(profile) instead of a full replan per probe — the
+  // federation selector issues one probe per candidate resource).
+  const PlanCache& plan = ensure_plan();
+  return plan.profile.earliest_fit(nodes, walltime, engine_.now());
 }
 
 const Job& ResourceScheduler::job(JobId id) const {

@@ -75,6 +75,18 @@ struct SchedulerConfig {
   /// outage_retry_backoff * 2^(k-1), capped at outage_retry_backoff_cap.
   Duration outage_retry_backoff = 15 * kMinute;
   Duration outage_retry_backoff_cap = 8 * kHour;
+  /// Incremental plan cache (the default): the conservative plan survives
+  /// across events and is only invalidated/extended by what an event
+  /// actually touches. When false every pass and estimate replans from
+  /// scratch — the reference planner the equivalence tests compare
+  /// against; outcomes must be byte-identical either way.
+  bool plan_cache = true;
+  /// Fidelity knob, 0 = exact. When > 0, conservative planning stops at
+  /// the first job whose planned start falls past now + plan_horizon (the
+  /// queue head is always planned, so progress is never gated). Bounds
+  /// replan cost under deep backlog at the price of optimistic
+  /// estimate_start answers beyond the horizon.
+  Duration plan_horizon = 0;
 };
 
 struct Reservation {
@@ -154,6 +166,8 @@ class ResourceScheduler {
 
   [[nodiscard]] const ComputeResource& resource() const { return resource_; }
   [[nodiscard]] const SchedulerConfig& config() const { return config_; }
+  /// Current simulation time (the scheduler's engine clock).
+  [[nodiscard]] SimTime now() const { return engine_.now(); }
   [[nodiscard]] int free_nodes() const { return free_nodes_; }
   [[nodiscard]] std::size_t queue_length() const {
     return queue_.size() - queue_tombstones_;
@@ -188,6 +202,10 @@ class ResourceScheduler {
     EventId end_event = kInvalidEvent;
     ReservationId reservation;  ///< invalid unless reservation-attached
     bool live = false;
+    /// Index into running_ids_ while the job runs outside a reservation;
+    /// -1 otherwise. Keeps base_profile() proportional to *running* jobs
+    /// instead of scanning the whole slab (queued backlog included).
+    std::int32_t running_pos = -1;
   };
 
   /// Slot for a live (queued or running) job, or nullptr.
@@ -202,7 +220,44 @@ class ResourceScheduler {
   /// needs must be moved out first.
   void release_slot(JobId id);
 
+  /// Conservative plan kept alive across events: the availability profile
+  /// with every planned job's window subtracted, plus the planned start of
+  /// each of the first backfill_depth queued jobs in scheduling order.
+  /// `cursor` is the queue_ index where lazy planning stopped; entries
+  /// before it are planned or dead. Rebuilt from scratch only when an
+  /// event invalidates it (see invalidate_plan call sites).
+  struct PlanCache {
+    Profile profile{0, 0};
+    std::vector<JobId> jobs;     ///< planned prefix, scheduling order
+    std::vector<SimTime> starts; ///< parallel planned start times
+    std::size_t cursor = 0;
+    SimTime built_at = -1;
+    bool valid = false;
+    bool horizon_cut = false;  ///< planning stopped at plan_horizon
+  };
+
+  /// Requests a scheduling pass: synchronous when called outside the event
+  /// loop (direct API use expects immediate effects), otherwise deferred
+  /// to one EventPriority::kReplan event per tick so same-timestamp
+  /// triggers coalesce into a single pass.
+  void request_pass();
   void schedule_pass();
+  /// The cache applies only to the plain-FIFO ordering: fair-share and
+  /// drain priority reorder the queue in ways a cursor cannot track, so
+  /// those configs always replan from scratch (the seed cost).
+  [[nodiscard]] bool plan_cacheable() const {
+    return config_.plan_cache && !config_.fair_share &&
+           config_.drain_period <= 0;
+  }
+  void invalidate_plan() const { plan_.valid = false; }
+  /// From-scratch replan of the first backfill_depth queued jobs.
+  void rebuild_plan() const;
+  /// Consumes queue_ from plan_.cursor while the plan has room; returns
+  /// the number of jobs newly planned. Valid cacheable plans only.
+  std::size_t extend_plan() const;
+  /// Returns a plan valid for `now`: the live cache (topped up) when
+  /// reusable, a fresh rebuild otherwise.
+  const PlanCache& ensure_plan() const;
   /// Builds the availability profile from running jobs, reservations and
   /// fences (queued jobs excluded).
   [[nodiscard]] Profile base_profile() const;
@@ -229,6 +284,8 @@ class ResourceScheduler {
   /// Rebuilds queue_ without tombstones once they outnumber live entries
   /// (amortized O(1) per cancel/start).
   void compact_queue();
+  /// Swap-removes a running job from running_ids_ (no-op if untracked).
+  void untrack_running(JobSlot& s);
   [[nodiscard]] int capability_threshold() const;
   /// Next id from this resource's band; throws once the band is exhausted.
   [[nodiscard]] JobId allocate_job_id();
@@ -246,6 +303,15 @@ class ResourceScheduler {
   std::vector<std::uint32_t> slot_index_;
   std::deque<JobId> queue_;    // FIFO arrival order; may hold tombstones
   std::size_t queue_tombstones_ = 0;  ///< dead entries still in queue_
+  /// Every entry before this index is dead. Dead entries never resurrect
+  /// (requeue erases the stale ones before re-appending), so the pointer
+  /// only moves forward — FIFO scans start here instead of re-walking the
+  /// tombstoned prefix every pass. Reset to 0 whenever queue_ is rewritten
+  /// (compaction, requeue erase).
+  std::size_t queue_front_ = 0;
+  /// Ids of jobs running outside a reservation, unordered (profile
+  /// assembly is commutative); position mirrored in JobSlot::running_pos.
+  std::vector<JobId> running_ids_;
   /// Open-addressed by reservation id; erased on completion so the table
   /// tracks only pending/active reservations. Iterated (slot order) only
   /// for the commutative profile reduction.
@@ -255,7 +321,10 @@ class ResourceScheduler {
   /// Fair-share bookkeeping, dense by user id: decayed usage value and its
   /// reference time ({0, 0} = never charged).
   mutable std::vector<std::pair<double, SimTime>> usage_;
-  SchedulerMetrics metrics_;
+  /// Mutable: estimate_start (const) rebuilds the cache and counts the
+  /// replan it caused.
+  mutable PlanCache plan_;
+  mutable SchedulerMetrics metrics_;
   int free_nodes_ = 0;
   int nodes_down_ = 0;  ///< nodes taken by begin_outage, not yet returned
   /// Latest advised repair time across current outages (0 when none); the
@@ -266,7 +335,13 @@ class ResourceScheduler {
   JobId::rep next_job_ = 0;
   ReservationId::rep next_reservation_ = 0;
   EventId wakeup_ = kInvalidEvent;
+  SimTime wakeup_time_ = -1;  ///< tick wakeup_ is armed for (churn guard)
+  EventId pass_event_ = kInvalidEvent;  ///< pending same-tick deferred pass
   bool in_pass_ = false;
+  /// Set while the conservative pass starts jobs straight from the plan:
+  /// those starts keep the cache consistent (window already subtracted,
+  /// entry pruned) and must not invalidate it.
+  bool in_plan_start_ = false;
   obs::TraceBuffer* trace_ = nullptr;  ///< optional flight recorder
 };
 

@@ -85,6 +85,13 @@ struct ScenarioConfig {
     sched.policy = p;
     return *this;
   }
+  /// Toggles the incremental plan cache on every scheduler (off = the
+  /// from-scratch reference planner; outcomes are identical either way,
+  /// which the --exact-replan golden check enforces).
+  ScenarioConfig& with_plan_cache(bool on) {
+    sched.plan_cache = on;
+    return *this;
+  }
   ScenarioConfig& with_gateways(int n) {
     gateways = n;
     return *this;

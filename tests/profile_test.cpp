@@ -118,6 +118,59 @@ TEST(Profile, FenceInteractsWithBusyInterval) {
   EXPECT_EQ(p.earliest_fit(10, 30 * kMinute, 0), kHour);
 }
 
+TEST(Profile, PeriodicFencesHaveNoHorizon) {
+  Profile p(0, 10);
+  p.set_fence_period(kDay);
+  // Each window between consecutive fences is one day; a straddling start
+  // snaps to the next fence no matter how far out it lies.
+  EXPECT_EQ(p.earliest_fit(10, kDay, 0), 0);
+  EXPECT_EQ(p.earliest_fit(10, kDay, kMinute), kDay);
+  p.subtract(0, 400 * kDay + 5 * kHour, 10);  // busy past any old horizon
+  // Free at 400d+5h, but only 19h remain before the fence at 401d: a
+  // 20-hour job must snap to the fence.
+  EXPECT_EQ(p.earliest_fit(10, 19 * kHour, 0), 400 * kDay + 5 * kHour);
+  EXPECT_EQ(p.earliest_fit(10, 20 * kHour, 0), 401 * kDay);
+}
+
+TEST(Profile, JobLongerThanFencePeriodNeverFits) {
+  Profile p(0, 10);
+  p.set_fence_period(kDay);
+  EXPECT_EQ(p.earliest_fit(1, kDay + 1, 0), -1);
+  EXPECT_EQ(p.earliest_fit(1, kDay, 0), 0);  // exactly one window is fine
+  EXPECT_THROW(p.set_fence_period(-1), PreconditionError);
+}
+
+TEST(Profile, PeriodicAndExplicitFencesCompose) {
+  Profile p(0, 10);
+  p.set_fence_period(kDay);
+  p.add_fence(6 * kHour);
+  // The explicit fence splits the first window: a 12-hour job straddles it
+  // from 0, fits at 6h (next periodic fence is 1d, 18h away).
+  EXPECT_EQ(p.earliest_fit(10, 12 * kHour, 0), 6 * kHour);
+  // From 20h it would straddle the periodic fence at 1d; snaps to 1d.
+  EXPECT_EQ(p.earliest_fit(10, 12 * kHour, 20 * kHour), kDay);
+}
+
+TEST(Profile, FitsAtMatchesEarliestFit) {
+  Rng rng(77);
+  Profile p(0, 64);
+  for (int i = 0; i < 30; ++i) {
+    const SimTime from = rng.uniform_int(0, 100 * kHour);
+    const Duration len = rng.uniform_int(kMinute, 20 * kHour);
+    p.subtract(from, from + len, static_cast<int>(rng.uniform_int(1, 32)));
+  }
+  p.add_fence(30 * kHour);
+  p.set_fence_period(7 * kDay);
+  for (int q = 0; q < 200; ++q) {
+    const int nodes = static_cast<int>(rng.uniform_int(1, 64));
+    const Duration dur = rng.uniform_int(kMinute, 10 * kHour);
+    const SimTime t = rng.uniform_int(0, 120 * kHour);
+    // fits_at(t) must agree with "earliest_fit from t returns exactly t".
+    ASSERT_EQ(p.fits_at(t, nodes, dur), p.earliest_fit(nodes, dur, t) == t)
+        << "t=" << t << " nodes=" << nodes << " dur=" << dur;
+  }
+}
+
 TEST(Profile, RejectsBadQueries) {
   Profile p(0, 10);
   EXPECT_THROW((void)p.earliest_fit(-1, kHour, 0), PreconditionError);

@@ -5,7 +5,10 @@
 // the machine returns to fully-free, and runs are deterministic.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <map>
+#include <tuple>
+#include <vector>
 
 #include "sched/scheduler.hpp"
 #include "util/rng.hpp"
@@ -187,6 +190,136 @@ INSTANTIATE_TEST_SUITE_P(
                       StressParams{SchedPolicy::kEasyBackfill, 0, 5},
                       StressParams{SchedPolicy::kConservativeBackfill,
                                    2 * kDay, 6}));
+
+// --- Plan-cache equivalence: the incremental planner must be outcome-
+// identical to the from-scratch reference planner. Same randomized churn
+// (submissions, cancels, outages with requeues, advisor probes) run twice —
+// plan_cache on and off — and the full lifecycle + estimate log compared
+// entry by entry.
+
+struct EquivParams {
+  SchedPolicy policy;
+  Duration drain_period;
+  Duration plan_horizon;
+  bool faulty;
+  std::uint64_t seed;
+};
+
+class PlanCacheEquivalence : public ::testing::TestWithParam<EquivParams> {};
+
+TEST_P(PlanCacheEquivalence, MatchesReferencePlannerExactly) {
+  const EquivParams params = GetParam();
+  // (tag, id/nodes, state/start, end/estimate) — one entry per job start,
+  // job end, and advisor probe, in simulation order.
+  using Record = std::tuple<int, std::int64_t, std::int64_t, std::int64_t>;
+
+  const auto run_once = [&](bool cache) -> std::vector<Record> {
+    ComputeResource res;
+    res.id = ResourceId{0};
+    res.site = SiteId{0};
+    res.name = "equiv";
+    res.nodes = 64;
+    res.cores_per_node = 8;
+    res.max_walltime = 24 * kHour;
+
+    Engine engine;
+    SchedulerConfig cfg;
+    cfg.policy = params.policy;
+    cfg.drain_period = params.drain_period;
+    cfg.plan_horizon = params.plan_horizon;
+    cfg.plan_cache = cache;
+    ResourceScheduler sched(engine, res, cfg);
+
+    std::vector<Record> log;
+    sched.add_on_start([&](const Job& j) {
+      log.emplace_back(0, j.id.value(), j.start_time, 0);
+    });
+    sched.add_on_end([&](const Job& j) {
+      log.emplace_back(1, j.id.value(), static_cast<std::int64_t>(j.state),
+                       j.end_time);
+    });
+
+    // All randomness is drawn here, before the run: the two runs see
+    // byte-identical action schedules regardless of how their internal
+    // replan events interleave.
+    Rng rng(params.seed);
+    std::vector<JobId> cancellable;
+    const Duration wall_cap = params.drain_period > 0
+                                  ? std::min(params.drain_period,
+                                             res.max_walltime)
+                                  : res.max_walltime;
+    for (int i = 0; i < 300; ++i) {
+      const SimTime at = rng.uniform_int(0, 15 * kDay);
+      const double dice = rng.uniform();
+      if (dice < 0.60 || (dice >= 0.85 && !params.faulty)) {
+        JobRequest req;
+        req.user = UserId{0};
+        req.project = ProjectId{0};
+        req.nodes = static_cast<int>(rng.uniform_int(1, 64));
+        req.actual_runtime = rng.uniform_int(kMinute, 20 * kHour);
+        req.requested_walltime = std::min<Duration>(
+            wall_cap,
+            std::max<Duration>(
+                10 * kMinute,
+                static_cast<Duration>(static_cast<double>(req.actual_runtime) *
+                                      rng.uniform(0.6, 2.5))));
+        req.actual_runtime = std::min(req.actual_runtime,
+                                      req.requested_walltime);
+        // Mix in exact-walltime jobs: the completions that keep the cached
+        // plan alive, the hot path the cache exists for.
+        if (rng.bernoulli(0.3)) req.actual_runtime = req.requested_walltime;
+        engine.schedule_at(at, [&sched, &cancellable, req] {
+          cancellable.push_back(sched.submit(req));
+        });
+      } else if (dice < 0.70) {
+        const std::uint64_t pick = rng.uniform_int(0, 1 << 20);
+        engine.schedule_at(at, [&sched, &cancellable, pick] {
+          if (cancellable.empty()) return;
+          sched.cancel(cancellable[pick % cancellable.size()]);
+        });
+      } else if (dice < 0.85) {
+        const int nodes = static_cast<int>(rng.uniform_int(1, 64));
+        const Duration wall = rng.uniform_int(10 * kMinute, wall_cap);
+        engine.schedule_at(at, [&sched, &log, nodes, wall] {
+          log.emplace_back(2, nodes, wall,
+                           sched.estimate_start(nodes, wall));
+        });
+      } else {
+        const int nodes = static_cast<int>(rng.uniform_int(1, 48));
+        const Duration down = rng.uniform_int(kHour, 12 * kHour);
+        engine.schedule_at(at, [&sched, &engine, nodes, down] {
+          const int taken = sched.begin_outage(nodes, engine.now() + down);
+          if (taken > 0) {
+            engine.schedule_in(down,
+                               [&sched, taken] { sched.end_outage(taken); });
+          }
+        });
+      }
+    }
+    engine.run();
+    EXPECT_EQ(sched.queue_length(), 0u);
+    EXPECT_EQ(sched.running_jobs(), 0u);
+    return log;
+  };
+
+  const std::vector<Record> incremental = run_once(true);
+  const std::vector<Record> reference = run_once(false);
+  ASSERT_EQ(incremental.size(), reference.size());
+  for (std::size_t i = 0; i < incremental.size(); ++i) {
+    ASSERT_EQ(incremental[i], reference[i]) << "first divergence at " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Mixes, PlanCacheEquivalence,
+    ::testing::Values(
+        EquivParams{SchedPolicy::kConservativeBackfill, 0, 0, false, 10},
+        EquivParams{SchedPolicy::kConservativeBackfill, 0, 0, true, 11},
+        EquivParams{SchedPolicy::kEasyBackfill, 0, 0, true, 12},
+        EquivParams{SchedPolicy::kFcfs, 0, 0, true, 13},
+        EquivParams{SchedPolicy::kConservativeBackfill, 0, 12 * kHour, true,
+                    14},
+        EquivParams{SchedPolicy::kEasyBackfill, 2 * kDay, 0, true, 15}));
 
 }  // namespace
 }  // namespace tg

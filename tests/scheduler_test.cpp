@@ -582,5 +582,117 @@ TEST(SchedulerJobIds, RejectsResourceIdOutsideFoldingRange) {
   EXPECT_THROW(ResourceScheduler(engine, r), PreconditionError);
 }
 
+// --- drain fences: planning fidelity beyond any materialization horizon.
+
+TEST(SchedulerDrain, FencesHoldArbitrarilyFarOut) {
+  // Regression: fences used to be materialized only 120 days out, so a
+  // backlog deep enough to push planned starts past that horizon let jobs
+  // straddle a drain fence. With analytic periodic fences the planner
+  // honours them at any depth. 70 nearly-window-filling jobs reach ~140
+  // days; every one must start on its own fence boundary.
+  const Duration period = 2 * kDay;
+  SchedulerConfig cfg;
+  cfg.drain_period = period;
+  Harness h(cfg);
+  for (int i = 0; i < 70; ++i) {
+    h.sched.submit(simple_job(16, 47 * kHour));
+  }
+  h.engine.run();
+  ASSERT_EQ(h.started.size(), 70u);
+  for (const Job& j : h.started) {
+    const SimTime next_fence = (j.start_time / period + 1) * period;
+    EXPECT_LE(j.start_time + 47 * kHour, next_fence)
+        << "job " << j.id << " starting at " << j.start_time
+        << " runs across the fence at " << next_fence;
+  }
+  EXPECT_GT(h.started.back().start_time, 120 * kDay);  // past the old horizon
+}
+
+TEST(SchedulerDrain, RejectsJobsLongerThanTheDrainPeriod) {
+  // Such a job straddles a fence wherever it starts; it used to be accepted
+  // and then stuck (or worse, started across a fence past the old horizon).
+  SchedulerConfig cfg;
+  cfg.drain_period = kDay;
+  Harness h(cfg);
+  EXPECT_THROW(h.sched.submit(simple_job(1, 25 * kHour)), PreconditionError);
+  EXPECT_NO_THROW(h.sched.submit(simple_job(1, 24 * kHour)));
+  h.engine.run();
+}
+
+TEST(SchedulerDrain, EstimateHonoursFencesBeyondOldHorizon) {
+  const Duration period = 2 * kDay;
+  SchedulerConfig cfg;
+  cfg.policy = SchedPolicy::kConservativeBackfill;
+  cfg.drain_period = period;
+  cfg.backfill_depth = 1 << 20;
+  Harness h(cfg);
+  for (int i = 0; i < 70; ++i) {
+    h.sched.submit(simple_job(16, 47 * kHour));
+  }
+  // A full-width probe lands after the whole backlog, ~140 days out, and
+  // must still sit on a fence boundary rather than straddle one.
+  const SimTime est = h.sched.estimate_start(16, 47 * kHour);
+  EXPECT_GT(est, 120 * kDay);
+  EXPECT_LE(est + 47 * kHour, (est / period + 1) * period);
+}
+
+// --- wakeup hygiene: a steady backlog must not churn the wakeup event.
+
+TEST(SchedulerWakeup, SteadyBacklogDoesNotChurnWakeupEvents) {
+  // One job holds the whole machine until t = 10h; every submission while
+  // it runs re-evaluates the head fit, which lands on the same tick each
+  // time. The pass must keep the armed wakeup instead of cancel+reschedule
+  // per submission (the seed burned two heap operations per event on this).
+  Harness h;
+  h.sched.submit(simple_job(16, 10 * kHour));
+  for (int i = 0; i < 50; ++i) {
+    h.engine.schedule_at(static_cast<SimTime>(i) * kMinute,
+                         [&] { h.sched.submit(simple_job(16, kHour)); },
+                         EventPriority::kSubmission);
+  }
+  h.engine.run();
+  EXPECT_EQ(h.finished.size(), 51u);
+  EXPECT_EQ(h.engine.stats().cancelled.value(), 0u);
+}
+
+// --- replan accounting: the obs counters distinguish full/incremental.
+
+TEST(SchedulerPlanCache, CountsIncrementalAndCoalescedReplans) {
+  SchedulerConfig cfg;
+  cfg.policy = SchedPolicy::kConservativeBackfill;
+  Harness h(cfg);
+  h.sched.submit(simple_job(16, 4 * kHour));
+  // Same-tick burst: ten submissions at one timestamp coalesce into a
+  // single deferred pass (nine absorbed requests), and each submission
+  // extends the live plan instead of forcing a from-scratch replan.
+  h.engine.schedule_at(kHour, [&] {
+    for (int i = 0; i < 10; ++i) h.sched.submit(simple_job(8, kHour));
+  });
+  h.engine.run();
+  const SchedulerMetrics& m = h.sched.metrics();
+  EXPECT_GE(m.replans_incremental(), 9u);
+  EXPECT_GE(m.replans_coalesced(), 9u);
+  EXPECT_GT(m.replans_full(), 0u);  // the initial build
+  EXPECT_EQ(h.finished.size(), 11u);
+}
+
+TEST(SchedulerPlanCache, HorizonKnobKeepsHeadProgress) {
+  // With a tight horizon only the queue head is guaranteed planned; jobs
+  // beyond the horizon must still run eventually as the window advances.
+  SchedulerConfig cfg;
+  cfg.policy = SchedPolicy::kConservativeBackfill;
+  cfg.plan_horizon = kHour;  // far smaller than any backlog depth
+  Harness h(cfg);
+  for (int i = 0; i < 20; ++i) {
+    h.sched.submit(simple_job(16, 3 * kHour));
+  }
+  h.engine.run();
+  ASSERT_EQ(h.finished.size(), 20u);
+  for (const Job& j : h.finished) {
+    EXPECT_EQ(j.state, JobState::kCompleted);
+  }
+  EXPECT_EQ(h.sched.free_nodes(), 16);
+}
+
 }  // namespace
 }  // namespace tg
