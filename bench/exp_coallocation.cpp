@@ -50,10 +50,11 @@ struct LoadResult {
   int probes = 0;
 };
 
-LoadResult run_load(double load) {
+LoadResult run_load(double load, int shards) {
   const Platform platform = teragrid_2010();
   Engine engine;
-  SchedulerPool pool(engine, platform);
+  const exp::Sharding sharding(engine, platform, shards);
+  SchedulerPool pool(engine, platform, {}, sharding.plan());
   CoAllocator coalloc(engine, pool);
   const ResourceId a = platform.compute_by_name("Kraken").id;
   const ResourceId b = platform.compute_by_name("Ranger").id;
@@ -106,7 +107,7 @@ int main(int argc, char** argv) {
                        {"load", "single_wait_h", "coalloc_wait_h",
                         "penalty_factor"});
   for (const double load : {0.2, 0.4, 0.6, 0.8}) {
-    const LoadResult r = run_load(load);
+    const LoadResult r = run_load(load, options.shards);
     const double penalty =
         r.single_wait_h > 1e-6 ? r.coalloc_wait_h / r.single_wait_h : 0.0;
     t.add_row({Table::pct(load, 0),

@@ -20,12 +20,15 @@
 #include <vector>
 
 #include "des/engine.hpp"
+#include "des/shard.hpp"
 #include "fault/invariants.hpp"
+#include "infra/platform.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
 #include "obs/profile.hpp"
 #include "obs/trace.hpp"
 #include "parallel/replicate.hpp"
+#include "parallel/thread_pool.hpp"
 #include "util/csv.hpp"
 #include "util/memstats.hpp"
 #include "util/table.hpp"
@@ -53,6 +56,13 @@ struct Options {
   /// outputs must be byte-identical with or without this flag — CI diffs
   /// the two (see tests/golden_determinism.cmake).
   bool exact_replan = false;
+  /// --shards=N / --no-shard: execution mode of the partitioned DES core.
+  /// 0 (and --no-shard) runs the merged sequential loop — the reference
+  /// oracle; 1 runs conservative time windows inline; N >= 2 runs the
+  /// windows on N worker threads. Primary outputs must be byte-identical
+  /// at every value — CI diffs --shards=1 and --shards=4 against the
+  /// default (tests/golden_determinism.cmake).
+  int shards = 0;
   /// --csv[=path]: dump the table rows as CSV (default <name>.csv).
   std::optional<std::string> csv;
   /// --trace[=path]: export the structured sim-time trace as JSONL (or
@@ -82,6 +92,11 @@ struct Options {
         out.check_invariants = true;
       } else if (arg == "--exact-replan") {
         out.exact_replan = true;
+      } else if (arg.rfind("--shards=", 0) == 0) {
+        const long n = std::strtol(arg.c_str() + 9, nullptr, 10);
+        out.shards = n > 0 ? static_cast<int>(n) : 0;
+      } else if (arg == "--no-shard") {
+        out.shards = 0;
       } else if (arg == "--csv") {
         out.csv = name + ".csv";
       } else if (arg.rfind("--csv=", 0) == 0) {
@@ -116,8 +131,45 @@ struct Options {
        << "  --check-invariants  audit the run; non-zero exit on violation\n"
        << "  --exact-replan      disable the incremental plan cache "
           "(reference planner)\n"
+       << "  --shards=N          windowed DES execution: 1 = inline windows, "
+          "N >= 2 = N workers\n"
+       << "  --no-shard          merged sequential loop (default; the "
+          "reference oracle)\n"
        << "  --help              show this help\n";
   }
+};
+
+/// Applies Options::shards to a hand-built Engine, for the binaries that
+/// construct their own Engine + SchedulerPool instead of going through
+/// Scenario. The engine is always partitioned by topology — the canonical
+/// event order must not depend on the execution mode — and windowed
+/// execution is enabled when shards > 0 (1 = inline windows, N >= 2 = N
+/// worker threads). Construct right after the Engine and pass plan() to
+/// the SchedulerPool constructor.
+class Sharding {
+ public:
+  Sharding(Engine& engine, const Platform& platform, int shards)
+      : Sharding(engine, make_shard_plan(platform), shards) {}
+
+  /// Same, from an explicit plan — for binaries without an infra Platform
+  /// (e.g. a hand-built single machine partitioned via plan_shards(1, {})).
+  Sharding(Engine& engine, ShardPlan plan, int shards)
+      : plan_(std::move(plan)) {
+    engine.configure_partitions(plan_.partitions);
+    if (shards > 0) {
+      if (shards >= 2) {
+        workers_ =
+            std::make_unique<ThreadPool>(static_cast<std::size_t>(shards));
+      }
+      engine.set_window_execution(true, workers_.get());
+    }
+  }
+
+  [[nodiscard]] const ShardPlan* plan() const { return &plan_; }
+
+ private:
+  ShardPlan plan_;
+  std::unique_ptr<ThreadPool> workers_;
 };
 
 /// Owns the per-process observability state an experiment needs: the trace

@@ -45,11 +45,13 @@ struct RunResult {
   std::string first_violation;
 };
 
-RunResult run_one(double mtbf_hours, std::uint64_t seed, bool plan_cache) {
+RunResult run_one(double mtbf_hours, std::uint64_t seed, bool plan_cache,
+                  int shards) {
   ScenarioConfig config;
   config.seed = seed;
   config.horizon = 120 * kDay;
   config.sched.plan_cache = plan_cache;
+  config.shards = shards;
   if (mtbf_hours > 0.0) {
     config.faults.outage.mtbf_hours = mtbf_hours;
     config.faults.job_failure_rate_per_hour = 0.0005;
@@ -94,9 +96,10 @@ int main(int argc, char** argv) {
   Replicator pool(options.jobs);
   const bool plan_cache = !options.exact_replan;
   const auto results = obsv.replicate(
-      pool, kLevelCount * kSeedsPerLevel, [plan_cache](std::size_t i) {
+      pool, kLevelCount * kSeedsPerLevel,
+      [plan_cache, shards = options.shards](std::size_t i) {
         return run_one(kLevels[i / kSeedsPerLevel].mtbf_hours,
-                       4200 + i % kSeedsPerLevel, plan_cache);
+                       4200 + i % kSeedsPerLevel, plan_cache, shards);
       });
 
   // Per-level means; level 0 (fault-free) is the drift baseline.

@@ -21,6 +21,7 @@ int main(int argc, char** argv) {
                         .with_seed(42)
                         .with_horizon(kYear)
                         .with_plan_cache(!options.exact_replan)
+                        .with_shards(options.shards)
                         .with_trace(obsv.trace()));
   scenario.run();
 

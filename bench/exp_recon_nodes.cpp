@@ -56,6 +56,10 @@ RunResult run_cluster(int recon_nodes, Duration reconfig_time,
 }  // namespace
 
 int main(int argc, char** argv) {
+  // The reconfigurable cluster has no site topology (one machine, no
+  // Platform), so there is nothing to partition: --shards parses for
+  // interface uniformity and execution is always merged — outputs are
+  // trivially byte-identical at every value.
   const exp::Options options =
       exp::Options::parse(argc, argv, "exp_recon_nodes");
   exp::Observability obsv(options);

@@ -62,7 +62,8 @@ int main(int argc, char** argv) {
   for (const double load : {0.3, 0.6, 0.85}) {
     const Platform platform = teragrid_2010();
     Engine engine;
-    SchedulerPool pool(engine, platform);
+    const exp::Sharding sharding(engine, platform, options.shards);
+    SchedulerPool pool(engine, platform, {}, sharding.plan());
     pool.set_trace_all(obsv.trace());
     const ResourceSelector selector;
     Rng rng(31337);

@@ -30,10 +30,12 @@ struct CellResult {
   bool invariants_ok = false;
 };
 
-CellResult run_cell(int retry_limit, Duration backoff, bool plan_cache) {
+CellResult run_cell(int retry_limit, Duration backoff, bool plan_cache,
+                    int shards) {
   ScenarioConfig config;
   config.seed = 4242;
   config.sched.plan_cache = plan_cache;
+  config.shards = shards;
   config.horizon = 120 * kDay;
   // Heavy pressure (per-resource MTBF ~3.5 days, frequent partial outages)
   // so that jobs can be preempted repeatedly and the retry budget matters.
@@ -81,9 +83,12 @@ int main(int argc, char** argv) {
   constexpr std::size_t kCells = std::size(kRetryLimits) * std::size(kBackoffs);
   Replicator pool(options.jobs);
   const auto results = obsv.replicate(
-      pool, kCells, [plan_cache = !options.exact_replan](std::size_t i) {
+      pool, kCells,
+      [plan_cache = !options.exact_replan,
+       shards = options.shards](std::size_t i) {
         return run_cell(kRetryLimits[i / std::size(kBackoffs)],
-                        kBackoffs[i % std::size(kBackoffs)], plan_cache);
+                        kBackoffs[i % std::size(kBackoffs)], plan_cache,
+                        shards);
       });
 
   Table table({"retries", "backoff", "delivered NU", "lost core-h",

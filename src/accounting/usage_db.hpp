@@ -132,13 +132,6 @@ class UsageDatabase {
   /// Job records whose end time falls in [from, to), in arrival order.
   [[nodiscard]] std::vector<const JobRecord*> jobs_ending_in(
       SimTime from, SimTime to) const;
-  /// Old name of jobs_ending_in(); ambiguous about which timestamp the
-  /// window filters on.
-  [[deprecated("use jobs_ending_in(); windows filter on end time")]]
-  [[nodiscard]] std::vector<const JobRecord*> jobs_in(SimTime from,
-                                                      SimTime to) const {
-    return jobs_ending_in(from, to);
-  }
   /// All of `user`'s records with end time in [from, to), in arrival order.
   [[nodiscard]] UserWindowRecords records_of(UserId user, SimTime from,
                                              SimTime to) const;

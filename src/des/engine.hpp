@@ -1,21 +1,48 @@
-// The discrete-event simulation engine.
+// The discrete-event simulation engine, partitioned for sharded execution.
 //
-// A single-threaded, deterministic event loop: events are (time, priority,
-// sequence, callback) tuples processed in strictly non-decreasing time
-// order; ties break by priority (lower runs first) and then by scheduling
-// order, so a given seed always produces an identical trace.
+// Events live in per-partition queues and are processed in one canonical
+// total order: (time, priority, partition, local sequence). Ties at equal
+// time break by priority (lower runs first), then by partition id (the
+// coordinator, partition 0, before any site), then by scheduling order
+// within the partition — so a given seed always produces an identical
+// trace, whether the engine runs the partitions merged on one thread or in
+// parallel time windows (DESIGN.md §5.7).
 //
-// Internals (see DESIGN.md "DES event core"): callbacks live in a chunked
-// slab of recycled slots addressed by generation-tagged EventId handles.
-// A 4-ary implicit heap orders 24-byte POD keys only, cancel() is an O(1)
-// tombstone flag checked when the heap entry surfaces, and the common
-// schedule path does zero heap allocations (EventCallback stores small
-// captures inline, constructed directly in the slab slot). Chunks never
-// move, so a firing callback is invoked in place -- no move out, no copy.
+// Partitioning is *logical* and fixed by the caller (one partition per
+// site plus coordinator 0 for cross-site machinery); it defines the
+// canonical order for every execution mode. Execution is chosen
+// separately:
+//
+//  * merged (default): one loop pops the globally-minimal event across all
+//    partition heaps — the sequential reference oracle.
+//  * windowed (set_window_execution): events carry an EventClass. kBarrier
+//    events ("walls") are synchronization points — anything whose effects
+//    may cross partitions. kLocal events are provably partition-local.
+//    Each round the driver computes the cut C = min over all wall keys;
+//    every partition may run its kLocal events with key < C concurrently
+//    (on a parallel::ThreadPool, or inline for --shards=1), because no
+//    wall — the only cross-partition influence — separates them. Side
+//    effects that must interleave deterministically across partitions
+//    (trace emissions, observer callbacks) are staged per partition and
+//    replayed at the barrier in canonical key order, so a windowed run is
+//    byte-identical to the merged loop by construction.
+//
+// Window events may only schedule kLocal events on their own partition —
+// enforced by TG_CHECK. Anything cross-partition must be scheduled from a
+// wall (which runs sequentially, totally ordered with everything).
+//
+// Internals (see DESIGN.md "DES event core"): callbacks live in chunked
+// per-partition slabs of recycled slots addressed by generation-tagged
+// EventId handles. 4-ary implicit heaps order 24-byte POD keys only,
+// cancel() is an O(1) tombstone flag checked when the heap entry surfaces,
+// and the common schedule path does zero heap allocations (EventCallback
+// stores small captures inline, constructed directly in the slab slot).
+// Chunks never move, so a firing callback is invoked in place.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <type_traits>
 #include <utility>
@@ -24,12 +51,17 @@
 #include "des/callback.hpp"
 #include "des/time.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 
 namespace tg {
 
-/// Handle for cancelling a scheduled event. Encodes (slot << 32 | generation)
-/// into the engine's slab; a slot's generation is bumped on every reuse, so
+class Engine;
+class ThreadPool;
+
+/// Handle for cancelling a scheduled event. Encodes
+/// ((partition << 26 | slot) << 32 | generation) into the engine's
+/// per-partition slabs; a slot's generation is bumped on every reuse, so
 /// stale handles (already fired or cancelled) are recognized and rejected.
 using EventId = std::uint64_t;
 inline constexpr EventId kInvalidEvent = 0;
@@ -47,19 +79,67 @@ enum class EventPriority : int {
   kReporting = 100,
 };
 
+/// Synchronization class of an event under windowed execution.
+enum class EventClass : std::uint8_t {
+  /// A wall: firing it may influence other partitions (submit across
+  /// sites, start WAN flows, touch coordinator state). Walls bound every
+  /// time window and always run sequentially. This is the safe default.
+  kBarrier = 0,
+  /// Provably partition-local: fires concurrently inside windows. The
+  /// scheduler marks completions, wakeups, requeues and replan passes
+  /// kLocal only when their effects cannot leave the partition.
+  kLocal = 1,
+};
+
+/// Where an event lives in the partitioned engine and how it
+/// synchronizes. Defaults — partition of the currently-firing event (or
+/// the coordinator outside of events), kBarrier — are always safe.
+struct EventBinding {
+  std::uint32_t shard = 0;
+  EventClass cls = EventClass::kBarrier;
+};
+
+namespace detail {
+/// Thread-local fire context: installed while a callback runs on a window
+/// worker (staging) or while a staged effect replays at the barrier.
+/// Engine::now()/in_event()/default bindings consult it so component code
+/// is oblivious to which thread fires it.
+struct EngineFireCtx {
+  Engine* engine = nullptr;
+  SimTime now = 0;
+  std::uint32_t shard = 0;
+  bool staging = false;  ///< inside a window worker: effects must stage
+  bool replay = false;   ///< inside barrier replay: scheduling forbidden
+  // Canonical identity of the firing event ((now, priority, shard, seq))
+  // plus the running emission ordinal, stamped onto staged effects so the
+  // barrier replay can reproduce the merged loop's exact effect order.
+  std::int32_t priority = 0;
+  std::uint64_t seq = 0;
+  std::uint32_t ordinal = 0;
+};
+extern thread_local EngineFireCtx* t_engine_fire_ctx;
+}  // namespace detail
+
 class Engine {
  public:
   using Callback = EventCallback;
 
+  /// Partition id fits in 6 EventId bits.
+  static constexpr std::uint32_t kMaxPartitions = 64;
+
   /// Lightweight event-core counters, cheap enough to maintain always.
-  /// The cells are obs value types so bind_metrics() can hand them to a
-  /// MetricsRegistry by reference; they still read as plain integers.
+  /// Counts are kept per partition (single-writer under windowed
+  /// execution) and aggregated into these obs cells when a run finishes or
+  /// an accessor reads them; bind_metrics() hands the cells to a
+  /// MetricsRegistry by reference. All values are deterministic across
+  /// execution modes; heap_high_water is the *sum* of per-partition heap
+  /// high-water marks.
   struct Stats {
     obs::Counter scheduled;   ///< schedule_at/schedule_in calls
     obs::Counter cancelled;   ///< successful cancel() calls
     obs::Counter fired;       ///< callbacks actually run
     obs::Counter tombstones;  ///< cancelled entries popped off the heap
-    obs::Gauge heap_high_water;  ///< max heap size observed
+    obs::Gauge heap_high_water;  ///< summed per-partition max heap sizes
 
     /// Fraction of heap pops that were dead entries (cancellation churn).
     [[nodiscard]] double tombstone_ratio() const {
@@ -70,15 +150,35 @@ class Engine {
     }
   };
 
-  Engine() = default;
+  /// Windowed-execution counters (`shard.*` under --metrics). Everything
+  /// here is a deterministic function of the simulation except
+  /// barrier_wait_ns, which reads the wall clock like obs::PhaseProfiler's
+  /// phases and exists purely for performance diagnosis.
+  struct ShardStats {
+    obs::Counter window_rounds;   ///< synchronization rounds run windowed
+    obs::Counter window_events;   ///< events fired inside windows
+    obs::Counter staged_effects;  ///< effects replayed at barriers
+    obs::Counter barrier_wait_ns;  ///< wall-clock spent joining workers
+    obs::Histogram window_horizon_ms;  ///< per-round safe horizon - now
+  };
+
+  Engine() { parts_.resize(1); }
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
 
-  [[nodiscard]] SimTime now() const { return now_; }
+  /// Current simulation time. Inside a window worker this is the firing
+  /// event's time (partitions at different points of the window disagree,
+  /// which is the point); everywhere else it is the global clock.
+  [[nodiscard]] SimTime now() const {
+    const detail::EngineFireCtx* c = detail::t_engine_fire_ctx;
+    return (c != nullptr && c->engine == this) ? c->now : now_;
+  }
 
   /// Schedules `cb` at absolute time `t` (must be >= now()).
   EventId schedule_at(SimTime t, Callback cb,
                       EventPriority priority = EventPriority::kDefault);
+  EventId schedule_at(SimTime t, Callback cb, EventPriority priority,
+                      EventBinding binding);
 
   /// Overload for plain callables: the callback is constructed directly in
   /// its slab slot, skipping the move through a temporary EventCallback.
@@ -89,17 +189,30 @@ class Engine {
                                      std::is_invocable_r_v<void, D&>>>
   EventId schedule_at(SimTime t, F&& f,
                       EventPriority priority = EventPriority::kDefault) {
+    return schedule_at(t, std::forward<F>(f), priority, default_binding());
+  }
+
+  template <class F,
+            class D = std::decay_t<F>,
+            class = std::enable_if_t<!std::is_same_v<D, Callback> &&
+                                     !std::is_same_v<D, std::nullptr_t> &&
+                                     std::is_invocable_r_v<void, D&>>>
+  EventId schedule_at(SimTime t, F&& f, EventPriority priority,
+                      EventBinding binding) {
     if constexpr (std::is_constructible_v<bool, const D&>) {
       TG_REQUIRE(static_cast<bool>(f), "event callback must not be null");
     }
-    const std::uint32_t slot = acquire_slot(t);
-    slot_ref(slot).cb.emplace(std::forward<F>(f));
-    return commit_slot(t, slot, priority);
+    Partition& p = partition_for(binding.shard);
+    const std::uint32_t slot = acquire_slot(p, t);
+    slot_ref(p, slot).cb.emplace(std::forward<F>(f));
+    return commit_slot(p, binding.shard, t, slot, priority, binding.cls);
   }
 
   /// Schedules `cb` after `dt` ticks (must be >= 0).
   EventId schedule_in(Duration dt, Callback cb,
                       EventPriority priority = EventPriority::kDefault);
+  EventId schedule_in(Duration dt, Callback cb, EventPriority priority,
+                      EventBinding binding);
 
   template <class F,
             class D = std::decay_t<F>,
@@ -108,38 +221,115 @@ class Engine {
                                      std::is_invocable_r_v<void, D&>>>
   EventId schedule_in(Duration dt, F&& f,
                       EventPriority priority = EventPriority::kDefault) {
+    return schedule_in(dt, std::forward<F>(f), priority, default_binding());
+  }
+
+  template <class F,
+            class D = std::decay_t<F>,
+            class = std::enable_if_t<!std::is_same_v<D, Callback> &&
+                                     !std::is_same_v<D, std::nullptr_t> &&
+                                     std::is_invocable_r_v<void, D&>>>
+  EventId schedule_in(Duration dt, F&& f, EventPriority priority,
+                      EventBinding binding) {
     TG_REQUIRE(dt >= 0, "negative delay " << dt);
-    return schedule_at(now_ + dt, std::forward<F>(f), priority);
+    return schedule_at(now() + dt, std::forward<F>(f), priority, binding);
   }
 
   /// Cancels a pending event in O(1). Returns false if already fired or
   /// cancelled. The callback (and any heap block behind its captures) is
   /// destroyed immediately; the heap entry is reclaimed when it surfaces.
+  /// Inside a window, only events of the worker's own partition may be
+  /// cancelled.
   bool cancel(EventId id);
 
-  /// Runs until the queue drains or stop() is called. Returns #events fired.
+  /// Runs until the queue drains or stop() is called. Uses windowed
+  /// execution when enabled (the cut is simply unbounded by a target
+  /// time), the merged loop otherwise; both fire the identical event
+  /// sequence. Returns #events fired.
   std::size_t run();
 
-  /// Processes every event with time <= `t`, then advances the clock to `t`.
+  /// Processes every event with time <= `t`, then advances the clock to
+  /// `t`. Uses windowed execution when enabled, the merged loop otherwise;
+  /// both fire the identical event sequence.
   std::size_t run_until(SimTime t);
 
   /// Requests the current run()/run_until() to return after the in-flight
-  /// callback completes.
+  /// callback (or window round) completes. Call from walls or from outside
+  /// the loop, not from events firing inside a window.
   void stop() { stopped_ = true; }
 
-  /// True while a callback is being run by the event loop. Components use
-  /// this to pick between synchronous work (direct API calls, e.g. from
-  /// tests, expect immediate effects) and deferring to a same-tick event
-  /// (so same-timestamp triggers batch into one pass).
-  [[nodiscard]] bool in_event() const { return in_event_; }
+  /// True while a callback is being run by the event loop (including
+  /// window workers and barrier replay). Components use this to pick
+  /// between synchronous work (direct API calls, e.g. from tests, expect
+  /// immediate effects) and deferring to a same-tick event (so
+  /// same-timestamp triggers batch into one pass).
+  [[nodiscard]] bool in_event() const {
+    const detail::EngineFireCtx* c = detail::t_engine_fire_ctx;
+    return (c != nullptr && c->engine == this) ? true : in_event_;
+  }
 
-  [[nodiscard]] std::size_t pending() const { return live_count_; }
-  [[nodiscard]] std::uint64_t events_processed() const { return stats_.fired; }
-  [[nodiscard]] const Stats& stats() const { return stats_; }
+  /// True while the calling thread is firing events inside a time window.
+  /// Effects that must interleave deterministically with other partitions
+  /// (observer callbacks, anything ordered against other partitions'
+  /// output) must then be deferred via stage_effect().
+  [[nodiscard]] bool in_window() const {
+    const detail::EngineFireCtx* c = detail::t_engine_fire_ctx;
+    return c != nullptr && c->engine == this && c->staging;
+  }
+
+  /// Defers `effect` to the next barrier, where all partitions' staged
+  /// effects run on the driver thread in canonical event order — exactly
+  /// the order a merged sequential run would have produced them in. Only
+  /// valid while in_window(). Staged effects must not schedule or cancel
+  /// events (TG_CHECKed): an effect that needs to schedule belongs on a
+  /// wall instead.
+  void stage_effect(std::function<void()> effect);
+
+  [[nodiscard]] std::size_t pending() const;
+  [[nodiscard]] std::uint64_t events_processed() const;
+  [[nodiscard]] const Stats& stats() const;
 
   /// Registers the event-core counters with `registry` under "engine.".
   /// The cells live in this Engine; the registry must not outlive it.
   void bind_metrics(obs::MetricsRegistry& registry) const;
+
+  // -- Partitioning & windowed execution (DESIGN.md §5.7) ----------------
+
+  /// Splits the engine into `count` logical partitions (1..kMaxPartitions).
+  /// Must be called on a pristine engine (nothing scheduled or fired):
+  /// the partition id is part of the canonical event order, so it cannot
+  /// change mid-run. Invalidates cells bound by bind_shard_metrics().
+  void configure_partitions(std::uint32_t count);
+  [[nodiscard]] std::uint32_t partitions() const {
+    return static_cast<std::uint32_t>(parts_.size());
+  }
+
+  /// Enables conservative time-window execution for run_until(). With a
+  /// null `pool` windows run inline on the calling thread (useful to
+  /// exercise the window machinery deterministically without threads);
+  /// otherwise one task per eligible partition is submitted per round.
+  /// No-op in effect unless the engine has >= 2 partitions.
+  void set_window_execution(bool enabled, ThreadPool* pool = nullptr);
+  [[nodiscard]] bool window_execution() const { return windows_enabled_; }
+
+  /// Marks/unmarks partition `shard` as serialized (calls nest; each `on`
+  /// needs a matching `off`). A serialized partition never participates in
+  /// window rounds: its local events join the cut like walls and fire on
+  /// the merged loop, where cross-partition effects are legal. Components
+  /// use this when previously-local event streams gain feedback coupling —
+  /// e.g. a scheduler whose queue holds a workflow or co-allocated job,
+  /// whose start would have to create a wall (forbidden inside windows).
+  /// Only callable from sequential context (never from a window worker or
+  /// barrier replay); the canonical event order is unaffected either way.
+  void serialize_partition(std::uint32_t shard, bool on);
+
+  /// Windowed-execution counters; see ShardStats.
+  [[nodiscard]] const ShardStats& shard_stats() const { return shard_stats_; }
+
+  /// Registers shard.* metrics (aggregate ShardStats cells plus one
+  /// window-event counter per partition). Cells live in this Engine and
+  /// are invalidated by configure_partitions().
+  void bind_shard_metrics(obs::MetricsRegistry& registry) const;
 
  private:
   /// Slab cell backing one scheduled event. `armed` is the tombstone flag:
@@ -155,59 +345,167 @@ class Engine {
   static constexpr std::uint32_t kChunkShift = 9;  // 512 slots per chunk
   static constexpr std::uint32_t kChunkMask = (1u << kChunkShift) - 1;
 
+  /// EventId layout: [partition:6 | slot:26 | generation:32].
+  static constexpr std::uint32_t kSlotBits = 26;
+  static constexpr std::uint32_t kSlotMask = (1u << kSlotBits) - 1;
+
   /// Heap entries are 24-byte PODs; the callback never moves during sift.
   struct Item {
     SimTime time;
-    std::uint64_t seq;  ///< global schedule order; the FIFO tiebreaker
+    std::uint64_t seq;  ///< partition-local schedule order; FIFO tiebreak
     std::uint32_t slot;
     std::int32_t priority;
   };
-  /// True if `a` fires before `b`.
+  /// True if `a` fires before `b` *within one partition*.
   static bool before(const Item& a, const Item& b) {
     if (a.time != b.time) return a.time < b.time;
     if (a.priority != b.priority) return a.priority < b.priority;
     return a.seq < b.seq;
   }
 
+  /// Canonical cross-partition event order.
+  struct Key {
+    SimTime time;
+    std::int32_t priority;
+    std::uint32_t shard;
+    std::uint64_t seq;
+  };
+  static bool key_before(const Key& a, const Key& b) {
+    if (a.time != b.time) return a.time < b.time;
+    if (a.priority != b.priority) return a.priority < b.priority;
+    if (a.shard != b.shard) return a.shard < b.shard;
+    return a.seq < b.seq;
+  }
+  static Key key_of(const Item& it, std::uint32_t shard) {
+    return Key{it.time, it.priority, shard, it.seq};
+  }
+
+  /// A side effect staged by a window worker for barrier replay: either a
+  /// pre-rendered trace event or an opaque sink callback, tagged with the
+  /// emitting event's canonical key and its emission ordinal within that
+  /// event.
+  struct Effect {
+    Key key;
+    std::uint32_t ordinal;
+    obs::TraceBuffer* trace_target;  ///< null => sink effect
+    obs::TraceEvent trace;
+    std::function<void()> sink;
+  };
+
+  /// One engine partition: two heaps (walls and locals), a callback slab,
+  /// a local sequence counter and plain single-writer stat counters.
+  struct Partition {
+    std::vector<Item> heap[2];  ///< [0] kBarrier walls, [1] kLocal
+    std::vector<std::unique_ptr<Slot[]>> chunks;
+    std::uint32_t slab_size = 0;
+    std::vector<std::uint32_t> free_slots;
+    std::uint64_t next_seq = 1;
+    std::size_t live = 0;
+    std::uint64_t scheduled = 0;
+    std::uint64_t cancelled = 0;
+    std::uint64_t fired = 0;
+    std::uint64_t tombstones = 0;
+    std::size_t heap_high_water = 0;
+    /// > 0: excluded from window rounds; locals bound the cut like walls.
+    int serialize_count = 0;
+    /// Time of this partition's last window-fired event; the driver maxes
+    /// these into now_ after each round (merged-clock equivalence).
+    SimTime window_last = 0;
+    obs::Counter window_fired;  ///< obs cell: bound per-partition metric
+    std::vector<Effect> staged;  ///< window outbox, drained at the barrier
+  };
+
   static constexpr std::uint32_t slot_of(EventId id) {
-    return static_cast<std::uint32_t>(id >> 32);
+    return static_cast<std::uint32_t>(id >> 32) & kSlotMask;
+  }
+  static constexpr std::uint32_t shard_of(EventId id) {
+    return static_cast<std::uint32_t>(id >> (32 + kSlotBits));
   }
   static constexpr std::uint32_t generation_of(EventId id) {
     return static_cast<std::uint32_t>(id);
   }
+  static constexpr EventId make_id(std::uint32_t shard, std::uint32_t slot,
+                                   std::uint32_t generation) {
+    return ((static_cast<EventId>(shard) << kSlotBits |
+             static_cast<EventId>(slot))
+            << 32) |
+           generation;
+  }
 
-  Slot& slot_ref(std::uint32_t slot) {
-    return chunks_[slot >> kChunkShift][slot & kChunkMask];
+  static Slot& slot_ref(Partition& p, std::uint32_t slot) {
+    return p.chunks[slot >> kChunkShift][slot & kChunkMask];
+  }
+
+  Partition& partition_for(std::uint32_t shard) {
+    TG_REQUIRE(shard < parts_.size(),
+               "event binding names partition " << shard << " of "
+                                                << parts_.size());
+    return parts_[shard];
+  }
+
+  /// Shard/class applied when a schedule call names no binding: the firing
+  /// partition (so an event's unannotated children stay with it in every
+  /// execution mode) and the always-safe kBarrier class.
+  [[nodiscard]] EventBinding default_binding() const {
+    const detail::EngineFireCtx* c = detail::t_engine_fire_ctx;
+    if (c != nullptr && c->engine == this) {
+      return EventBinding{c->shard, EventClass::kBarrier};
+    }
+    return EventBinding{seq_fire_shard_, EventClass::kBarrier};
   }
 
   /// Validates `t` and pops a recycled slot (or grows the slab).
-  std::uint32_t acquire_slot(SimTime t);
+  std::uint32_t acquire_slot(Partition& p, SimTime t);
   /// Arms the slot, pushes its heap entry, and mints the handle.
-  EventId commit_slot(SimTime t, std::uint32_t slot, EventPriority priority);
+  EventId commit_slot(Partition& p, std::uint32_t shard, SimTime t,
+                      std::uint32_t slot, EventPriority priority,
+                      EventClass cls);
 
-  /// Pops and runs the next live event; returns false if none remain.
-  bool step();
-  /// Pops dead entries so heap top (if any) is the next live event.
-  void skim_tombstones();
+  /// Shared run()/run_until() loop body: window rounds when enabled,
+  /// merged steps otherwise/between, bounded by `t`. No clock advance.
+  std::size_t drain(SimTime t);
+  /// Fires the globally-minimal live event if its time is <= `bound`;
+  /// returns false when none qualifies. The merged sequential loop.
+  bool merged_step(SimTime bound);
+  /// Pops dead entries so heap `h` of `p` (if any) tops a live event.
+  void skim(Partition& p, int h);
   /// Returns a slot to the free list, invalidating outstanding handles.
-  void release(std::uint32_t slot);
+  void release(Partition& p, std::uint32_t slot);
+
+  /// One windowed synchronization round: compute the cut, fire eligible
+  /// partitions' local events below it (pool or inline), replay staged
+  /// effects. Returns false when fewer than two partitions are eligible
+  /// (the caller falls back to a merged step).
+  bool try_window_round(SimTime t, std::size_t& fired);
+  /// Worker body: fires partition `shard`'s kLocal events with key < cut.
+  std::size_t run_window_partition(std::uint32_t shard, const Key& cut);
+  /// Merges all partitions' staged effects and runs them in key order.
+  void replay_staged();
+  static void stage_trace_thunk(void* ctx, obs::TraceBuffer* target,
+                                const obs::TraceEvent& event);
+
+  /// Folds per-partition counters into the public Stats/ShardStats cells.
+  void refresh_stats() const;
 
   // 4-ary implicit min-heap with hole sifting: half the depth of a binary
   // heap and one cache line per visited node, which is where the pop path
   // of a million-event run spends its time.
-  void heap_push(const Item& item);
-  Item heap_pop();
+  static void heap_push(std::vector<Item>& heap, const Item& item);
+  static Item heap_pop(std::vector<Item>& heap);
 
-  std::vector<Item> heap_;
-  std::vector<std::unique_ptr<Slot[]>> chunks_;
-  std::uint32_t slab_size_ = 0;
-  std::vector<std::uint32_t> free_slots_;
+  std::vector<Partition> parts_;
   SimTime now_ = 0;
-  std::uint64_t next_seq_ = 1;
-  std::size_t live_count_ = 0;
-  Stats stats_;
+  mutable Stats stats_;
+  ShardStats shard_stats_;
   bool stopped_ = false;
-  bool in_event_ = false;  ///< a callback is currently running (see in_event)
+  bool in_event_ = false;  ///< a merged-loop callback is running
+  /// Partition of the event the merged loop is currently firing (0 outside
+  /// events), so default bindings agree between merged and windowed modes.
+  std::uint32_t seq_fire_shard_ = 0;
+  bool windows_enabled_ = false;
+  ThreadPool* pool_ = nullptr;  ///< null => windows run inline
+  std::vector<std::uint32_t> eligible_;  ///< driver scratch
+  std::vector<Effect> replay_scratch_;   ///< barrier merge scratch
 };
 
 }  // namespace tg

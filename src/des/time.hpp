@@ -14,6 +14,9 @@ namespace tg {
 using SimTime = std::int64_t;  ///< milliseconds since simulation start
 using Duration = std::int64_t; ///< milliseconds
 
+/// Sentinel "end of time" (run-to-drain bounds, unreachable cut keys).
+inline constexpr SimTime kMaxSimTime = INT64_MAX;
+
 inline constexpr Duration kMillisecond = 1;
 inline constexpr Duration kSecond = 1000 * kMillisecond;
 inline constexpr Duration kMinute = 60 * kSecond;

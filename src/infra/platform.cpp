@@ -192,4 +192,13 @@ Platform mini_platform() {
   return p;
 }
 
+ShardPlan make_shard_plan(const Platform& platform) {
+  std::vector<Duration> latencies;
+  latencies.reserve(platform.links().size());
+  for (const Link& link : platform.links()) {
+    latencies.push_back(link.latency);
+  }
+  return plan_shards(platform.sites().size(), latencies);
+}
+
 }  // namespace tg

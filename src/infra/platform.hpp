@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "des/shard.hpp"
 #include "des/time.hpp"
 #include "util/ids.hpp"
 
@@ -109,5 +110,9 @@ class Platform {
 
 /// A 2-site / 2-resource micro platform used by unit tests and quickstart.
 [[nodiscard]] Platform mini_platform();
+
+/// Derives the shard plan (coordinator + one partition per site, WAN
+/// lookahead from the minimum link latency) from a platform's topology.
+[[nodiscard]] ShardPlan make_shard_plan(const Platform& platform);
 
 }  // namespace tg

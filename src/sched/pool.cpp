@@ -5,12 +5,16 @@
 namespace tg {
 
 SchedulerPool::SchedulerPool(Engine& engine, const Platform& platform,
-                             SchedulerConfig config)
+                             SchedulerConfig config, const ShardPlan* plan)
     : platform_(platform) {
   schedulers_.reserve(platform.compute().size());
   for (const ComputeResource& r : platform.compute()) {
+    const std::uint32_t shard =
+        plan != nullptr
+            ? plan->partition_of_site(static_cast<std::size_t>(r.site.value()))
+            : 0;
     schedulers_.push_back(
-        std::make_unique<ResourceScheduler>(engine, r, config));
+        std::make_unique<ResourceScheduler>(engine, r, config, shard));
   }
 }
 

@@ -15,9 +15,13 @@ namespace tg {
 
 class SchedulerPool {
  public:
-  /// Builds a scheduler per compute resource, all with `config`.
+  /// Builds a scheduler per compute resource, all with `config`. When
+  /// `plan` is given, each scheduler binds its events to its site's engine
+  /// partition (the engine must have been configured with at least
+  /// plan->partitions partitions); otherwise everything lives on
+  /// partition 0.
   SchedulerPool(Engine& engine, const Platform& platform,
-                SchedulerConfig config = {});
+                SchedulerConfig config = {}, const ShardPlan* plan = nullptr);
 
   [[nodiscard]] ResourceScheduler& at(ResourceId id);
   [[nodiscard]] const ResourceScheduler& at(ResourceId id) const;

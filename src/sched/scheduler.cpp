@@ -33,7 +33,8 @@ JobId::rep job_id_base_for(const ComputeResource& resource) {
 
 ResourceScheduler::ResourceScheduler(Engine& engine,
                                      const ComputeResource& resource,
-                                     SchedulerConfig config)
+                                     SchedulerConfig config,
+                                     std::uint32_t shard)
     : engine_(engine),
       resource_(resource),
       config_(config),
@@ -41,7 +42,8 @@ ResourceScheduler::ResourceScheduler(Engine& engine,
       // Job ids are globally unique: the resource id is folded into the
       // high bits so accounting can key on JobId alone.
       job_id_base_(job_id_base_for(resource)),
-      next_job_(job_id_base_) {
+      next_job_(job_id_base_),
+      shard_(shard) {
   TG_REQUIRE(resource.nodes > 0, "resource has no nodes");
   TG_REQUIRE(config.capability_fraction > 0.0 &&
                  config.capability_fraction <= 1.0,
@@ -142,6 +144,40 @@ Duration ResourceScheduler::planned_duration(const Job& job) const {
   return job.req.requested_walltime;
 }
 
+void ResourceScheduler::notify_start(const Job& job) {
+  if (on_start_.empty()) return;
+  if (engine_.in_window()) {
+    // The Job is copied into the staged effect: by replay time the slot
+    // may have been recycled. Observers run at the barrier in canonical
+    // order, exactly where a merged run would have called them.
+    engine_.stage_effect([this, job] {
+      for (const auto& cb : on_start_) cb(job);
+    });
+    return;
+  }
+  for (const auto& cb : on_start_) cb(job);
+}
+
+void ResourceScheduler::notify_end(const Job& job) {
+  if (on_end_.empty()) return;
+  if (engine_.in_window()) {
+    engine_.stage_effect([this, job] {
+      for (const auto& cb : on_end_) cb(job);
+    });
+    return;
+  }
+  for (const auto& cb : on_end_) cb(job);
+}
+
+void ResourceScheduler::add_feedback_queued() {
+  if (feedback_queued_++ == 0) engine_.serialize_partition(shard_, true);
+}
+
+void ResourceScheduler::remove_feedback_queued() {
+  TG_CHECK(feedback_queued_ > 0, "feedback queue count underflow");
+  if (--feedback_queued_ == 0) engine_.serialize_partition(shard_, false);
+}
+
 JobId ResourceScheduler::submit(JobRequest request) {
   TG_REQUIRE(request.nodes >= 1 && request.nodes <= resource_.nodes,
              "job width " << request.nodes << " invalid for "
@@ -169,6 +205,7 @@ JobId ResourceScheduler::submit(JobRequest request) {
   job.submit_time = engine_.now();
   job.state = JobState::kQueued;
   queue_.push_back(id);
+  if (is_feedback(job.req)) add_feedback_queued();
   if (trace_ != nullptr) {
     trace_->emit(job.submit_time, obs::TraceCategory::kScheduler,
                  obs::TracePoint::kJobSubmit, id.value(), job.req.nodes,
@@ -243,6 +280,7 @@ bool ResourceScheduler::cancel(JobId id) {
     // Preempted and awaiting its backoff: not in queue_, so there is no
     // entry to tombstone; the pending requeue event finds the job gone.
   } else {
+    if (is_feedback(job.req)) remove_feedback_queued();
     ++queue_tombstones_;  // entry stays in queue_ until compaction
     compact_queue();
   }
@@ -252,7 +290,7 @@ bool ResourceScheduler::cancel(JobId id) {
     trace_->emit(job.end_time, obs::TraceCategory::kScheduler,
                  obs::TracePoint::kJobCancel, id.value());
   }
-  for (const auto& cb : on_end_) cb(job);
+  notify_end(job);
   return true;
 }
 
@@ -279,7 +317,8 @@ ReservationId ResourceScheduler::reserve(SimTime start, Duration duration,
   // planned end coincides with the reservation start, the job's release
   // must be processed before this acquisition.
   engine_.schedule_at(start, [this, id] { on_reservation_start(id); },
-                      EventPriority::kDefault);
+                      EventPriority::kDefault,
+                      EventBinding{shard_, EventClass::kBarrier});
   // A new blocking window can invalidate planned backfill; re-plan.
   invalidate_plan();
   request_pass();
@@ -326,7 +365,7 @@ bool ResourceScheduler::cancel_reservation(ReservationId id) {
       release_slot(attached);
       job.state = JobState::kCancelled;
       job.end_time = engine_.now();
-      for (const auto& cb : on_end_) cb(job);
+      notify_end(job);
     }
   }
   invalidate_plan();  // the cached profile still holds the freed window
@@ -425,14 +464,17 @@ void ResourceScheduler::request_pass() {
     return;  // a pass is already queued for this tick
   }
   // Deferred to kReplan priority: every completion/submission/outage of
-  // this tick lands first, then one pass covers them all.
+  // this tick lands first, then one pass covers them all. The pass is
+  // kLocal: while a feedback job is queued (the one case a pass could
+  // start something wall-classed) the partition is serialized, so the
+  // pass fires on the merged loop anyway.
   pass_event_ = engine_.schedule_at(
       engine_.now(),
       [this] {
         pass_event_ = kInvalidEvent;
         schedule_pass();
       },
-      EventPriority::kReplan);
+      EventPriority::kReplan, EventBinding{shard_, EventClass::kLocal});
 }
 
 std::size_t ResourceScheduler::extend_plan() const {
@@ -682,11 +724,14 @@ void ResourceScheduler::schedule_pass() {
   if (wake > now && (wakeup_ == kInvalidEvent || wakeup_time_ != wake)) {
     if (wakeup_ != kInvalidEvent) engine_.cancel(wakeup_);
     wakeup_time_ = wake;
-    wakeup_ = engine_.schedule_at(wake, [this] {
-      wakeup_ = kInvalidEvent;
-      wakeup_time_ = -1;
-      schedule_pass();
-    });
+    wakeup_ = engine_.schedule_at(
+        wake,
+        [this] {
+          wakeup_ = kInvalidEvent;
+          wakeup_time_ = -1;
+          schedule_pass();
+        },
+        EventPriority::kDefault, EventBinding{shard_, EventClass::kLocal});
   }
 }
 
@@ -694,6 +739,7 @@ void ResourceScheduler::start_job(Job& job, bool from_reservation) {
   TG_CHECK(job.state == JobState::kQueued, "starting non-queued job");
   if (!from_reservation) {
     TG_CHECK(free_nodes_ >= job.req.nodes, "overcommitted " << resource_.name);
+    if (is_feedback(job.req)) remove_feedback_queued();
     free_nodes_ -= job.req.nodes;
     // A plan-driven start occupies exactly the window the cached profile
     // already holds for it; any other start (EASY/FCFS pass, test harness)
@@ -717,9 +763,17 @@ void ResourceScheduler::start_job(Job& job, bool from_reservation) {
     dur = std::min(dur, std::max<Duration>(job.req.fail_after, kMillisecond));
   }
   const JobId id = job.id;
+  // A feedback job's end fans out to other partitions (workflow successor
+  // submission, co-allocation bookkeeping); a reservation-attached job's
+  // end releases a metascheduler-held window. Both are walls.
+  const EventClass end_cls =
+      (slot_at(id).reservation.valid() || is_feedback(job.req))
+          ? EventClass::kBarrier
+          : EventClass::kLocal;
   slot_at(id).end_event = engine_.schedule_in(
-      dur, [this, id] { finish_job(id); }, EventPriority::kCompletion);
-  for (const auto& cb : on_start_) cb(job);
+      dur, [this, id] { finish_job(id); }, EventPriority::kCompletion,
+      EventBinding{shard_, end_cls});
+  notify_start(job);
 }
 
 void ResourceScheduler::finish_job(JobId id) {
@@ -790,7 +844,7 @@ void ResourceScheduler::complete_job(JobId id, JobState state) {
                           resource_.cores_per_node,
                       job.end_time);
   }
-  for (const auto& cb : on_end_) cb(job);
+  notify_end(job);
   request_pass();
 }
 
@@ -914,15 +968,21 @@ void ResourceScheduler::preempt_job(JobId id) {
     }
     backoff = std::min(backoff, config_.outage_retry_backoff_cap);
     backoff = std::max<Duration>(backoff, kMillisecond);
+    // A feedback job's requeue re-enters the queue and re-serializes the
+    // partition — a cross-cutting transition that must run on the merged
+    // loop, so it is a wall; plain jobs' requeues stay local.
     engine_.schedule_in(backoff, [this, id] { requeue_job(id); },
-                        EventPriority::kSubmission);
-    for (const auto& cb : on_end_) cb(attempt);
+                        EventPriority::kSubmission,
+                        EventBinding{shard_, is_feedback(job.req)
+                                                 ? EventClass::kBarrier
+                                                 : EventClass::kLocal});
+    notify_end(attempt);
   } else {
     Job dead = std::move(s->job);
     release_slot(id);
     dead.end_time = now;
     dead.state = JobState::kKilledByOutage;
-    for (const auto& cb : on_end_) cb(dead);
+    notify_end(dead);
   }
 }
 
@@ -939,6 +999,7 @@ void ResourceScheduler::requeue_job(JobId id) {
   queue_tombstones_ -= static_cast<std::size_t>(std::erase(queue_, id));
   queue_front_ = 0;  // the erase shifted positions under the prefix pointer
   queue_.push_back(id);
+  if (is_feedback(s->job.req)) add_feedback_queued();
   if (trace_ != nullptr) {
     trace_->emit(engine_.now(), obs::TraceCategory::kScheduler,
                  obs::TracePoint::kJobRequeue, id.value());
@@ -968,7 +1029,7 @@ void ResourceScheduler::on_reservation_start(ReservationId id) {
         release_slot(attached);
         job.state = JobState::kCancelled;
         job.end_time = engine_.now();
-        for (const auto& cb : on_end_) cb(job);
+        notify_end(job);
       }
     }
     invalidate_plan();  // the cached profile still holds the broken window
@@ -985,7 +1046,8 @@ void ResourceScheduler::on_reservation_start(ReservationId id) {
     start_job(slot_at(attached).job, /*from_reservation=*/true);
   }
   engine_.schedule_at(rend, [this, id] { on_reservation_end(id); },
-                      EventPriority::kCompletion);
+                      EventPriority::kCompletion,
+                      EventBinding{shard_, EventClass::kBarrier});
 }
 
 void ResourceScheduler::on_reservation_end(ReservationId id) {

@@ -103,8 +103,10 @@ class ResourceScheduler {
  public:
   using JobCallback = std::function<void(const Job&)>;
 
+  /// `shard` is the engine partition this scheduler's events live on (the
+  /// site partition under a ShardPlan; 0 when the engine is unpartitioned).
   ResourceScheduler(Engine& engine, const ComputeResource& resource,
-                    SchedulerConfig config = {});
+                    SchedulerConfig config = {}, std::uint32_t shard = 0);
 
   ResourceScheduler(const ResourceScheduler&) = delete;
   ResourceScheduler& operator=(const ResourceScheduler&) = delete;
@@ -166,6 +168,8 @@ class ResourceScheduler {
 
   [[nodiscard]] const ComputeResource& resource() const { return resource_; }
   [[nodiscard]] const SchedulerConfig& config() const { return config_; }
+  /// Engine partition this scheduler's events are bound to.
+  [[nodiscard]] std::uint32_t shard() const { return shard_; }
   /// Current simulation time (the scheduler's engine clock).
   [[nodiscard]] SimTime now() const { return engine_.now(); }
   [[nodiscard]] int free_nodes() const { return free_nodes_; }
@@ -292,6 +296,32 @@ class ResourceScheduler {
   [[nodiscard]] Duration planned_duration(const Job& job) const;
   void charge_fair_share(UserId user, double core_seconds, SimTime now);
 
+  // --- Shard-awareness (DESIGN.md §5.7) -----------------------------------
+  // Every event the scheduler owns is bound to its partition. Completions,
+  // wakeups, requeue backoffs and replan passes are kLocal — they touch
+  // only this scheduler's state — *except* where feedback couples them to
+  // other partitions: workflow members and co-allocated jobs feed engines
+  // that submit across sites on completion, and reservation events hold
+  // metascheduler promises. Those stay kBarrier. While a feedback job
+  // waits in the queue any scheduling pass might start it (which would
+  // create a wall — forbidden inside a window), so the whole partition is
+  // serialized for exactly that interval via Engine::serialize_partition.
+
+  /// True if observers of this job's lifecycle may reach beyond this
+  /// partition (workflow engine submits successors, co-allocator
+  /// coordinates siblings on other sites).
+  [[nodiscard]] static bool is_feedback(const JobRequest& req) {
+    return req.workflow.valid() || req.coallocated;
+  }
+  /// Dispatches on_start_/on_end_ observers: directly in sequential
+  /// context, staged to the barrier (canonical order) inside a window.
+  void notify_start(const Job& job);
+  void notify_end(const Job& job);
+  /// Maintains the queued-feedback-job count and the partition's
+  /// serialization window (0 -> 1 serializes, 1 -> 0 releases).
+  void add_feedback_queued();
+  void remove_feedback_queued();
+
   Engine& engine_;
   ComputeResource resource_;
   SchedulerConfig config_;
@@ -334,6 +364,12 @@ class ResourceScheduler {
   JobId::rep job_id_base_ = 0;  ///< first id of this resource's band
   JobId::rep next_job_ = 0;
   ReservationId::rep next_reservation_ = 0;
+  /// Engine partition this scheduler's events live on.
+  std::uint32_t shard_ = 0;
+  /// Startable queued jobs with cross-partition feedback (workflow /
+  /// co-allocated, in queue_, not backoff-pending). While > 0 the
+  /// partition is serialized; see the shard-awareness note above.
+  std::size_t feedback_queued_ = 0;
   EventId wakeup_ = kInvalidEvent;
   SimTime wakeup_time_ = -1;  ///< tick wakeup_ is armed for (churn guard)
   EventId pass_event_ = kInvalidEvent;  ///< pending same-tick deferred pass

@@ -18,6 +18,7 @@
 #include "net/flow.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "parallel/thread_pool.hpp"
 #include "sched/pool.hpp"
 #include "workflow/engine.hpp"
 #include "workload/generator.hpp"
@@ -45,6 +46,16 @@ struct ScenarioConfig {
   /// Use the tiny 2-resource platform instead of the TeraGrid preset
   /// (integration tests).
   bool mini_platform = false;
+  /// How the partitioned engine executes (the partitioning itself — one
+  /// per site plus coordinator — is fixed by the platform topology, so the
+  /// canonical event order is identical in every mode): 0 runs the merged
+  /// sequential loop (the reference oracle), 1 runs conservative time
+  /// windows inline on the driver thread, N >= 2 runs the windows on N
+  /// worker threads. Output is byte-identical across all values. Windows
+  /// are declined (merged execution regardless of this knob) when per-job
+  /// failure hazards are enabled — their on-start observer schedules
+  /// interrupt events, which windows forbid; see DESIGN.md §5.7.
+  int shards = 0;
   /// Optional flight recorder, attached to every scheduler, gateway and
   /// the fault model (see obs/trace.hpp). Single-writer: never share one
   /// buffer between scenarios replicated across a thread pool.
@@ -132,6 +143,10 @@ struct ScenarioConfig {
     trace = t;
     return *this;
   }
+  ScenarioConfig& with_shards(int n) {
+    shards = n;
+    return *this;
+  }
 };
 
 class Scenario {
@@ -163,6 +178,10 @@ class Scenario {
     return *generator_;
   }
   [[nodiscard]] FlowManager* flows() { return flows_.get(); }
+  /// Topology-derived partitioning (coordinator + one partition per site).
+  [[nodiscard]] const ShardPlan& shard_plan() const { return shard_plan_; }
+  /// True when run() will use windowed (sharded) execution.
+  [[nodiscard]] bool sharded() const { return engine_.window_execution(); }
   /// Null unless config.faults.enabled().
   [[nodiscard]] const FaultModel* faults() const { return faults_.get(); }
   /// Zero stats when fault injection is disabled.
@@ -210,6 +229,9 @@ class Scenario {
   std::vector<std::unique_ptr<Gateway>> gateways_;
   std::unique_ptr<TrafficGenerator> generator_;
   std::unique_ptr<FaultModel> faults_;
+  ShardPlan shard_plan_;
+  /// Workers for windowed execution; null for shards <= 1.
+  std::unique_ptr<ThreadPool> shard_pool_;
   bool ran_ = false;
 };
 

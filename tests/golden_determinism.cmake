@@ -1,50 +1,80 @@
-# Run an experiment binary at --jobs=1 and --jobs=4 and fail unless the two
-# stdout captures are byte-identical. Invoked by ctest as
-#   cmake -DBIN=<exe> -DWORK_DIR=<dir> [-DTRACE=ON] -P golden_determinism.cmake
-# With -DTRACE=ON each run also writes `--trace=<dir>/jobs<N>.trace.jsonl`
-# and the two trace exports must be byte-identical too — the determinism
-# contract of DESIGN.md §5.5: the trace is keyed by sim time and stable ids,
-# so the worker count must not change a single byte of it.
+# Run an experiment binary across every value of one determinism axis and
+# fail unless the captures are byte-identical. Invoked by ctest as
+#   cmake -DBIN=<exe> -DWORK_DIR=<dir> [-DAXIS=jobs|shards] [-DTRACE=ON]
+#         -P golden_determinism.cmake
+#
+#   AXIS=jobs (default): --jobs=1 vs --jobs=4 — replication/analytics
+#     fan-out must not change a byte (DESIGN.md §5.5).
+#   AXIS=shards: --no-shard vs --shards=1 vs --shards=4 — the merged
+#     reference oracle, inline conservative windows, and pooled windows
+#     must fire the identical event sequence (DESIGN.md §5.7).
+#
+# With -DTRACE=ON each run also writes `--trace=<dir>/<axis><N>.trace.jsonl`
+# and the trace exports must be byte-identical too: the trace is keyed by
+# sim time and stable ids, so neither the worker count nor the execution
+# mode may change a single byte of it. (--metrics is deliberately not
+# compared: shard.* counters and barrier timings legitimately differ
+# between execution modes.)
 if(NOT DEFINED BIN OR NOT DEFINED WORK_DIR)
   message(FATAL_ERROR "golden_determinism.cmake needs -DBIN=... -DWORK_DIR=...")
+endif()
+if(NOT DEFINED AXIS)
+  set(AXIS "jobs")
+endif()
+
+if(AXIS STREQUAL "jobs")
+  set(variants 1 4)
+elseif(AXIS STREQUAL "shards")
+  set(variants 0 1 4)
+else()
+  message(FATAL_ERROR "unknown AXIS '${AXIS}' (expected jobs or shards)")
 endif()
 
 file(MAKE_DIRECTORY "${WORK_DIR}")
 
-foreach(jobs IN ITEMS 1 4)
-  set(run_args --jobs=${jobs})
+foreach(v IN LISTS variants)
+  if(AXIS STREQUAL "shards" AND v EQUAL 0)
+    set(run_args --no-shard)  # spell out the reference oracle
+  else()
+    set(run_args --${AXIS}=${v})
+  endif()
   if(TRACE)
-    list(APPEND run_args --trace=${WORK_DIR}/jobs${jobs}.trace.jsonl)
+    list(APPEND run_args --trace=${WORK_DIR}/${AXIS}${v}.trace.jsonl)
   endif()
   execute_process(
     COMMAND "${BIN}" ${run_args}
-    OUTPUT_FILE "${WORK_DIR}/jobs${jobs}.out"
+    OUTPUT_FILE "${WORK_DIR}/${AXIS}${v}.out"
     RESULT_VARIABLE rc)
   if(NOT rc EQUAL 0)
-    message(FATAL_ERROR "${BIN} --jobs=${jobs} exited with ${rc}")
+    message(FATAL_ERROR "${BIN} ${run_args} exited with ${rc}")
   endif()
 endforeach()
 
-execute_process(
-  COMMAND ${CMAKE_COMMAND} -E compare_files
-          "${WORK_DIR}/jobs1.out" "${WORK_DIR}/jobs4.out"
-  RESULT_VARIABLE diff)
-if(NOT diff EQUAL 0)
-  message(FATAL_ERROR
-          "stdout differs between --jobs=1 and --jobs=4 for ${BIN} "
-          "(see ${WORK_DIR})")
-endif()
-message(STATUS "byte-identical stdout at --jobs=1 and --jobs=4")
-
-if(TRACE)
+list(GET variants 0 ref)
+foreach(v IN LISTS variants)
+  if(v EQUAL ${ref})
+    continue()
+  endif()
   execute_process(
     COMMAND ${CMAKE_COMMAND} -E compare_files
-            "${WORK_DIR}/jobs1.trace.jsonl" "${WORK_DIR}/jobs4.trace.jsonl"
-    RESULT_VARIABLE trace_diff)
-  if(NOT trace_diff EQUAL 0)
+            "${WORK_DIR}/${AXIS}${ref}.out" "${WORK_DIR}/${AXIS}${v}.out"
+    RESULT_VARIABLE diff)
+  if(NOT diff EQUAL 0)
     message(FATAL_ERROR
-            "--trace output differs between --jobs=1 and --jobs=4 for ${BIN} "
-            "(see ${WORK_DIR})")
+            "stdout differs between --${AXIS}=${ref} and --${AXIS}=${v} for "
+            "${BIN} (see ${WORK_DIR})")
   endif()
-  message(STATUS "byte-identical --trace output at --jobs=1 and --jobs=4")
-endif()
+  if(TRACE)
+    execute_process(
+      COMMAND ${CMAKE_COMMAND} -E compare_files
+              "${WORK_DIR}/${AXIS}${ref}.trace.jsonl"
+              "${WORK_DIR}/${AXIS}${v}.trace.jsonl"
+      RESULT_VARIABLE trace_diff)
+    if(NOT trace_diff EQUAL 0)
+      message(FATAL_ERROR
+              "--trace output differs between --${AXIS}=${ref} and "
+              "--${AXIS}=${v} for ${BIN} (see ${WORK_DIR})")
+    endif()
+  endif()
+endforeach()
+message(STATUS "byte-identical output across --${AXIS}={${variants}}")
