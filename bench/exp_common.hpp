@@ -63,6 +63,20 @@ struct Options {
   /// at every value — CI diffs --shards=1 and --shards=4 against the
   /// default (tests/golden_determinism.cmake).
   int shards = 0;
+  /// --audit-every=DAYS: run the mid-run invariant audit
+  /// (AuditPhase::kMidRun — families 1-5 plus node-accounting bounds)
+  /// every DAYS of sim time while the scenario runs. The scenario throws
+  /// InvariantError at the first failing audit, pinpointing *when* a
+  /// conservation law broke instead of discovering it after the drain.
+  /// 0 disables. Fractions work: --audit-every=0.5 audits twice a day.
+  double audit_every = 0.0;
+  /// --mc-random=N: skip the experiment and instead run one canonical
+  /// replay plus N random tie-break replays of the scenario, requiring
+  /// identical terminal records and a clean invariant audit from every
+  /// replay (see mc/random_check.hpp). Exits non-zero on divergence.
+  std::size_t mc_random = 0;
+  /// --mc-seed=S: derives the --mc-random tie-break streams.
+  std::uint64_t mc_seed = 1;
   /// --csv[=path]: dump the table rows as CSV (default <name>.csv).
   std::optional<std::string> csv;
   /// --trace[=path]: export the structured sim-time trace as JSONL (or
@@ -71,6 +85,12 @@ struct Options {
   /// --metrics[=path]: export the metric registry (default
   /// <name>.metrics.jsonl).
   std::optional<std::string> metrics;
+
+  /// --audit-every converted to sim time (0 when disabled); wire into
+  /// ScenarioConfig::with_audit_every.
+  [[nodiscard]] Duration audit_period() const {
+    return static_cast<Duration>(audit_every * static_cast<double>(kDay));
+  }
 
   /// Parses argv. `name` seeds the default output filenames and the usage
   /// text. Unknown flags (or positional arguments) are fatal.
@@ -97,6 +117,14 @@ struct Options {
         out.shards = n > 0 ? static_cast<int>(n) : 0;
       } else if (arg == "--no-shard") {
         out.shards = 0;
+      } else if (arg.rfind("--audit-every=", 0) == 0) {
+        out.audit_every = std::strtod(arg.c_str() + 14, nullptr);
+        if (out.audit_every < 0.0) out.audit_every = 0.0;
+      } else if (arg.rfind("--mc-random=", 0) == 0) {
+        const long n = std::strtol(arg.c_str() + 12, nullptr, 10);
+        out.mc_random = n > 0 ? static_cast<std::size_t>(n) : 0;
+      } else if (arg.rfind("--mc-seed=", 0) == 0) {
+        out.mc_seed = std::strtoull(arg.c_str() + 10, nullptr, 10);
       } else if (arg == "--csv") {
         out.csv = name + ".csv";
       } else if (arg.rfind("--csv=", 0) == 0) {
@@ -135,6 +163,12 @@ struct Options {
           "N >= 2 = N workers\n"
        << "  --no-shard          merged sequential loop (default; the "
           "reference oracle)\n"
+       << "  --audit-every=DAYS  mid-run invariant audit every DAYS of sim "
+          "time (0 = off)\n"
+       << "  --mc-random=N       N random tie-break replays instead of the "
+          "experiment\n"
+       << "  --mc-seed=S         seed for the --mc-random tie-break "
+          "streams\n"
        << "  --help              show this help\n";
   }
 };

@@ -14,6 +14,7 @@
 #include "bench/exp_common.hpp"
 #include "core/scoring.hpp"
 #include "fault/invariants.hpp"
+#include "mc/random_check.hpp"
 #include "util/stats.hpp"
 #include "workload/scenario.hpp"
 
@@ -46,12 +47,13 @@ struct RunResult {
 };
 
 RunResult run_one(double mtbf_hours, std::uint64_t seed, bool plan_cache,
-                  int shards) {
+                  int shards, Duration audit_every) {
   ScenarioConfig config;
   config.seed = seed;
   config.horizon = 120 * kDay;
   config.sched.plan_cache = plan_cache;
   config.shards = shards;
+  config.audit_every = audit_every;
   if (mtbf_hours > 0.0) {
     config.faults.outage.mtbf_hours = mtbf_hours;
     config.faults.job_failure_rate_per_hour = 0.0005;
@@ -86,6 +88,25 @@ RunResult run_one(double mtbf_hours, std::uint64_t seed, bool plan_cache,
 int main(int argc, char** argv) {
   const exp::Options options =
       exp::Options::parse(argc, argv, "exp_fault_sensitivity");
+
+  if (options.mc_random > 0) {
+    // Random tie-break replays instead of the experiment: a compact faulty
+    // configuration (weekly outages, brownouts, scaled-down population),
+    // big enough to exercise outage/requeue races, small enough that the
+    // replays fit a CI smoke budget.
+    ScenarioConfig config;
+    config.seed = 4242;
+    config.horizon = 30 * kDay;
+    config.sched.plan_cache = !options.exact_replan;
+    config.faults.outage.mtbf_hours = 168.0;
+    config.faults.gateway_brownouts_per_week = 0.25;
+    config.with_scale(0.5);
+    const bool ok = mc::run_random_tiebreak_check(
+        config, options.mc_random, options.mc_seed, std::cout);
+    std::cout << "[mc-random] " << (ok ? "PASS" : "FAIL") << "\n";
+    return ok ? 0 : 1;
+  }
+
   exp::Observability obsv(options);
   exp::banner("F12", "Modality-table drift vs infrastructure MTBF");
 
@@ -97,9 +118,11 @@ int main(int argc, char** argv) {
   const bool plan_cache = !options.exact_replan;
   const auto results = obsv.replicate(
       pool, kLevelCount * kSeedsPerLevel,
-      [plan_cache, shards = options.shards](std::size_t i) {
+      [plan_cache, shards = options.shards,
+       audit_every = options.audit_period()](std::size_t i) {
         return run_one(kLevels[i / kSeedsPerLevel].mtbf_hours,
-                       4200 + i % kSeedsPerLevel, plan_cache, shards);
+                       4200 + i % kSeedsPerLevel, plan_cache, shards,
+                       audit_every);
       });
 
   // Per-level means; level 0 (fault-free) is the drift baseline.

@@ -21,6 +21,7 @@ int main(int argc, char** argv) {
                         .with_horizon(kYear)
                         .with_plan_cache(!options.exact_replan)
                         .with_shards(options.shards)
+                        .with_audit_every(options.audit_period())
                         .with_trace(obsv.trace()));
   {
     const auto phase = obsv.profiler().measure("simulate");

@@ -184,6 +184,34 @@ Engine::Item Engine::heap_pop(std::vector<Item>& heap) {
   return top;
 }
 
+Engine::Item Engine::heap_remove(std::vector<Item>& heap, std::size_t pos) {
+  const Item removed = heap[pos];
+  const Item last = heap.back();
+  heap.pop_back();
+  const std::size_t n = heap.size();
+  if (pos < n) {
+    std::size_t hole = pos;
+    std::size_t first;
+    while ((first = (hole << 2) + 1) < n) {
+      const std::size_t end = first + 4 < n ? first + 4 : n;
+      std::size_t best = first;
+      for (std::size_t c = first + 1; c < end; ++c) {
+        if (before(heap[c], heap[best])) best = c;
+      }
+      heap[hole] = heap[best];
+      hole = best;
+    }
+    while (hole > 0) {
+      const std::size_t parent = (hole - 1) >> 2;
+      if (!before(last, heap[parent])) break;
+      heap[hole] = heap[parent];
+      hole = parent;
+    }
+    heap[hole] = last;
+  }
+  return removed;
+}
+
 void Engine::skim(Partition& p, int h) {
   std::vector<Item>& heap = p.heap[h];
   while (!heap.empty()) {
@@ -220,7 +248,28 @@ bool Engine::merged_step(SimTime bound) {
   }
   if (best_heap == nullptr || best.time > bound) return false;
 
-  const Item item = heap_pop(*best_heap);
+  Item item;
+  if (choice_hook_ != nullptr) {
+    // Model-checking path: present the whole (time, priority) tie set and
+    // fire whichever member the hook picks. key_before already fixes the
+    // full order, so the unhooked engine never consults anything but the
+    // global min; the hook is how the explorer reaches the other orders.
+    collect_tie_set(best);
+    std::size_t pick = 0;
+    if (tie_view_.size() > 1) {
+      pick = choice_hook_->choose(tie_view_);
+      TG_REQUIRE(pick < tie_view_.size(), "choice hook picked index "
+                                              << pick << " of a tie set of "
+                                              << tie_view_.size());
+    }
+    const TieEntry& chosen = tie_entries_[pick];
+    best_shard = chosen.cand.shard;
+    best_p = &parts_[best_shard];
+    item = heap_remove(best_p->heap[chosen.h], chosen.pos);
+    choice_hook_->on_fire(chosen.cand);
+  } else {
+    item = heap_pop(*best_heap);
+  }
   Partition& p = *best_p;
   Slot& s = slot_ref(p, item.slot);
   TG_CHECK(item.time >= now_, "event queue went backwards");
@@ -240,6 +289,60 @@ bool Engine::merged_step(SimTime bound) {
   s.cb.reset();
   release(p, item.slot);
   return true;
+}
+
+void Engine::collect_tie_set(const Key& best) {
+  tie_entries_.clear();
+  for (std::uint32_t shard = 0; shard < parts_.size(); ++shard) {
+    Partition& p = parts_[shard];
+    for (int h = 0; h < 2; ++h) {
+      std::vector<Item>& heap = p.heap[h];
+      if (heap.empty() || heap[0].time != best.time ||
+          heap[0].priority != best.priority) {
+        continue;
+      }
+      // Heap order is (time, priority, seq), so an entry matching the top
+      // in (time, priority) has ancestors that all match too: the matches
+      // are one connected subtree and the walk below never visits a
+      // non-matching node's children.
+      tie_walk_.clear();
+      tie_walk_.push_back(0);
+      while (!tie_walk_.empty()) {
+        const std::size_t pos = tie_walk_.back();
+        tie_walk_.pop_back();
+        const Item& it = heap[pos];
+        if (it.time != best.time || it.priority != best.priority) continue;
+        if (slot_ref(p, it.slot).armed) {  // tombstones link, never fire
+          tie_entries_.push_back(TieEntry{
+              ChoiceHook::Candidate{
+                  it.time, it.priority, shard, it.seq,
+                  h == 1 ? EventClass::kLocal : EventClass::kBarrier,
+                  p.serialize_count > 0},
+              h, pos});
+        }
+        const std::size_t first = (pos << 2) + 1;
+        const std::size_t end =
+            first + 4 < heap.size() ? first + 4 : heap.size();
+        for (std::size_t c = first; c < end; ++c) tie_walk_.push_back(c);
+      }
+    }
+  }
+  std::sort(tie_entries_.begin(), tie_entries_.end(),
+            [](const TieEntry& a, const TieEntry& b) {
+              if (a.cand.shard != b.cand.shard) {
+                return a.cand.shard < b.cand.shard;
+              }
+              return a.cand.seq < b.cand.seq;
+            });
+  tie_view_.clear();
+  for (const TieEntry& e : tie_entries_) tie_view_.push_back(e.cand);
+}
+
+void Engine::set_choice_hook(ChoiceHook* hook) {
+  TG_REQUIRE(hook == nullptr || !windows_enabled_,
+             "choice hook requires merged execution (disable windows)");
+  TG_REQUIRE(!in_event(), "cannot swap the choice hook from inside an event");
+  choice_hook_ = hook;
 }
 
 void Engine::stage_trace_thunk(void* ctx, obs::TraceBuffer* target,
@@ -481,6 +584,8 @@ void Engine::configure_partitions(std::uint32_t count) {
 }
 
 void Engine::set_window_execution(bool enabled, ThreadPool* pool) {
+  TG_REQUIRE(!enabled || choice_hook_ == nullptr,
+             "windowed execution is incompatible with a choice hook");
   windows_enabled_ = enabled;
   pool_ = enabled ? pool : nullptr;
 }

@@ -99,6 +99,45 @@ struct EventBinding {
   EventClass cls = EventClass::kBarrier;
 };
 
+/// Observer/controller for tie-set resolution on the merged loop — the
+/// model-checking hook (DESIGN.md §5.8). When installed, every merged step
+/// first collects the *tie set*: all armed events sharing the minimal
+/// (time, priority) across every partition heap. If the set has >= 2
+/// members the hook picks which fires first; the engine then fires exactly
+/// that event and re-collects, so a pick vector addresses every reachable
+/// interleaving of same-key events. The hook also observes each fired
+/// event (tied or forced), which is what trace signatures hash.
+class ChoiceHook {
+ public:
+  /// One armed event inside a tie set, identified by its canonical key
+  /// plus the synchronization facts the independence relation needs.
+  struct Candidate {
+    SimTime time = 0;
+    std::int32_t priority = 0;
+    std::uint32_t shard = 0;
+    std::uint64_t seq = 0;
+    EventClass cls = EventClass::kBarrier;
+    bool serialized = false;  ///< partition was serialized at choice time
+
+    [[nodiscard]] bool same_event(const Candidate& o) const {
+      return shard == o.shard && seq == o.seq && time == o.time &&
+             priority == o.priority;
+    }
+  };
+
+  virtual ~ChoiceHook() = default;
+
+  /// Called when >= 2 armed events share the minimal (time, priority).
+  /// `tie` is sorted by (shard, seq); index 0 is what the unhooked engine
+  /// would fire. Returns the index of the event to fire first; the rest
+  /// stay pending and (if still tied) reappear in the next tie set.
+  virtual std::size_t choose(const std::vector<Candidate>& tie) = 0;
+
+  /// Called for every event the merged loop fires, immediately before its
+  /// callback runs, in execution order.
+  virtual void on_fire(const Candidate& fired) { (void)fired; }
+};
+
 namespace detail {
 /// Thread-local fire context: installed while a callback runs on a window
 /// worker (staging) or while a staged effect replays at the barrier.
@@ -323,6 +362,13 @@ class Engine {
   /// barrier replay); the canonical event order is unaffected either way.
   void serialize_partition(std::uint32_t shard, bool on);
 
+  /// Installs (nullptr clears) the merged-loop tie-set hook. Mutually
+  /// exclusive with windowed execution: the hook's whole point is to
+  /// explore orders the windowed mode's canonical replay forbids. The
+  /// caller keeps ownership; the hook must outlive the run.
+  void set_choice_hook(ChoiceHook* hook);
+  [[nodiscard]] ChoiceHook* choice_hook() const { return choice_hook_; }
+
   /// Windowed-execution counters; see ShardStats.
   [[nodiscard]] const ShardStats& shard_stats() const { return shard_stats_; }
 
@@ -492,6 +538,23 @@ class Engine {
   // of a million-event run spends its time.
   static void heap_push(std::vector<Item>& heap, const Item& item);
   static Item heap_pop(std::vector<Item>& heap);
+  /// Removes the entry at `pos` (the choice hook fires non-top tie
+  /// members); same bottom-up hole walk as heap_pop, then a sift-up from
+  /// the leaf, which may carry the former tail above `pos`.
+  static Item heap_remove(std::vector<Item>& heap, std::size_t pos);
+
+  /// A tie-set member plus where its heap entry lives (valid only until
+  /// the next heap mutation).
+  struct TieEntry {
+    ChoiceHook::Candidate cand;
+    int h;  ///< which of the partition's two heaps
+    std::size_t pos;
+  };
+  /// Fills tie_entries_/tie_view_ with every armed entry matching
+  /// (best.time, best.priority), sorted by (shard, seq). Equal-key entries
+  /// form a connected subtree at each heap's top, so the scan is
+  /// O(tie set), not O(heap).
+  void collect_tie_set(const Key& best);
 
   std::vector<Partition> parts_;
   SimTime now_ = 0;
@@ -504,6 +567,10 @@ class Engine {
   std::uint32_t seq_fire_shard_ = 0;
   bool windows_enabled_ = false;
   ThreadPool* pool_ = nullptr;  ///< null => windows run inline
+  ChoiceHook* choice_hook_ = nullptr;  ///< null => canonical order, no cost
+  std::vector<TieEntry> tie_entries_;            ///< tie-set scratch
+  std::vector<ChoiceHook::Candidate> tie_view_;  ///< what choose() sees
+  std::vector<std::size_t> tie_walk_;            ///< subtree-walk scratch
   std::vector<std::uint32_t> eligible_;  ///< driver scratch
   std::vector<Effect> replay_scratch_;   ///< barrier merge scratch
 };

@@ -61,7 +61,8 @@ InvariantReport check_invariants(const Platform& platform,
                                  const AllocationLedger* ledger,
                                  const Community* community,
                                  const SchedulerPool* pool,
-                                 const ChargePolicy& policy) {
+                                 const ChargePolicy& policy,
+                                 AuditPhase phase) {
   InvariantReport report;
   Auditor audit(report);
 
@@ -168,7 +169,11 @@ InvariantReport check_invariants(const Platform& platform,
       const JobRecord& r = db.jobs()[i];
       const bool last = last_row[r.job.value()] == i;
       if (last) {
-        audit.expect(is_terminal(r.disposition), "job ", r.job.value(),
+        // Mid-run, a job's newest record may be kRequeued: its next
+        // attempt simply has not ended yet.
+        audit.expect(phase == AuditPhase::kMidRun ||
+                         is_terminal(r.disposition),
+                     "job ", r.job.value(),
                      ": last record is non-terminal (",
                      to_string(r.disposition), ")");
       } else {
@@ -221,7 +226,7 @@ InvariantReport check_invariants(const Platform& platform,
   }
 
   // --- 6: quiescence ----------------------------------------------------------
-  if (pool != nullptr) {
+  if (pool != nullptr && phase == AuditPhase::kFinal) {
     for (const ResourceId id : pool->resource_ids()) {
       const ResourceScheduler& sched = pool->at(id);
       const std::string& name = sched.resource().name;
@@ -234,6 +239,25 @@ InvariantReport check_invariants(const Platform& platform,
       audit.expect(sched.free_nodes() == sched.resource().nodes, "resource ",
                    name, ": ", sched.free_nodes(), " of ",
                    sched.resource().nodes, " nodes free after drain");
+    }
+  } else if (pool != nullptr) {
+    // --- 6': mid-run node accounting ----------------------------------------
+    // Jobs may be running and nodes may be down, but the scheduler's node
+    // bookkeeping must still balance: nothing negative, and down + free
+    // never more than the machine (running/reserved jobs hold the rest).
+    for (const ResourceId id : pool->resource_ids()) {
+      const ResourceScheduler& sched = pool->at(id);
+      const std::string& name = sched.resource().name;
+      const int nodes = sched.resource().nodes;
+      audit.expect(sched.free_nodes() >= 0, "resource ", name, ": ",
+                   sched.free_nodes(), " free nodes (negative)");
+      audit.expect(sched.nodes_down() >= 0 && sched.nodes_down() <= nodes,
+                   "resource ", name, ": ", sched.nodes_down(),
+                   " nodes down on a ", nodes, "-node machine");
+      audit.expect(sched.free_nodes() + sched.nodes_down() <= nodes,
+                   "resource ", name, ": free ", sched.free_nodes(),
+                   " + down ", sched.nodes_down(), " exceeds ", nodes,
+                   " nodes");
     }
   }
 

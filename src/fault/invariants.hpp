@@ -56,6 +56,17 @@ struct InvariantReport {
 
 inline constexpr std::size_t kMaxViolations = 32;
 
+/// When the audit runs relative to the simulation. Families 1-3 and 5 hold
+/// at any quiescent point (record streams only ever contain *ended*
+/// attempts); kMidRun relaxes the two families that assume a drained
+/// simulation: a job's last record may still be kRequeued (its retry is
+/// pending), and the pool check verifies node-accounting bounds
+/// (0 <= free, 0 <= down, free + down <= nodes) instead of emptiness.
+enum class AuditPhase {
+  kFinal,   ///< after the drain: full six families
+  kMidRun,  ///< at a quiescent mid-simulation point (e.g. --audit-every)
+};
+
 /// Audits database/ledger/scheduler state. `ledger`, `community` and `pool`
 /// are optional; each unlocks the corresponding invariant family. `policy`
 /// must be the charge policy the run's Recorder used.
@@ -63,6 +74,6 @@ inline constexpr std::size_t kMaxViolations = 32;
     const Platform& platform, const UsageDatabase& db,
     const AllocationLedger* ledger = nullptr,
     const Community* community = nullptr, const SchedulerPool* pool = nullptr,
-    const ChargePolicy& policy = {});
+    const ChargePolicy& policy = {}, AuditPhase phase = AuditPhase::kFinal);
 
 }  // namespace tg

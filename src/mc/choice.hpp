@@ -1,0 +1,81 @@
+// Concrete ChoiceHook implementations: scripted replay (the DFS explorer's
+// and the reproducer's steering mechanism) and uniform random tie-breaking
+// (the cheap sampling complement, --mc-random).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "des/engine.hpp"
+#include "mc/hash.hpp"
+#include "util/rng.hpp"
+
+namespace tg::mc {
+
+/// One resolved choice point: the tie set presented and the index fired.
+struct Choice {
+  std::vector<ChoiceHook::Candidate> tie;
+  std::size_t pick = 0;
+};
+
+/// Follows a scripted pick list positionally (canonical index 0 beyond its
+/// end), recording every choice point it passes and the Foata signature of
+/// the full fired sequence. The building block for both DFS exploration
+/// and reproducer replay: the same pick vector always steers the engine
+/// down the same branch.
+class ScriptedChoices : public ChoiceHook {
+ public:
+  ScriptedChoices() = default;
+  explicit ScriptedChoices(std::vector<std::size_t> picks)
+      : picks_(std::move(picks)) {}
+
+  std::size_t choose(const std::vector<Candidate>& tie) override {
+    Choice& c = log_.emplace_back();
+    c.tie = tie;
+    const std::size_t i = log_.size() - 1;
+    c.pick = i < picks_.size() ? picks_[i] : 0;
+    if (c.pick >= tie.size()) c.pick = 0;  // stale script: fall back
+    return c.pick;
+  }
+
+  void on_fire(const Candidate& fired) override { signature_.add(fired); }
+
+  /// Every choice point encountered, in order, with the pick taken.
+  [[nodiscard]] const std::vector<Choice>& log() const { return log_; }
+  [[nodiscard]] const FoataSignature& signature() const { return signature_; }
+
+ private:
+  std::vector<std::size_t> picks_;
+  std::vector<Choice> log_;
+  FoataSignature signature_;
+};
+
+/// Resolves every tie uniformly at random from a seeded stream. No DFS
+/// machinery: a full-size scenario can run under this hook at ordinary
+/// simulation speed, sampling one causally-possible order per seed.
+class RandomTieBreaker : public ChoiceHook {
+ public:
+  explicit RandomTieBreaker(std::uint64_t seed) : rng_(seed) {}
+
+  std::size_t choose(const std::vector<Candidate>& tie) override {
+    ++choice_points_;
+    const std::size_t pick = static_cast<std::size_t>(rng_.uniform_int(
+        0, static_cast<std::int64_t>(tie.size()) - 1));
+    if (pick != 0) ++non_canonical_;
+    if (tie.size() > max_tie_) max_tie_ = tie.size();
+    return pick;
+  }
+
+  [[nodiscard]] std::uint64_t choice_points() const { return choice_points_; }
+  [[nodiscard]] std::uint64_t non_canonical() const { return non_canonical_; }
+  [[nodiscard]] std::size_t max_tie() const { return max_tie_; }
+
+ private:
+  Rng rng_;
+  std::uint64_t choice_points_ = 0;
+  std::uint64_t non_canonical_ = 0;
+  std::size_t max_tie_ = 0;
+};
+
+}  // namespace tg::mc

@@ -1,0 +1,231 @@
+#include "mc/explorer.hpp"
+
+#include <exception>
+#include <sstream>
+
+#include "mc/choice.hpp"
+#include "mc/hash.hpp"
+
+namespace tg::mc {
+
+namespace {
+
+bool ties_match(const std::vector<ChoiceHook::Candidate>& a,
+                const std::vector<ChoiceHook::Candidate>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (!a[i].same_event(b[i])) return false;
+  }
+  return true;
+}
+
+std::string describe_tie(const std::vector<ChoiceHook::Candidate>& tie) {
+  std::ostringstream os;
+  os << "{";
+  for (std::size_t i = 0; i < tie.size(); ++i) {
+    const ChoiceHook::Candidate& c = tie[i];
+    os << (i > 0 ? " " : "") << "s" << c.shard << "#" << c.seq << "@"
+       << c.time << "/" << c.priority;
+  }
+  os << "}";
+  return os.str();
+}
+
+}  // namespace
+
+/// The explorer's steering hook: replays the pinned prefix (validating
+/// determinism), then materializes frontier frames with inherited sleep
+/// sets, then coasts canonically past the depth bound.
+class DfsHook : public ChoiceHook {
+ public:
+  DfsHook(ExplorerResult& result, std::vector<Explorer::Frame>& stack,
+          const ExplorerOptions& opts)
+      : result_(result), stack_(stack), opts_(opts) {}
+
+  std::size_t choose(const std::vector<Candidate>& tie) override {
+    const std::size_t depth = depth_++;
+    if (!result_.nondeterminism.empty()) return 0;  // coast to drain
+    if (depth < stack_.size()) {
+      Explorer::Frame& f = stack_[depth];
+      if (!ties_match(f.tie, tie)) {
+        std::ostringstream os;
+        os << "replay diverged at choice point " << depth << ": expected "
+           << describe_tie(f.tie) << ", engine presented "
+           << describe_tie(tie);
+        result_.nondeterminism = os.str();
+        return 0;
+      }
+      return f.chosen;
+    }
+    if (depth >= opts_.max_choice_points) {
+      ++result_.depth_clipped;
+      return 0;
+    }
+
+    Explorer::Frame f;
+    f.tie = tie;
+    f.asleep.assign(tie.size(), false);
+    f.inherited.assign(tie.size(), false);
+    f.explored.assign(tie.size(), false);
+    if (opts_.sleep_sets && !stack_.empty()) {
+      // Sleep-set inheritance: a candidate the parent already explored (or
+      // itself inherited) stays asleep here iff it is independent of the
+      // transition that led to this frame — firing it now would only
+      // commute independent events into an order already covered.
+      const Explorer::Frame& parent = stack_.back();
+      const Candidate& via = parent.tie[parent.chosen];
+      for (std::size_t j = 0; j < tie.size(); ++j) {
+        for (std::size_t k = 0; k < parent.tie.size(); ++k) {
+          if (k == parent.chosen || !parent.asleep[k]) continue;
+          if (parent.tie[k].same_event(tie[j]) &&
+              independent(parent.tie[k], via)) {
+            f.asleep[j] = true;
+            f.inherited[j] = true;
+            break;
+          }
+        }
+      }
+    }
+    f.chosen = 0;
+    for (std::size_t j = 0; j < tie.size(); ++j) {
+      if (!f.asleep[j]) {
+        f.chosen = j;
+        break;
+      }
+    }
+    f.explored[f.chosen] = true;
+    stack_.push_back(std::move(f));
+    ++result_.choice_points;
+    if (stack_.size() > result_.max_depth) result_.max_depth = stack_.size();
+    return stack_.back().chosen;
+  }
+
+  void on_fire(const Candidate& fired) override { signature_.add(fired); }
+
+  [[nodiscard]] std::uint64_t signature() const { return signature_.value(); }
+
+ private:
+  ExplorerResult& result_;
+  std::vector<Explorer::Frame>& stack_;
+  const ExplorerOptions& opts_;
+  std::size_t depth_ = 0;
+  FoataSignature signature_;
+};
+
+Outcome replay_trace(const RunFn& run,
+                     const std::vector<std::size_t>& picks) {
+  ScriptedChoices hook(picks);
+  try {
+    return run(hook);
+  } catch (const std::exception& e) {
+    Outcome out;
+    out.ok = false;
+    out.failure = e.what();
+    return out;
+  }
+}
+
+std::vector<std::size_t> Explorer::current_picks() const {
+  std::vector<std::size_t> picks;
+  picks.reserve(stack_.size());
+  for (const Frame& f : stack_) picks.push_back(f.chosen);
+  while (!picks.empty() && picks.back() == 0) picks.pop_back();
+  return picks;
+}
+
+bool Explorer::advance() {
+  while (!stack_.empty()) {
+    Frame& f = stack_.back();
+    f.asleep[f.chosen] = true;  // fully explored below this pick
+    std::size_t next = f.tie.size();
+    for (std::size_t j = 0; j < f.tie.size(); ++j) {
+      if (!f.asleep[j]) {
+        next = j;
+        break;
+      }
+    }
+    if (next < f.tie.size()) {
+      f.chosen = next;
+      f.explored[next] = true;
+      return true;
+    }
+    for (std::size_t j = 0; j < f.tie.size(); ++j) {
+      if (f.inherited[j] && !f.explored[j]) ++result_.sleep_pruned;
+    }
+    stack_.pop_back();
+  }
+  return false;
+}
+
+void Explorer::shrink(const RunFn& run) {
+  // Greedy delta-debugging, latest decision first: a pick reset to the
+  // canonical 0 is dropped from the trace if the violation still
+  // reproduces without it.
+  std::vector<std::size_t> picks = result_.violation_trace;
+  for (std::size_t i = picks.size(); i-- > 0;) {
+    if (picks[i] == 0) continue;
+    std::vector<std::size_t> trial = picks;
+    trial[i] = 0;
+    ++result_.shrink_executions;
+    if (!replay_trace(run, trial).ok) picks = std::move(trial);
+  }
+  while (!picks.empty() && picks.back() == 0) picks.pop_back();
+  result_.violation_trace = std::move(picks);
+}
+
+ExplorerResult Explorer::explore(const RunFn& run) {
+  result_ = ExplorerResult{};
+  stack_.clear();
+  classes_.clear();
+
+  for (;;) {
+    DfsHook hook(result_, stack_, opts_);
+    Outcome out;
+    try {
+      out = run(hook);
+    } catch (const std::exception& e) {
+      out.ok = false;
+      out.failure = e.what();
+    }
+    ++result_.executions;
+    if (!result_.nondeterminism.empty()) break;
+    if (!out.ok) {
+      result_.violation_found = true;
+      result_.violation = out.failure;
+      result_.violation_trace = current_picks();
+      break;
+    }
+    const auto [it, inserted] =
+        classes_.emplace(hook.signature(), out.terminal_hash);
+    if (inserted) {
+      ++result_.distinct_classes;
+    } else {
+      ++result_.equivalence_checks;
+      if (it->second != out.terminal_hash) {
+        result_.violation_found = true;
+        std::ostringstream os;
+        os << "terminal-record divergence: this interleaving is equivalent "
+              "(same Mazurkiewicz class, Foata signature 0x"
+           << std::hex << hook.signature() << std::dec
+           << ") to an earlier one but produced different final records — "
+              "supposedly independent events do not commute";
+        result_.violation = os.str();
+        result_.violation_trace = current_picks();
+        break;
+      }
+    }
+    if (result_.executions >= opts_.max_executions) {
+      result_.hit_budget = true;
+      break;
+    }
+    if (!advance()) {
+      result_.exhausted = true;
+      break;
+    }
+  }
+
+  if (result_.violation_found && opts_.shrink) shrink(run);
+  return result_;
+}
+
+}  // namespace tg::mc

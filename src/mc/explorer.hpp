@@ -1,0 +1,112 @@
+// Bounded stateless DFS over same-key event interleavings (DESIGN.md
+// §5.8). The explorer re-executes a deterministic scenario once per
+// branch, steering each run through the Engine's ChoiceHook: the DFS
+// stack holds one frame per choice point on the current path, a replayed
+// prefix pins earlier picks, and the first unexplored frontier frame
+// branches. Sleep sets (Godefroid) prune branches that only commute
+// independent events; PR 7's partition relation (mc::independent) supplies
+// the independence facts. Every branch is audited two ways: the
+// scenario's own invariant check, and terminal-record equivalence between
+// interleavings in the same Mazurkiewicz class (FoataSignature).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "des/engine.hpp"
+
+namespace tg::mc {
+
+/// What one bounded-scenario execution reports back to the explorer.
+struct Outcome {
+  bool ok = true;
+  std::string failure;              ///< invariant violations / exception
+  std::uint64_t terminal_hash = 0;  ///< hash_terminal_records at drain
+};
+
+/// A scenario under test: builds a fresh simulation, installs `hook` as
+/// the engine's choice hook, runs to drain, audits invariants, and
+/// reports. Must be deterministic given the hook's picks — the explorer
+/// verifies this by checking that replayed prefixes present identical tie
+/// sets, and reports any divergence as nondeterminism.
+using RunFn = std::function<Outcome(ChoiceHook& hook)>;
+
+struct ExplorerOptions {
+  std::size_t max_executions = 100000;  ///< budget: schedules to run
+  /// Choice points deeper than this take the canonical pick instead of
+  /// branching; bounds the frontier on scenarios with long tie chains.
+  std::size_t max_choice_points = 512;
+  bool sleep_sets = true;  ///< prune with the independence relation
+  /// On violation, greedily re-run with late picks zeroed to find a
+  /// smaller trace that still fails.
+  bool shrink = true;
+};
+
+struct ExplorerResult {
+  std::size_t executions = 0;     ///< distinct interleavings run
+  std::size_t choice_points = 0;  ///< DFS frames created
+  std::size_t max_depth = 0;      ///< deepest frame stack reached
+  std::size_t sleep_pruned = 0;   ///< branches never run: asleep at birth
+  std::size_t depth_clipped = 0;  ///< choose() calls past max_choice_points
+  std::size_t shrink_executions = 0;  ///< extra runs spent minimizing
+  bool exhausted = false;             ///< whole (pruned) tree covered
+  bool hit_budget = false;
+  std::size_t distinct_classes = 0;    ///< Mazurkiewicz classes seen
+  std::size_t equivalence_checks = 0;  ///< class revisits compared
+
+  bool violation_found = false;
+  std::string violation;
+  /// Pick-vector reproducer for the failing branch (positional; choice
+  /// points beyond its end take the canonical pick 0).
+  std::vector<std::size_t> violation_trace;
+  /// Non-empty when a replayed prefix presented a different tie set than
+  /// it did the first time — the scenario is not deterministic and no
+  /// exploration result can be trusted.
+  std::string nondeterminism;
+
+  [[nodiscard]] bool ok() const {
+    return !violation_found && nondeterminism.empty();
+  }
+};
+
+class Explorer {
+ public:
+  explicit Explorer(ExplorerOptions opts = {}) : opts_(opts) {}
+
+  /// Runs the bounded DFS; `run` executes once per explored branch.
+  ExplorerResult explore(const RunFn& run);
+
+ private:
+  friend class DfsHook;
+
+  /// One choice point on the current DFS path.
+  struct Frame {
+    std::vector<ChoiceHook::Candidate> tie;
+    std::vector<bool> asleep;     ///< do-not-branch (inherited or explored)
+    std::vector<bool> inherited;  ///< asleep at frame creation (sleep set)
+    std::vector<bool> explored;   ///< pick was executed at least once
+    std::size_t chosen = 0;
+  };
+
+  /// Advances the deepest frame with an awake candidate; pops exhausted
+  /// frames, crediting their never-run inherited picks to sleep_pruned.
+  bool advance();
+  [[nodiscard]] std::vector<std::size_t> current_picks() const;
+  void shrink(const RunFn& run);
+
+  ExplorerOptions opts_;
+  ExplorerResult result_;
+  std::vector<Frame> stack_;
+  /// Foata class signature -> terminal-record hash of its first witness.
+  std::unordered_map<std::uint64_t, std::uint64_t> classes_;
+};
+
+/// Replays one pick vector (tgmc replay, tests): runs the scenario once
+/// under a ScriptedChoices hook, converting exceptions into failures.
+Outcome replay_trace(const RunFn& run, const std::vector<std::size_t>& picks);
+
+}  // namespace tg::mc

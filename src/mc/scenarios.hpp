@@ -1,0 +1,60 @@
+// Bounded scenarios for the interleaving explorer.
+//
+// A model-checking scenario is a RunFn: a closure that builds a fresh
+// mini-platform simulation from scratch, installs the explorer's ChoiceHook
+// on the engine, drives a small hand-written workload to quiescence, and
+// returns an Outcome (invariant audit + canonical terminal-record hash).
+// Stateless re-execution is the whole point — the explorer calls the RunFn
+// once per interleaving, so everything the scenario touches must be owned
+// by the closure body, never shared across runs.
+//
+// Two scenarios ship:
+//
+//  * "tie-storm" — batches of identical jobs on two sites whose submissions
+//    and completions all tie at the same (time, priority). Exercises the
+//    tie-set collector, sleep-set pruning across the site partitions, and
+//    the terminal-equivalence oracle (independent completion orders must
+//    commute into byte-identical canonical records).
+//
+//  * "outage-reservation" — an advance reservation whose start shares a
+//    tick with a node outage on the same site: the canonical order starts
+//    the reservation first (benign), the flipped order forces the
+//    shortfall path PR 3 hardened. With ScenarioTweaks::mutate the
+//    scheduler re-introduces the historical over-commit bug
+//    (SchedulerConfig::mc_mutate_overcommit_reservation) so tests can
+//    assert the explorer actually catches it with a replayable trace.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "mc/explorer.hpp"
+
+namespace tg::mc {
+
+/// Per-scenario knobs, all defaulted to the shapes the tests expect.
+struct ScenarioTweaks {
+  /// tie-storm: jobs submitted to each site (ClusterA / ClusterB). The
+  /// completion tie is batch_a + batch_b events wide, so the Mazurkiewicz
+  /// class count is batch_a! x batch_b!.
+  int batch_a = 5;
+  int batch_b = 3;
+  /// outage-reservation: re-introduce the outage-vs-reservation node
+  /// over-commit (explorer self-test; see SchedulerConfig).
+  bool mutate = false;
+};
+
+struct ScenarioInfo {
+  std::string name;
+  std::string summary;
+};
+
+/// The scenarios `make_scenario` knows, for `tgmc list` and CLI validation.
+[[nodiscard]] const std::vector<ScenarioInfo>& list_scenarios();
+
+/// Builds the named scenario. Throws PreconditionError for unknown names.
+[[nodiscard]] RunFn make_scenario(std::string_view name,
+                                  const ScenarioTweaks& tweaks = {});
+
+}  // namespace tg::mc

@@ -1,0 +1,66 @@
+#include "mc/trace_io.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace tg::mc {
+
+void write_trace(const std::string& path, const TraceFile& trace) {
+  std::ofstream out(path);
+  TG_REQUIRE(out.good(), "cannot open reproducer file '" << path
+                                                         << "' for writing");
+  out << "# tgmc reproducer v1\n";
+  out << "scenario " << trace.scenario << "\n";
+  out << "mutate " << (trace.mutate ? 1 : 0) << "\n";
+  out << "picks";
+  for (const std::size_t p : trace.picks) out << " " << p;
+  out << "\n";
+  if (!trace.note.empty()) {
+    std::istringstream note(trace.note);
+    std::string line;
+    while (std::getline(note, line)) out << "# " << line << "\n";
+  }
+  out.flush();
+  TG_REQUIRE(out.good(), "write to reproducer file '" << path << "' failed");
+}
+
+TraceFile read_trace(const std::string& path) {
+  std::ifstream in(path);
+  TG_REQUIRE(in.good(), "cannot open reproducer file '" << path << "'");
+  TraceFile trace;
+  bool saw_scenario = false;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream fields(line);
+    std::string key;
+    fields >> key;
+    if (key == "scenario") {
+      fields >> trace.scenario;
+      TG_REQUIRE(!trace.scenario.empty(),
+                 path << ":" << lineno << ": scenario line without a name");
+      saw_scenario = true;
+    } else if (key == "mutate") {
+      int flag = 0;
+      TG_REQUIRE(static_cast<bool>(fields >> flag) && (flag == 0 || flag == 1),
+                 path << ":" << lineno << ": mutate must be 0 or 1");
+      trace.mutate = flag == 1;
+    } else if (key == "picks") {
+      std::size_t pick = 0;
+      while (fields >> pick) trace.picks.push_back(pick);
+      TG_REQUIRE(fields.eof(),
+                 path << ":" << lineno << ": malformed pick list");
+    } else {
+      TG_REQUIRE(false,
+                 path << ":" << lineno << ": unknown key '" << key << "'");
+    }
+  }
+  TG_REQUIRE(saw_scenario, path << ": missing 'scenario' line");
+  return trace;
+}
+
+}  // namespace tg::mc

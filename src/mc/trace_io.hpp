@@ -1,0 +1,41 @@
+// Reproducer files for explorer-found violations.
+//
+// When the explorer finds a violating interleaving it shrinks the choice
+// trace and `tgmc` writes it to a small text file; `tgmc replay <file>`
+// re-executes exactly that interleaving (deterministically, ready for a
+// debugger). The format is line-oriented and hand-editable:
+//
+//   # tgmc reproducer v1
+//   scenario outage-reservation
+//   mutate 1
+//   picks 0 0 1
+//   # any number of comment lines (the violation text is echoed here)
+//
+// `picks` lists the non-canonical choice-point decisions in firing order;
+// choice points past the end of the list take the canonical candidate 0,
+// so a shrunk trace stays short.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace tg::mc {
+
+struct TraceFile {
+  std::string scenario;
+  bool mutate = false;
+  std::vector<std::size_t> picks;
+  /// Free-text annotation echoed into the file as comment lines (typically
+  /// the violation description). Not read back.
+  std::string note;
+};
+
+/// Writes `trace` to `path`. Throws PreconditionError on I/O failure.
+void write_trace(const std::string& path, const TraceFile& trace);
+
+/// Parses a reproducer file. Throws PreconditionError on I/O or syntax
+/// errors (unknown keys are rejected so typos fail loudly).
+[[nodiscard]] TraceFile read_trace(const std::string& path);
+
+}  // namespace tg::mc

@@ -848,6 +848,10 @@ void ResourceScheduler::complete_job(JobId id, JobState state) {
   request_pass();
 }
 
+// [mc race] An outage event can tie with completions, reservation starts
+// and requeue wakeups at the same tick; every branch of that race must
+// leave node accounting consistent (the interleaving explorer drives all
+// orders, and the capacity/quiescence invariant families audit each one).
 int ResourceScheduler::begin_outage(int nodes, SimTime repair) {
   TG_REQUIRE(nodes >= 1 && nodes <= resource_.nodes,
              "outage width " << nodes << " invalid for " << resource_.name);
@@ -986,6 +990,10 @@ void ResourceScheduler::preempt_job(JobId id) {
   }
 }
 
+// [mc race] The requeue wakeup fires at kSubmission priority and can tie
+// with fresh submissions on this partition; whichever order fires, the
+// stale-entry erase below must keep exactly one queue entry per job (the
+// PR 3 queue-entry-resurrection bug was this race, lost).
 void ResourceScheduler::requeue_job(JobId id) {
   JobSlot* s = find_slot(id);
   if (s == nullptr || s->job.state != JobState::kQueued ||
@@ -1011,6 +1019,11 @@ void ResourceScheduler::requeue_job(JobId id) {
 void ResourceScheduler::on_reservation_start(ReservationId id) {
   Reservation* rp = reservations_.find(id.value());
   if (rp == nullptr) return;  // cancelled meanwhile
+  // [mc race] This handler ties with same-tick outage events at
+  // (time, kDefault) on this partition: reserve() scheduled it first, so
+  // the canonical order starts the window before an outage can touch the
+  // promised nodes, but the interleaving explorer also drives the flipped
+  // order, where the shortfall branch below must hold the line.
   if (free_nodes_ < rp->nodes) {
     // reserve() validated this window against every other commitment, so a
     // shortfall here means an outage took the promised nodes. Break the
@@ -1020,6 +1033,23 @@ void ResourceScheduler::on_reservation_start(ReservationId id) {
     // reserves would rehash the table out from under `rp`.
     TG_CHECK(nodes_down_ > 0,
              "reservation window not honoured on " << resource_.name);
+    if (config_.mc_mutate_overcommit_reservation) {
+      // Deliberately re-introduced over-commit (see SchedulerConfig): the
+      // window starts on nodes the outage owns and free_nodes_ keeps its
+      // pre-reservation value, so this resource is now promised to two
+      // holders at once. The capacity-conservation invariant family
+      // catches the resulting double allocation.
+      rp->started = true;
+      const JobId attached = rp->attached_job;
+      const SimTime rend = rp->end;
+      if (attached.valid()) {
+        start_job(slot_at(attached).job, /*from_reservation=*/true);
+      }
+      engine_.schedule_at(rend, [this, id] { on_reservation_end(id); },
+                          EventPriority::kCompletion,
+                          EventBinding{shard_, EventClass::kBarrier});
+      return;
+    }
     const JobId attached = rp->attached_job;
     reservations_.erase(id.value());
     if (attached.valid()) {

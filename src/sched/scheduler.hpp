@@ -87,6 +87,15 @@ struct SchedulerConfig {
   /// replan cost under deep backlog at the price of optimistic
   /// estimate_start answers beyond the horizon.
   Duration plan_horizon = 0;
+  /// Model-checker self-test ONLY (tgmc --mutate, mc_test): re-introduces
+  /// the pre-PR3 outage-vs-reservation over-commit. When an outage races
+  /// ahead of a reservation start and takes its promised nodes, the
+  /// mutated scheduler starts the window anyway without debiting
+  /// free_nodes_, so later passes hand the same nodes out twice. The bug
+  /// is order-dependent — the canonical schedule never trips it — which is
+  /// exactly what the interleaving explorer must prove it can catch.
+  /// Never set outside the mc harness.
+  bool mc_mutate_overcommit_reservation = false;
 };
 
 struct Reservation {

@@ -104,12 +104,36 @@ void Scenario::run() {
                       obs::TracePoint::kScenarioRun);
   generator_->start();
   if (faults_) faults_->start();
+  if (config_.audit_every > 0) {
+    schedule_audit(engine_.now() + config_.audit_every);
+  }
   engine_.run_until(config_.horizon);
   // Drain: queued and running work completes, nothing new is initiated
   // (the generator guards every submission with the horizon).
   engine_.run();
   span.set_payload(static_cast<std::int64_t>(engine_.events_processed()),
                    static_cast<std::int64_t>(db_.jobs().size()));
+}
+
+InvariantReport Scenario::audit_now(AuditPhase phase) const {
+  return check_invariants(platform_, db_, &ledger_, &population_.community,
+                          pool_.get(), config_.charging, phase);
+}
+
+void Scenario::schedule_audit(SimTime at) {
+  if (at > config_.horizon) return;  // run() audits nothing past the clock
+  // kReporting priority on the coordinator: every same-tick completion and
+  // replan has fired, so the point is quiescent; as a barrier it is also
+  // safe to read cross-partition scheduler state under windowed execution.
+  engine_.schedule_at(
+      at,
+      [this, at] {
+        const InvariantReport report = audit_now(AuditPhase::kMidRun);
+        TG_CHECK(report.ok(), "mid-run audit at t=" << at << "ms: "
+                                                    << report.to_string());
+        schedule_audit(at + config_.audit_every);
+      },
+      EventPriority::kReporting, EventBinding{0, EventClass::kBarrier});
 }
 
 ModalityReport Scenario::report(const RuleClassifier& classifier,

@@ -13,6 +13,7 @@
 #include "core/report.hpp"
 #include "des/engine.hpp"
 #include "fault/fault.hpp"
+#include "fault/invariants.hpp"
 #include "gateway/gateway.hpp"
 #include "meta/coalloc.hpp"
 #include "net/flow.hpp"
@@ -46,6 +47,13 @@ struct ScenarioConfig {
   /// Use the tiny 2-resource platform instead of the TeraGrid preset
   /// (integration tests).
   bool mini_platform = false;
+  /// When positive, run() audits the simulation every `audit_every` of sim
+  /// time (AuditPhase::kMidRun — see fault/invariants.hpp) and throws
+  /// InvariantError at the first failing audit, so a broken conservation
+  /// law surfaces near the event that broke it instead of after the drain.
+  /// The audits read state the reporting layer already observes; the
+  /// simulation outcome is byte-identical with or without them.
+  Duration audit_every = 0;
   /// How the partitioned engine executes (the partitioning itself — one
   /// per site plus coordinator — is fixed by the platform topology, so the
   /// canonical event order is identical in every mode): 0 runs the merged
@@ -147,6 +155,10 @@ struct ScenarioConfig {
     shards = n;
     return *this;
   }
+  ScenarioConfig& with_audit_every(Duration every) {
+    audit_every = every;
+    return *this;
+  }
 };
 
 class Scenario {
@@ -159,6 +171,14 @@ class Scenario {
   /// Runs the simulated clock to the horizon, then drains remaining events
   /// (jobs already queued/running finish; nothing new is initiated).
   void run();
+
+  /// Audits the simulation's current state (see check_invariants); callable
+  /// at any quiescent point — between events, or from a kReporting-priority
+  /// event like the recurring config.audit_every audit. Defaults to the
+  /// mid-run relaxations; pass AuditPhase::kFinal after run() for the full
+  /// six families.
+  [[nodiscard]] InvariantReport audit_now(
+      AuditPhase phase = AuditPhase::kMidRun) const;
 
   [[nodiscard]] const ScenarioConfig& config() const { return config_; }
   [[nodiscard]] const Platform& platform() const { return platform_; }
@@ -215,6 +235,9 @@ class Scenario {
   void publish_metrics(obs::MetricsRegistry& registry) const;
 
  private:
+  /// Arms the next recurring mid-run audit at `at` (no-op past the horizon).
+  void schedule_audit(SimTime at);
+
   ScenarioConfig config_;
   Platform platform_;
   Engine engine_;

@@ -226,6 +226,87 @@ TEST(Invariants, BackToBackFullMachineJobsAreLegal) {
   EXPECT_TRUE(report.ok()) << report.to_string();
 }
 
+// --- mid-run audits (AuditPhase::kMidRun) ----------------------------------
+
+TEST(Invariants, MidRunAllowsPendingRetry) {
+  // A job whose newest record is kRequeued is a violation after the drain
+  // (its retry never ended) but perfectly healthy mid-run: the retry is
+  // still queued. The mid-run phase must accept exactly this state.
+  const Platform platform = mini_platform();
+  UsageDatabase db;
+  JobRecord r = good_record(1, 0, kHour);
+  r.final_state = JobState::kRequeued;
+  r.disposition = Disposition::kRequeued;
+  r.charged_su = 0.0;
+  r.charged_nu = 0.0;
+  db.add(r);
+  EXPECT_FALSE(check_invariants(platform, db).ok());
+  EXPECT_TRUE(check_invariants(platform, db, nullptr, nullptr, nullptr, {},
+                               AuditPhase::kMidRun)
+                  .ok());
+}
+
+TEST(Invariants, MidRunChecksPoolBoundsNotQuiescence) {
+  // Pause a simulation in flight: a job is running and nodes are down, so
+  // the final-phase quiescence family must flag the pool while the mid-run
+  // phase (which only demands consistent node accounting) passes.
+  const Platform platform = mini_platform();
+  Engine engine;
+  SchedulerPool pool(engine, platform);
+  UsageDatabase db;
+  Recorder recorder(platform, db);
+  recorder.attach(pool);
+
+  ResourceScheduler& cluster = pool.at(ResourceId{0});
+  JobRequest longer;
+  longer.user = UserId{1};
+  longer.project = ProjectId{1};
+  longer.nodes = 4;
+  longer.requested_walltime = 4 * kHour;
+  longer.actual_runtime = 4 * kHour;
+  JobRequest shorter = longer;
+  shorter.nodes = 2;
+  shorter.requested_walltime = kHour;
+  shorter.actual_runtime = kHour;
+  cluster.submit(longer);
+  cluster.submit(shorter);  // ends at 1h: the db has one real record
+  engine.run_until(2 * kHour);
+  ASSERT_GT(cluster.begin_outage(2, kHour), 0);
+
+  const InvariantReport final_report =
+      check_invariants(platform, db, nullptr, nullptr, &pool);
+  EXPECT_FALSE(final_report.ok());  // running job + downed nodes
+  const InvariantReport mid = check_invariants(
+      platform, db, nullptr, nullptr, &pool, {}, AuditPhase::kMidRun);
+  EXPECT_TRUE(mid.ok()) << mid.to_string();
+  EXPECT_GT(mid.checks, 0u);
+}
+
+TEST(Invariants, RecurringAuditPassesOnFaultyScenario) {
+  // --audit-every end to end: a faulty run audited every two sim-days
+  // completes without an InvariantError and still passes the full final
+  // audit — and the audits must not perturb the simulation itself.
+  ScenarioConfig audited;
+  audited.mini_platform = true;
+  audited.horizon = 20 * kDay;
+  audited.faults.outage.mtbf_hours = 96.0;
+  audited.faults.job_failure_rate_per_hour = 0.001;
+  audited.audit_every = 2 * kDay;
+  ScenarioConfig plain = audited;
+  plain.audit_every = 0;
+
+  Scenario with_audits(std::move(audited));
+  EXPECT_NO_THROW(with_audits.run());
+  const InvariantReport final_report =
+      with_audits.audit_now(AuditPhase::kFinal);
+  EXPECT_TRUE(final_report.ok()) << final_report.to_string();
+
+  Scenario reference(std::move(plain));
+  reference.run();
+  EXPECT_EQ(reference.db().jobs().size(), with_audits.db().jobs().size());
+  EXPECT_EQ(reference.db().total_nu(), with_audits.db().total_nu());
+}
+
 TEST(Invariants, ViolationListIsBounded) {
   const Platform platform = mini_platform();
   UsageDatabase db;

@@ -1,0 +1,229 @@
+// The interleaving model checker (DESIGN.md §5.8): engine choice-hook
+// steering, bounded DFS exploration with sleep-set pruning, terminal-record
+// equivalence, the mutation self-test (a deliberately re-armed
+// outage-vs-reservation bug must be caught with a replayable minimal
+// trace), reproducer file round-trips, and random tie-break sampling.
+#include "mc/explorer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "des/engine.hpp"
+#include "mc/choice.hpp"
+#include "mc/random_check.hpp"
+#include "mc/scenarios.hpp"
+#include "mc/trace_io.hpp"
+#include "util/error.hpp"
+#include "workload/scenario.hpp"
+
+namespace tg {
+namespace {
+
+using mc::Explorer;
+using mc::ExplorerOptions;
+using mc::ExplorerResult;
+
+// --- Engine choice-hook steering -------------------------------------------
+
+/// Picks the last (highest-seq) candidate at every tie.
+struct PickLast final : ChoiceHook {
+  std::size_t choose(const std::vector<Candidate>& tie) override {
+    return tie.size() - 1;
+  }
+};
+
+TEST(ChoiceHook, SteersSameTickTies) {
+  Engine engine;
+  std::vector<int> fired;
+  for (int i = 0; i < 3; ++i) {
+    engine.schedule_at(10, [&fired, i] { fired.push_back(i); });
+  }
+  PickLast last;
+  engine.set_choice_hook(&last);
+  engine.run();
+  EXPECT_EQ(fired, (std::vector<int>{2, 1, 0}));
+}
+
+TEST(ChoiceHook, CanonicalPickMatchesUnhookedOrder) {
+  const auto run = [](ChoiceHook* hook) {
+    Engine engine;
+    std::vector<int> fired;
+    for (int i = 0; i < 4; ++i) {
+      engine.schedule_at(10, [&fired, i] { fired.push_back(i); });
+    }
+    engine.schedule_at(5, [&fired] { fired.push_back(99); });
+    if (hook != nullptr) engine.set_choice_hook(hook);
+    engine.run();
+    return fired;
+  };
+  mc::ScriptedChoices canonical;  // empty script = always pick 0
+  EXPECT_EQ(run(nullptr), run(&canonical));
+  ASSERT_EQ(canonical.log().size(), 3u);  // ties of 4, 3, 2 (singletons skip)
+  EXPECT_EQ(canonical.log()[0].tie.size(), 4u);
+}
+
+TEST(ChoiceHook, PrioritiesStillOutrankSteering) {
+  // The hook resolves ties, it does not create them: a kCompletion event
+  // always beats a kDefault event at the same timestamp, whatever the hook
+  // would prefer.
+  Engine engine;
+  std::vector<int> fired;
+  engine.schedule_at(10, [&fired] { fired.push_back(1); });
+  engine.schedule_at(10, [&fired] { fired.push_back(0); },
+                     EventPriority::kCompletion);
+  PickLast last;
+  engine.set_choice_hook(&last);
+  engine.run();
+  EXPECT_EQ(fired, (std::vector<int>{0, 1}));
+}
+
+// --- Bounded exhaustive exploration ----------------------------------------
+
+TEST(McExplorer, TieStormExhaustsAllClasses) {
+  // 5 jobs on ClusterA x 3 on ClusterB, all completing at the same tick:
+  // 5! x 3! = 720 Mazurkiewicz classes. The explorer must cover every one,
+  // pruning cross-site shuffles via sleep sets, with every branch passing
+  // the invariant audit and the terminal-equivalence oracle.
+  Explorer explorer;
+  const ExplorerResult result =
+      explorer.explore(mc::make_scenario("tie-storm"));
+  EXPECT_TRUE(result.ok()) << result.violation << result.nondeterminism;
+  EXPECT_TRUE(result.exhausted);
+  EXPECT_FALSE(result.hit_budget);
+  EXPECT_GE(result.executions, 500u);  // acceptance floor (ISSUE 8)
+  EXPECT_EQ(result.distinct_classes, 720u);
+  EXPECT_GT(result.sleep_pruned, 0u);
+  EXPECT_GT(result.equivalence_checks, 0u);
+  EXPECT_EQ(result.depth_clipped, 0u);
+}
+
+TEST(McExplorer, SleepSetsPruneMeasurably) {
+  mc::ScenarioTweaks small;
+  small.batch_a = 3;
+  small.batch_b = 2;
+
+  ExplorerOptions with;
+  ExplorerOptions without;
+  without.sleep_sets = false;
+  const ExplorerResult pruned =
+      Explorer(with).explore(mc::make_scenario("tie-storm", small));
+  const ExplorerResult raw =
+      Explorer(without).explore(mc::make_scenario("tie-storm", small));
+
+  ASSERT_TRUE(pruned.ok()) << pruned.violation;
+  ASSERT_TRUE(raw.ok()) << raw.violation;
+  EXPECT_TRUE(pruned.exhausted);
+  EXPECT_TRUE(raw.exhausted);
+  // Same covered semantics (3! x 2! dependent orders per site)...
+  EXPECT_EQ(pruned.distinct_classes, 12u);
+  EXPECT_EQ(raw.distinct_classes, 12u);
+  // ...from measurably fewer executions.
+  EXPECT_LT(pruned.executions, raw.executions);
+  EXPECT_GT(pruned.sleep_pruned, 0u);
+  EXPECT_EQ(raw.sleep_pruned, 0u);
+}
+
+TEST(McExplorer, OutageReservationRaceIsCleanUnmutated) {
+  // Both orders of the outage-vs-reservation tick (and both orders of the
+  // same-tick filler completions around it) must pass: PR 3's shortfall
+  // handling survives systematic permutation.
+  Explorer explorer;
+  const ExplorerResult result =
+      explorer.explore(mc::make_scenario("outage-reservation"));
+  EXPECT_TRUE(result.ok()) << result.violation << result.nondeterminism;
+  EXPECT_TRUE(result.exhausted);
+  EXPECT_GE(result.executions, 2u);
+}
+
+TEST(McExplorer, MutationIsCaughtWithReplayableMinimalTrace) {
+  // Re-arm the historical over-commit: starting the reservation without
+  // debiting the outage-shrunk free pool hands nodes out twice. The
+  // explorer must find it, shrink the trace, and the trace must replay to
+  // the same failure while the canonical order stays green.
+  mc::ScenarioTweaks mutated;
+  mutated.mutate = true;
+  const mc::RunFn run = mc::make_scenario("outage-reservation", mutated);
+
+  Explorer explorer;
+  const ExplorerResult result = explorer.explore(run);
+  ASSERT_TRUE(result.violation_found);
+  EXPECT_FALSE(result.violation.empty());
+  ASSERT_FALSE(result.violation_trace.empty());
+
+  // The canonical order never trips the mutation (reservation fires before
+  // the outage), so the bug is genuinely interleaving-dependent...
+  EXPECT_TRUE(mc::replay_trace(run, {}).ok);
+  // ...and the shrunk trace deterministically reproduces it.
+  const mc::Outcome bad = mc::replay_trace(run, result.violation_trace);
+  EXPECT_FALSE(bad.ok);
+  EXPECT_FALSE(bad.failure.empty());
+}
+
+TEST(McExplorer, ScriptedReplayIsDeterministic) {
+  const mc::RunFn run = mc::make_scenario("outage-reservation");
+  const mc::Outcome a = mc::replay_trace(run, {0, 1});
+  const mc::Outcome b = mc::replay_trace(run, {0, 1});
+  EXPECT_EQ(a.ok, b.ok);
+  EXPECT_EQ(a.terminal_hash, b.terminal_hash);
+  // The flipped order is a different Mazurkiewicz class (same-site events
+  // are dependent), so it may — and here does — differ from canonical.
+  const mc::Outcome canonical = mc::replay_trace(run, {});
+  EXPECT_TRUE(canonical.ok);
+  EXPECT_NE(a.terminal_hash, canonical.terminal_hash);
+}
+
+TEST(McScenarios, UnknownNameThrows) {
+  EXPECT_THROW((void)mc::make_scenario("no-such-scenario"),
+               PreconditionError);
+  EXPECT_FALSE(mc::list_scenarios().empty());
+}
+
+// --- Reproducer files -------------------------------------------------------
+
+TEST(McTraceIo, RoundTripsThroughDisk) {
+  const std::string path = "mc_test_roundtrip.repro";
+  mc::TraceFile out;
+  out.scenario = "outage-reservation";
+  out.mutate = true;
+  out.picks = {0, 2, 1};
+  out.note = "two\nlines";
+  mc::write_trace(path, out);
+  const mc::TraceFile in = mc::read_trace(path);
+  std::remove(path.c_str());
+  EXPECT_EQ(in.scenario, out.scenario);
+  EXPECT_EQ(in.mutate, out.mutate);
+  EXPECT_EQ(in.picks, out.picks);
+}
+
+TEST(McTraceIo, RejectsMalformedFiles) {
+  EXPECT_THROW((void)mc::read_trace("does_not_exist.repro"),
+               PreconditionError);
+  const std::string path = "mc_test_malformed.repro";
+  {
+    std::ofstream f(path);
+    f << "scenario x\nfrobnicate 3\n";
+  }
+  EXPECT_THROW((void)mc::read_trace(path), PreconditionError);
+  std::remove(path.c_str());
+}
+
+// --- Random tie-break sampling ----------------------------------------------
+
+TEST(McRandomCheck, SmallFaultyScenarioHoldsUnderRandomTieBreaks) {
+  ScenarioConfig config;
+  config.mini_platform = true;
+  config.horizon = 10 * kDay;
+  config.faults.outage.mtbf_hours = 96.0;
+  std::ostringstream os;
+  EXPECT_TRUE(mc::run_random_tiebreak_check(config, 3, 2026, os)) << os.str();
+  // One canonical line plus three samples.
+  EXPECT_NE(os.str().find("replay 3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tg

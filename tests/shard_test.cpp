@@ -277,5 +277,42 @@ TEST(ShardedEngine, ConfigurePartitionsRequiresPristineEngine) {
   EXPECT_THROW(e.configure_partitions(3), PreconditionError);
 }
 
+TEST(ShardedEngine, WindowRejectsSerializeCalls) {
+  // Serialization changes which partitions may run concurrently — flipping
+  // it from inside a window would invalidate the cut mid-round.
+  EXPECT_THROW(
+      run_offending_window([](Engine& e) { e.serialize_partition(2, true); }),
+      InvariantError);
+}
+
+TEST(ShardedEngine, RejectsUnknownPartitionBinding) {
+  Engine e;
+  e.configure_partitions(3);
+  EXPECT_THROW(e.schedule_at(10, [] {}, EventPriority::kDefault,
+                             EventBinding{7, EventClass::kLocal}),
+               PreconditionError);
+}
+
+TEST(ShardedEngine, ChoiceHookAndWindowsAreMutuallyExclusive) {
+  // The interleaving explorer steers the merged loop only: window rounds
+  // fire partitions concurrently, so there is no global tie set to present.
+  struct Canonical final : ChoiceHook {
+    std::size_t choose(const std::vector<Candidate>&) override { return 0; }
+  } hook;
+
+  Engine windowed;
+  windowed.configure_partitions(3);
+  windowed.set_window_execution(true, nullptr);
+  EXPECT_THROW(windowed.set_choice_hook(&hook), PreconditionError);
+
+  Engine hooked;
+  hooked.configure_partitions(3);
+  hooked.set_choice_hook(&hook);
+  EXPECT_THROW(hooked.set_window_execution(true, nullptr),
+               PreconditionError);
+  hooked.set_choice_hook(nullptr);
+  hooked.set_window_execution(true, nullptr);  // legal once the hook is gone
+}
+
 }  // namespace
 }  // namespace tg
