@@ -1,0 +1,203 @@
+// B6 — streaming modality measurement: classify-on-advance ingest vs the
+// batch quarterly pass, window-close latency, and segmented (spillable)
+// ingest residency. Feeds a year-scale scenario's accounting tape — the
+// exact record stream the Recorder produced, replayed in end-time order —
+// so before/after numbers for the streaming work live in
+// BENCH_streaming.json next to the batch baseline.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <vector>
+
+#include "core/streaming.hpp"
+#include "workload/scenario.hpp"
+
+namespace {
+
+using namespace tg;
+
+constexpr SimTime kSeriesEnd = 4 * kQuarter;  // whole quarters in a year
+
+/// The year scenario's record streams, replayable in end-time order (the
+/// order the live Recorder appends in). Built once per process.
+struct Tape {
+  std::vector<JobRecord> jobs;
+  std::vector<TransferRecord> transfers;
+  std::vector<SessionRecord> sessions;
+  /// Merged replay order: (stream kind, index into that stream's vector).
+  std::vector<std::pair<std::uint8_t, std::uint32_t>> order;
+
+  [[nodiscard]] std::size_t size() const { return order.size(); }
+
+  template <class JobFn, class TransferFn, class SessionFn>
+  void replay(JobFn&& on_job, TransferFn&& on_transfer,
+              SessionFn&& on_session) const {
+    for (const auto& [kind, idx] : order) {
+      switch (kind) {
+        case 0: on_job(jobs[idx]); break;
+        case 1: on_transfer(transfers[idx]); break;
+        default: on_session(sessions[idx]); break;
+      }
+    }
+  }
+};
+
+const Tape& tape() {
+  static const Tape t = [] {
+    Scenario scenario(
+        ScenarioConfig::defaults().with_seed(42).with_horizon(kYear));
+    scenario.run();
+    Tape out;
+    out.jobs.assign(scenario.db().jobs().begin(), scenario.db().jobs().end());
+    out.transfers.assign(scenario.db().transfers().begin(),
+                         scenario.db().transfers().end());
+    out.sessions.assign(scenario.db().sessions().begin(),
+                        scenario.db().sessions().end());
+    const auto end_of = [&out](const std::pair<std::uint8_t, std::uint32_t>&
+                                   e) {
+      switch (e.first) {
+        case 0: return out.jobs[e.second].end_time;
+        case 1: return out.transfers[e.second].end_time;
+        default: return out.sessions[e.second].end_time;
+      }
+    };
+    for (std::uint32_t i = 0; i < out.jobs.size(); ++i)
+      out.order.emplace_back(0, i);
+    for (std::uint32_t i = 0; i < out.transfers.size(); ++i)
+      out.order.emplace_back(1, i);
+    for (std::uint32_t i = 0; i < out.sessions.size(); ++i)
+      out.order.emplace_back(2, i);
+    // Each stream is already end-ordered; a stable sort interleaves them
+    // into one Recorder-like completion-time stream.
+    std::stable_sort(out.order.begin(), out.order.end(),
+                     [&end_of](const auto& a, const auto& b) {
+                       return end_of(a) < end_of(b);
+                     });
+    return out;
+  }();
+  return t;
+}
+
+StreamingConfig streaming_config(SimTime series_end = kSeriesEnd) {
+  StreamingConfig config;
+  config.series_end = series_end;
+  return config;
+}
+
+/// Classify-on-advance over the whole year tape: the streaming pipeline's
+/// end-to-end ingest rate (records/sec), quarterly classifications
+/// included. Compare items/sec with BM_BatchQuarterlySeries.
+void BM_StreamingIngest(benchmark::State& state) {
+  const Platform platform = teragrid_2010();
+  const Tape& t = tape();
+  for (auto _ : state) {
+    StreamingExtractor ex(platform, streaming_config());
+    t.replay([&ex](const JobRecord& r) { ex.on_job(r); },
+             [&ex](const TransferRecord& r) { ex.on_transfer(r); },
+             [&ex](const SessionRecord& r) { ex.on_session(r); });
+    ex.finish();
+    benchmark::DoNotOptimize(ex.series().size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(t.size()));
+}
+BENCHMARK(BM_StreamingIngest)->Unit(benchmark::kMillisecond);
+
+/// The batch oracle over the same records: database append + the four
+/// quarterly classify windows, i.e. everything BM_StreamingIngest does but
+/// after the fact.
+void BM_BatchQuarterlySeries(benchmark::State& state) {
+  const Platform platform = teragrid_2010();
+  const Tape& t = tape();
+  const RuleClassifier classifier;
+  for (auto _ : state) {
+    UsageDatabase db;
+    t.replay([&db](const JobRecord& r) { db.add(r); },
+             [&db](const TransferRecord& r) { db.add(r); },
+             [&db](const SessionRecord& r) { db.add(r); });
+    const ModalityTimeSeries series =
+        quarterly_series(platform, db, classifier, 0, kSeriesEnd);
+    benchmark::DoNotOptimize(series.primary_users.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(t.size()));
+}
+BENCHMARK(BM_BatchQuarterlySeries)->Unit(benchmark::kMillisecond);
+
+/// Latency of one window close (finalize + classify every active user) —
+/// the pause a live consumer sees when the stream crosses a quarter
+/// boundary. The quarter's records are fed off the clock.
+void BM_ClassifyOnAdvance(benchmark::State& state) {
+  const Platform platform = teragrid_2010();
+  const Tape& t = tape();
+  for (auto _ : state) {
+    state.PauseTiming();
+    StreamingExtractor ex(platform, streaming_config(kQuarter));
+    t.replay([&ex](const JobRecord& r) { ex.on_job(r); },
+             [&ex](const TransferRecord& r) { ex.on_transfer(r); },
+             [&ex](const SessionRecord& r) { ex.on_session(r); });
+    state.ResumeTiming();
+    ex.finish();  // closes the one open window: the classify-on-advance step
+    benchmark::DoNotOptimize(ex.series().size());
+  }
+}
+BENCHMARK(BM_ClassifyOnAdvance)->Unit(benchmark::kMillisecond);
+
+/// Streaming ingest with the spillable segment log underneath — records
+/// land in fixed-size columnar segments whose cold majority spills to disk
+/// as the stream advances. `resident_record_mb` is the heap still holding
+/// record payloads when the tape ends: bounded by the residency budget,
+/// not the year of history (compare `spilled_mb`).
+void BM_SegmentedIngest(benchmark::State& state) {
+  const Platform platform = teragrid_2010();
+  const Tape& t = tape();
+  const auto dir =
+      std::filesystem::temp_directory_path() / "tgsim_bench_spill";
+  std::filesystem::create_directories(dir);
+  SegmentLogConfig cfg;
+  cfg.segment_records = static_cast<std::uint32_t>(state.range(0));
+  cfg.spill_dir = dir.string();
+  SegmentLogStats last;
+  for (auto _ : state) {
+    UsageDatabase db;
+    db.enable_segments(cfg);
+    StreamingExtractor ex(platform, streaming_config());
+    db.set_observer(&ex);
+    t.replay([&db](const JobRecord& r) { db.add(r); },
+             [&db](const TransferRecord& r) { db.add(r); },
+             [&db](const SessionRecord& r) { db.add(r); });
+    ex.finish();
+    benchmark::DoNotOptimize(ex.series().size());
+    last = db.segment_stats();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(t.size()));
+  // Records still on the heap when the tape ends: everything appended
+  // minus the (full) segments that spilled. Record size varies by stream;
+  // use the largest for a conservative resident estimate.
+  const double resident_records =
+      static_cast<double>(last.appended) -
+      static_cast<double>(last.spilled) * cfg.segment_records;
+  state.counters["spilled_segments"] =
+      benchmark::Counter(static_cast<double>(last.spilled));
+  state.counters["spilled_mb"] = benchmark::Counter(
+      static_cast<double>(last.spilled_bytes) / (1024.0 * 1024.0));
+  state.counters["resident_record_mb"] = benchmark::Counter(
+      resident_records * static_cast<double>(sizeof(JobRecord)) /
+      (1024.0 * 1024.0));
+  state.counters["peak_rss_mb"] = benchmark::Counter(
+      static_cast<double>(peak_rss_bytes()) / (1024.0 * 1024.0));
+  std::filesystem::remove_all(dir);
+}
+BENCHMARK(BM_SegmentedIngest)->Arg(4096)->Arg(65536)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return tg::exp::run_benchmarks(argc, argv, "bench_streaming");
+}

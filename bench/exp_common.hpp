@@ -77,6 +77,18 @@ struct Options {
   std::size_t mc_random = 0;
   /// --mc-seed=S: derives the --mc-random tie-break streams.
   std::uint64_t mc_seed = 1;
+  /// --streaming: produce the modality series with the StreamingExtractor
+  /// (classify-on-advance during the run) instead of the batch
+  /// quarterly_series pass. Primary outputs must be byte-identical either
+  /// way — CI diffs the two (see tests/golden_streaming.cmake).
+  bool streaming = false;
+  /// --segment-cap=N: with --streaming, store records in the spillable
+  /// columnar segment log with N records per segment (0 keeps the plain
+  /// in-memory vectors). Output stays byte-identical at every value.
+  std::uint32_t segment_cap = 0;
+  /// --spill-dir=PATH: with --segment-cap, seal-and-spill cold segments to
+  /// PATH and read them back via mmap (bounded resident memory).
+  std::string spill_dir;
   /// --csv[=path]: dump the table rows as CSV (default <name>.csv).
   std::optional<std::string> csv;
   /// --trace[=path]: export the structured sim-time trace as JSONL (or
@@ -125,6 +137,13 @@ struct Options {
         out.mc_random = n > 0 ? static_cast<std::size_t>(n) : 0;
       } else if (arg.rfind("--mc-seed=", 0) == 0) {
         out.mc_seed = std::strtoull(arg.c_str() + 10, nullptr, 10);
+      } else if (arg == "--streaming") {
+        out.streaming = true;
+      } else if (arg.rfind("--segment-cap=", 0) == 0) {
+        const long n = std::strtol(arg.c_str() + 14, nullptr, 10);
+        out.segment_cap = n > 0 ? static_cast<std::uint32_t>(n) : 0;
+      } else if (arg.rfind("--spill-dir=", 0) == 0) {
+        out.spill_dir = arg.substr(12);
       } else if (arg == "--csv") {
         out.csv = name + ".csv";
       } else if (arg.rfind("--csv=", 0) == 0) {
@@ -169,6 +188,12 @@ struct Options {
           "experiment\n"
        << "  --mc-seed=S         seed for the --mc-random tie-break "
           "streams\n"
+       << "  --streaming         classify-on-advance streaming series "
+          "(byte-identical to batch)\n"
+       << "  --segment-cap=N     with --streaming: N records per columnar "
+          "segment (0 = plain vectors)\n"
+       << "  --spill-dir=PATH    with --segment-cap: spill sealed segments "
+          "to PATH (mmap reads)\n"
        << "  --help              show this help\n";
   }
 };

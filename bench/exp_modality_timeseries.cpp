@@ -15,6 +15,17 @@ int main(int argc, char** argv) {
   exp::Observability obsv(options);
   exp::banner("F1", "Quarterly active users per modality (2 years)");
 
+  ScenarioConfig::StreamingOptions streaming;
+  if (options.streaming) {
+    // Classify-on-advance over the same eight whole quarters the batch
+    // pass below measures; a positive --segment-cap additionally routes
+    // record storage through the spillable columnar log. Byte-identical
+    // output at every setting (tests/golden_streaming.cmake diffs them).
+    streaming.enabled = true;
+    streaming.series_end = 8 * kQuarter;
+    streaming.segments.segment_records = options.segment_cap;
+    streaming.segments.spill_dir = options.spill_dir;
+  }
   Scenario scenario(ScenarioConfig::defaults()
                         .with_seed(42)
                         .with_horizon(2 * kYear)
@@ -22,18 +33,22 @@ int main(int argc, char** argv) {
                         .with_gateway_adoption_ramp(0.8)
                         .with_plan_cache(!options.exact_replan)
                         .with_shards(options.shards)
+                        .with_streaming(streaming)
                         .with_trace(obsv.trace()));
   scenario.run();
 
   const RuleClassifier classifier;
   // Whole quarters only; the drain tail past 8 x 91 days is excluded. The
   // eight windows classify in parallel (index-ordered fan-in keeps the
-  // series byte-identical at every --jobs level).
+  // series byte-identical at every --jobs level). Under --streaming the
+  // series was already produced during the run, window by window.
   Replicator workers(options.jobs);
   const ModalityTimeSeries series =
-      quarterly_series(scenario.platform(), scenario.db(), classifier, 0,
-                       8 * kQuarter, scenario.config().features,
-                       workers.pool(), obsv.trace());
+      options.streaming
+          ? scenario.streaming()->time_series()
+          : quarterly_series(scenario.platform(), scenario.db(), classifier,
+                             0, 8 * kQuarter, scenario.config().features,
+                             workers.pool(), obsv.trace());
 
   std::vector<std::string> header{"Quarter"};
   for (std::size_t m = 0; m < kModalityCount; ++m) {

@@ -1,0 +1,46 @@
+#include "accounting/segment_log.hpp"
+
+#include <cstdio>
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+namespace tg::seg_detail {
+
+bool MappedFile::open(const std::string& path) {
+  close();
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return false;
+  struct stat st{};
+  if (::fstat(fd, &st) != 0 || st.st_size <= 0) {
+    ::close(fd);
+    return false;
+  }
+  const auto len = static_cast<std::size_t>(st.st_size);
+  void* p = ::mmap(nullptr, len, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);  // the mapping keeps its own reference
+  if (p == MAP_FAILED) return false;
+  data_ = static_cast<const std::byte*>(p);
+  size_ = len;
+  return true;
+}
+
+void MappedFile::close() {
+  if (data_ != nullptr) {
+    ::munmap(const_cast<std::byte*>(data_), size_);
+    data_ = nullptr;
+    size_ = 0;
+  }
+}
+
+bool write_file(const std::string& path, const void* bytes, std::size_t len) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const bool ok = len == 0 || std::fwrite(bytes, 1, len, f) == len;
+  const bool closed = std::fclose(f) == 0;
+  return ok && closed;
+}
+
+}  // namespace tg::seg_detail

@@ -1,0 +1,458 @@
+// Spillable columnar record log: the out-of-core storage behind
+// UsageDatabase's streaming mode.
+//
+// Records append into a bounded open segment; when it fills, the segment
+// seals — the lazy per-stream index layout of PR 2 (per-user posting lists
+// plus end-time ordering) is built once, per segment, and becomes
+// immutable. Sealed segments past a small residency budget spill to disk
+// as one flat file (raw record array + CSR posting index) and are mapped
+// back read-only with mmap, so the page cache — not the heap — holds cold
+// history and the database scales past RSS. Hot recent segments and the
+// open segment stay resident.
+//
+// Query contract matches the monolithic store: per-user window gathers are
+// O(log k + hits) per touched segment (segments outside [min_end, max_end)
+// are skipped entirely), and results are emitted in append order. Record
+// references handed out by a query stay valid until the next append (a
+// seal may spill an older segment and unmap nothing — spilling replaces
+// heap vectors with a file mapping that lives until the log is destroyed —
+// but the open segment's buffer is reused across seals).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <numeric>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "des/time.hpp"
+#include "util/error.hpp"
+#include "util/ids.hpp"
+
+namespace tg {
+
+struct SegmentLogConfig {
+  /// Records per segment before the open segment seals. 0 = one unbounded
+  /// open segment (no sealing, no spilling — plain in-memory growth).
+  std::uint32_t segment_records = 0;
+  /// Directory for spilled segment files; empty = sealed segments stay in
+  /// memory. The directory must exist and outlive the log.
+  std::string spill_dir;
+  /// Sealed segments kept resident (heap-backed) before the oldest spills.
+  /// The open segment is always resident on top of this budget.
+  std::size_t resident_segments = 2;
+};
+
+struct SegmentLogStats {
+  std::uint64_t appended = 0;
+  std::uint64_t sealed = 0;
+  std::uint64_t spilled = 0;
+  std::uint64_t spilled_bytes = 0;
+  /// Segments that failed to spill (I/O error) and stayed resident.
+  std::uint64_t spill_failures = 0;
+};
+
+namespace seg_detail {
+
+/// Read-only whole-file mapping (RAII). Empty until open() succeeds.
+class MappedFile {
+ public:
+  MappedFile() = default;
+  ~MappedFile() { close(); }
+  MappedFile(MappedFile&& other) noexcept
+      : data_(other.data_), size_(other.size_) {
+    other.data_ = nullptr;
+    other.size_ = 0;
+  }
+  MappedFile& operator=(MappedFile&& other) noexcept {
+    if (this != &other) {
+      close();
+      data_ = other.data_;
+      size_ = other.size_;
+      other.data_ = nullptr;
+      other.size_ = 0;
+    }
+    return *this;
+  }
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  /// Maps `path` read-only; false (and stays empty) on any failure.
+  bool open(const std::string& path);
+  void close();
+
+  [[nodiscard]] const std::byte* data() const { return data_; }
+  [[nodiscard]] std::size_t size() const { return size_; }
+
+ private:
+  const std::byte* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+/// Writes `bytes` to `path` (replacing it); false on any failure.
+bool write_file(const std::string& path, const void* bytes, std::size_t len);
+
+/// On-disk segment layout: this header, then 64-byte-aligned sections at
+/// the recorded byte offsets. All integers little-endian host format — the
+/// file is a same-machine spill artifact, not an interchange format.
+struct SegmentFileHeader {
+  static constexpr std::uint64_t kMagic = 0x314747455347544eULL;  // "NTGSEG1"
+  std::uint64_t magic = kMagic;
+  std::uint32_t record_size = 0;
+  std::uint32_t count = 0;          ///< records
+  std::uint32_t user_count = 0;     ///< distinct posting keys
+  std::uint32_t posting_rows = 0;   ///< rows across all posting lists
+  std::uint32_t flags = 0;          ///< bit 0: records end-time-sorted
+  std::uint32_t reserved = 0;
+  std::int64_t min_end = 0;
+  std::int64_t max_end = 0;
+  std::uint64_t off_records = 0;
+  std::uint64_t off_keys = 0;
+  std::uint64_t off_offsets = 0;
+  std::uint64_t off_rows = 0;
+  std::uint64_t off_by_end = 0;     ///< 0 when end-sorted (section absent)
+};
+
+[[nodiscard]] constexpr std::uint64_t align64(std::uint64_t n) {
+  return (n + 63u) & ~std::uint64_t{63};
+}
+
+}  // namespace seg_detail
+
+/// Append-only chunked store of one record stream. `Record` must expose
+/// `UserId user` and `SimTime end_time` members and be trivially copyable
+/// (segments are raw-copied to disk and mmap-read back).
+template <class Record>
+class SegmentLog {
+  static_assert(std::is_trivially_copyable_v<Record>,
+                "spilled segments are raw byte images of the record array");
+
+ public:
+  SegmentLog() : SegmentLog(SegmentLogConfig{}, "records") {}
+  SegmentLog(SegmentLogConfig config, std::string stream_tag)
+      : config_(config), tag_(std::move(stream_tag)) {
+    if (config_.segment_records > 0) {
+      open_records_.reserve(config_.segment_records);
+    }
+  }
+
+  /// Appends one record (sealing/spilling first if the open segment is
+  /// full) and returns a reference to the stored copy, valid until the
+  /// next append.
+  const Record& append(const Record& r) {
+    if (config_.segment_records > 0 &&
+        open_records_.size() >= config_.segment_records) {
+      seal();
+    }
+    const auto row = static_cast<std::uint32_t>(open_records_.size());
+    if (open_records_.empty() || r.end_time < open_min_end_) {
+      open_min_end_ = r.end_time;
+    }
+    if (!open_records_.empty() && r.end_time < open_records_.back().end_time) {
+      open_sorted_ = false;
+    }
+    open_max_end_ = std::max(open_max_end_, r.end_time);
+    open_records_.push_back(r);
+    if (r.user.valid()) {
+      const auto slot = static_cast<std::size_t>(r.user.value());
+      if (slot >= open_postings_.size()) open_postings_.resize(slot + 1);
+      open_postings_[slot].push_back(row);
+      user_limit_ = std::max(user_limit_, r.user.value() + 1);
+    }
+    ++stats_.appended;
+    return open_records_.back();
+  }
+
+  [[nodiscard]] std::size_t size() const { return stats_.appended; }
+  [[nodiscard]] bool empty() const { return stats_.appended == 0; }
+  /// One past the largest valid user id appended (0 if none).
+  [[nodiscard]] UserId::rep user_limit() const { return user_limit_; }
+  [[nodiscard]] const SegmentLogStats& stats() const { return stats_; }
+  [[nodiscard]] std::size_t sealed_segments() const { return sealed_.size(); }
+
+  /// `user`'s records with end time in [from, to), in append order.
+  template <class Fn>
+  void for_each_of(UserId user, SimTime from, SimTime to, Fn&& fn) const {
+    if (from >= to || !user.valid()) return;
+    const auto key = static_cast<std::uint32_t>(user.value());
+    for (const Sealed& s : sealed_) {
+      if (s.view.max_end < from || s.view.min_end >= to) continue;
+      emit_user_window(s.view, key, from, to, fn);
+    }
+    if (open_records_.empty() || open_max_end_ < from || open_min_end_ >= to) {
+      return;
+    }
+    const auto slot = static_cast<std::size_t>(user.value());
+    if (slot >= open_postings_.size()) return;
+    for (const std::uint32_t row : open_postings_[slot]) {
+      const Record& r = open_records_[row];
+      if (r.end_time >= from && r.end_time < to) fn(r);
+    }
+  }
+
+  /// All of `user`'s records, in append order.
+  template <class Fn>
+  void for_each_of(UserId user, Fn&& fn) const {
+    for_each_of(user, std::numeric_limits<SimTime>::min(), kMaxSimTime,
+                std::forward<Fn>(fn));
+  }
+
+  /// Records with end time in [from, to), in append order (matching the
+  /// monolithic store's jobs_ending_in contract).
+  template <class Fn>
+  void for_each_ending_in(SimTime from, SimTime to, Fn&& fn) const {
+    if (from >= to) return;
+    std::vector<std::uint32_t> scratch;
+    for (const Sealed& s : sealed_) {
+      if (s.view.max_end < from || s.view.min_end >= to) continue;
+      emit_window(s.view, from, to, scratch, fn);
+    }
+    if (open_records_.empty() || open_max_end_ < from || open_min_end_ >= to) {
+      return;
+    }
+    // Row-order scan of the open segment is already append order.
+    for (const Record& r : open_records_) {
+      if (r.end_time >= from && r.end_time < to) fn(r);
+    }
+  }
+
+ private:
+  /// Immutable pointer view over one sealed segment; targets either the
+  /// segment's heap vectors or its file mapping.
+  struct View {
+    const Record* records = nullptr;
+    std::uint32_t count = 0;
+    const std::uint32_t* keys = nullptr;  ///< sorted distinct user ids
+    std::uint32_t user_count = 0;
+    const std::uint32_t* offsets = nullptr;  ///< CSR, [user_count + 1]
+    const std::uint32_t* rows = nullptr;
+    const std::uint32_t* by_end = nullptr;  ///< null when end_sorted
+    bool end_sorted = true;
+    SimTime min_end = 0;
+    SimTime max_end = 0;
+  };
+
+  struct Sealed {
+    View view;
+    // Heap backing; swapped empty once the segment spills.
+    std::vector<Record> records;
+    std::vector<std::uint32_t> keys;
+    std::vector<std::uint32_t> offsets;
+    std::vector<std::uint32_t> rows;
+    std::vector<std::uint32_t> by_end;
+    seg_detail::MappedFile map;
+    bool spill_failed = false;
+
+    [[nodiscard]] bool spilled() const { return map.data() != nullptr; }
+  };
+
+  template <class Fn>
+  static void emit_user_window(const View& v, std::uint32_t key, SimTime from,
+                               SimTime to, Fn&& fn) {
+    const std::uint32_t* end = v.keys + v.user_count;
+    const std::uint32_t* k = std::lower_bound(v.keys, end, key);
+    if (k == end || *k != key) return;
+    const auto u = static_cast<std::size_t>(k - v.keys);
+    const std::uint32_t* first = v.rows + v.offsets[u];
+    const std::uint32_t* last = v.rows + v.offsets[u + 1];
+    if (v.end_sorted) {
+      // Posting rows inherit the segment's end-time order: binary-search
+      // the window bounds.
+      const auto end_less = [&](std::uint32_t row, SimTime t) {
+        return v.records[row].end_time < t;
+      };
+      first = std::lower_bound(first, last, from, end_less);
+      last = std::lower_bound(first, last, to, end_less);
+      for (const std::uint32_t* i = first; i != last; ++i) {
+        fn(v.records[*i]);
+      }
+    } else {
+      for (const std::uint32_t* i = first; i != last; ++i) {
+        const Record& r = v.records[*i];
+        if (r.end_time >= from && r.end_time < to) fn(r);
+      }
+    }
+  }
+
+  template <class Fn>
+  static void emit_window(const View& v, SimTime from, SimTime to,
+                          std::vector<std::uint32_t>& scratch, Fn&& fn) {
+    if (v.end_sorted) {
+      // The record array itself is end-sorted: one contiguous stretch,
+      // already in append order.
+      std::uint32_t lo = 0;
+      std::uint32_t hi = v.count;
+      while (lo < hi) {
+        const std::uint32_t mid = lo + (hi - lo) / 2;
+        if (v.records[mid].end_time < from) lo = mid + 1; else hi = mid;
+      }
+      std::uint32_t lo2 = lo;
+      std::uint32_t hi2 = v.count;
+      while (lo2 < hi2) {
+        const std::uint32_t mid = lo2 + (hi2 - lo2) / 2;
+        if (v.records[mid].end_time < to) lo2 = mid + 1; else hi2 = mid;
+      }
+      for (std::uint32_t i = lo; i < lo2; ++i) fn(v.records[i]);
+      return;
+    }
+    const std::uint32_t* first = v.by_end;
+    const std::uint32_t* last = v.by_end + v.count;
+    const auto end_less = [&](std::uint32_t row, SimTime t) {
+      return v.records[row].end_time < t;
+    };
+    first = std::lower_bound(first, last, from, end_less);
+    last = std::lower_bound(first, last, to, end_less);
+    scratch.assign(first, last);
+    std::sort(scratch.begin(), scratch.end());  // back to append order
+    for (const std::uint32_t row : scratch) fn(v.records[row]);
+  }
+
+  void seal() {
+    Sealed s;
+    s.records = std::move(open_records_);
+    s.view.count = static_cast<std::uint32_t>(s.records.size());
+    s.view.min_end = open_min_end_;
+    s.view.max_end = open_max_end_;
+    s.view.end_sorted = open_sorted_;
+    // Compact the dense open postings into the CSR (keys, offsets, rows)
+    // triple; dense slots iterate ascending, so keys come out sorted.
+    std::uint32_t total_rows = 0;
+    for (const auto& p : open_postings_) {
+      total_rows += static_cast<std::uint32_t>(p.size());
+      if (!p.empty()) ++s.view.user_count;
+    }
+    s.keys.reserve(s.view.user_count);
+    s.offsets.reserve(s.view.user_count + 1);
+    s.rows.reserve(total_rows);
+    s.offsets.push_back(0);
+    for (std::size_t u = 0; u < open_postings_.size(); ++u) {
+      const auto& p = open_postings_[u];
+      if (p.empty()) continue;
+      s.keys.push_back(static_cast<std::uint32_t>(u));
+      s.rows.insert(s.rows.end(), p.begin(), p.end());
+      s.offsets.push_back(static_cast<std::uint32_t>(s.rows.size()));
+    }
+    if (!s.view.end_sorted) {
+      s.by_end.resize(s.records.size());
+      std::iota(s.by_end.begin(), s.by_end.end(), 0u);
+      std::stable_sort(s.by_end.begin(), s.by_end.end(),
+                       [&](std::uint32_t a, std::uint32_t b) {
+                         return s.records[a].end_time < s.records[b].end_time;
+                       });
+    }
+    s.view.records = s.records.data();
+    s.view.keys = s.keys.data();
+    s.view.offsets = s.offsets.data();
+    s.view.rows = s.rows.data();
+    s.view.by_end = s.view.end_sorted ? nullptr : s.by_end.data();
+    sealed_.push_back(std::move(s));
+    ++stats_.sealed;
+
+    // Recycle the open segment's buffers.
+    open_records_.clear();
+    open_records_.reserve(config_.segment_records);
+    for (auto& p : open_postings_) p.clear();
+    open_sorted_ = true;
+    open_min_end_ = 0;
+    open_max_end_ = std::numeric_limits<SimTime>::min();
+    maybe_spill();
+  }
+
+  void maybe_spill() {
+    if (config_.spill_dir.empty()) return;
+    // Spill oldest-first until the residency budget holds; hot recent
+    // segments stay heap-backed.
+    std::size_t resident = 0;
+    for (const Sealed& s : sealed_) {
+      if (!s.spilled() && !s.spill_failed) ++resident;
+    }
+    for (std::size_t i = 0;
+         i < sealed_.size() && resident > config_.resident_segments; ++i) {
+      Sealed& s = sealed_[i];
+      if (s.spilled() || s.spill_failed) continue;
+      if (spill(s, i)) {
+        --resident;
+      } else {
+        s.spill_failed = true;
+        ++stats_.spill_failures;
+      }
+    }
+  }
+
+  [[nodiscard]] bool spill(Sealed& s, std::size_t seq) {
+    using seg_detail::align64;
+    seg_detail::SegmentFileHeader h;
+    h.record_size = static_cast<std::uint32_t>(sizeof(Record));
+    h.count = s.view.count;
+    h.user_count = s.view.user_count;
+    h.posting_rows = static_cast<std::uint32_t>(s.rows.size());
+    h.flags = s.view.end_sorted ? 1u : 0u;
+    h.min_end = s.view.min_end;
+    h.max_end = s.view.max_end;
+    h.off_records = align64(sizeof(h));
+    h.off_keys = align64(h.off_records + h.count * sizeof(Record));
+    h.off_offsets = align64(h.off_keys + h.user_count * sizeof(std::uint32_t));
+    h.off_rows =
+        align64(h.off_offsets + (h.user_count + 1) * sizeof(std::uint32_t));
+    std::uint64_t end = h.off_rows + h.posting_rows * sizeof(std::uint32_t);
+    if (!s.view.end_sorted) {
+      h.off_by_end = align64(end);
+      end = h.off_by_end + h.count * sizeof(std::uint32_t);
+    }
+    std::vector<std::byte> blob(static_cast<std::size_t>(end), std::byte{0});
+    const auto put = [&](std::uint64_t off, const void* src, std::size_t n) {
+      if (n > 0) std::memcpy(blob.data() + off, src, n);
+    };
+    put(0, &h, sizeof(h));
+    put(h.off_records, s.records.data(), h.count * sizeof(Record));
+    put(h.off_keys, s.keys.data(), h.user_count * sizeof(std::uint32_t));
+    put(h.off_offsets, s.offsets.data(),
+        (h.user_count + 1) * sizeof(std::uint32_t));
+    put(h.off_rows, s.rows.data(), h.posting_rows * sizeof(std::uint32_t));
+    if (!s.view.end_sorted) {
+      put(h.off_by_end, s.by_end.data(), h.count * sizeof(std::uint32_t));
+    }
+    const std::string path = config_.spill_dir + "/" + tag_ + "-" +
+                             std::to_string(seq) + ".tgseg";
+    if (!seg_detail::write_file(path, blob.data(), blob.size())) return false;
+    seg_detail::MappedFile map;
+    if (!map.open(path) || map.size() < blob.size()) return false;
+    // Rebind the view into the mapping, then release the heap backing.
+    const std::byte* base = map.data();
+    s.map = std::move(map);
+    s.view.records = reinterpret_cast<const Record*>(base + h.off_records);
+    s.view.keys =
+        reinterpret_cast<const std::uint32_t*>(base + h.off_keys);
+    s.view.offsets =
+        reinterpret_cast<const std::uint32_t*>(base + h.off_offsets);
+    s.view.rows = reinterpret_cast<const std::uint32_t*>(base + h.off_rows);
+    s.view.by_end = s.view.end_sorted ? nullptr
+                                      : reinterpret_cast<const std::uint32_t*>(
+                                            base + h.off_by_end);
+    std::vector<Record>().swap(s.records);
+    std::vector<std::uint32_t>().swap(s.keys);
+    std::vector<std::uint32_t>().swap(s.offsets);
+    std::vector<std::uint32_t>().swap(s.rows);
+    std::vector<std::uint32_t>().swap(s.by_end);
+    ++stats_.spilled;
+    stats_.spilled_bytes += blob.size();
+    return true;
+  }
+
+  SegmentLogConfig config_;
+  std::string tag_;
+  std::vector<Sealed> sealed_;
+  std::vector<Record> open_records_;
+  /// Dense per-user posting lists for the open segment, maintained on
+  /// append (no lazy rebuild: the open segment is the ingest hot path).
+  std::vector<std::vector<std::uint32_t>> open_postings_;
+  bool open_sorted_ = true;
+  SimTime open_min_end_ = 0;
+  SimTime open_max_end_ = std::numeric_limits<SimTime>::min();
+  UserId::rep user_limit_ = 0;
+  SegmentLogStats stats_;
+};
+
+}  // namespace tg

@@ -87,8 +87,9 @@ bool parse_swf_fields(const std::string& line, long (&f)[18]) {
 }
 }  // namespace
 
-std::vector<SwfJob> import_swf(std::istream& in, SwfParseStats* stats) {
-  std::vector<SwfJob> out;
+void for_each_swf_job(std::istream& in,
+                      const std::function<void(const SwfJob&)>& sink,
+                      SwfParseStats* stats) {
   std::string line;
   long line_number = 0;
   SwfParseStats local;
@@ -115,11 +116,76 @@ std::vector<SwfJob> import_swf(std::istream& in, SwfParseStats* stats) {
     job.user = f[11];
     job.group = f[12];
     job.executable = f[13];
+    job.queue = f[14];
     job.partition = f[15];
-    out.push_back(job);
+    sink(job);
   }
   if (stats != nullptr) *stats = local;
+}
+
+std::vector<SwfJob> import_swf(std::istream& in, SwfParseStats* stats) {
+  std::vector<SwfJob> out;
+  for_each_swf_job(in, [&out](const SwfJob& job) { out.push_back(job); },
+                   stats);
   return out;
+}
+
+JobRecord to_record(const SwfJob& job, int cores_per_node) {
+  TG_REQUIRE(cores_per_node >= 1, "cores_per_node must be >= 1");
+  JobRecord r;
+  if (job.job_number >= 0) r.job = JobId{static_cast<JobId::rep>(job.job_number)};
+  if (job.user >= 0) r.user = UserId{static_cast<UserId::rep>(job.user)};
+  if (job.group >= 0) {
+    r.project = ProjectId{static_cast<ProjectId::rep>(job.group)};
+  }
+  if (job.executable >= 0) {
+    r.gateway_end_user = EndUserId{static_cast<EndUserId::rep>(job.executable)};
+  }
+  if (job.queue == 1) r.gateway = GatewayId{0};  // flag only: gateway unknown
+  if (job.partition >= 0) {
+    r.resource = ResourceId{static_cast<ResourceId::rep>(job.partition)};
+  }
+  const long submit = std::max(0L, job.submit_seconds);
+  const long wait = std::max(0L, job.wait_seconds);
+  const long run = std::max(1L, job.run_seconds);
+  const long requested =
+      job.requested_seconds > 0 ? job.requested_seconds : run;
+  r.submit_time = submit * kSecond;
+  r.start_time = (submit + wait) * kSecond;
+  r.end_time = r.start_time + run * kSecond;
+  const long procs =
+      std::max(1L, job.requested_procs > 0 ? job.requested_procs
+                                           : job.allocated_procs);
+  r.nodes = static_cast<int>((procs + cores_per_node - 1) / cores_per_node);
+  r.cores_per_node = cores_per_node;
+  r.requested_walltime = std::max(run, requested) * kSecond;
+  switch (job.status) {
+    case 0: r.final_state = run < requested ? JobState::kFailed
+                                            : JobState::kKilled; break;
+    case 2:
+    case 3:
+    case 4: r.final_state = JobState::kRequeued; break;
+    case 5: r.final_state = JobState::kCancelled; break;
+    default: r.final_state = JobState::kCompleted; break;
+  }
+  r.disposition = disposition_of(r.final_state);
+  // Core-hours at NU parity: the trace carries no normalization factor.
+  r.charged_su = static_cast<double>(r.width_cores()) *
+                 (static_cast<double>(run) / 3600.0);
+  r.charged_nu = r.charged_su;
+  return r;
+}
+
+SwfParseStats import_swf_records(std::istream& in, UsageDatabase& db,
+                                 int cores_per_node) {
+  SwfParseStats stats;
+  for_each_swf_job(
+      in,
+      [&db, cores_per_node](const SwfJob& job) {
+        db.add(to_record(job, cores_per_node));
+      },
+      &stats);
+  return stats;
 }
 
 JobRequest to_request(const SwfJob& job, int cores_per_node) {

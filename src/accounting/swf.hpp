@@ -10,6 +10,7 @@
 // values are -1. Header lines start with ';'.
 #pragma once
 
+#include <functional>
 #include <iosfwd>
 #include <string>
 #include <vector>
@@ -31,6 +32,7 @@ struct SwfJob {
   long user = -1;
   long group = -1;  ///< we map the project here
   long executable = -1;  ///< we map the interned gateway end-user id here
+  long queue = -1;  ///< we map the gateway flag here (1 = gateway job)
   long partition = -1;  ///< we map the resource id here
 };
 
@@ -53,12 +55,38 @@ struct SwfParseStats {
   long first_skipped_line = 0;
 };
 
-/// Parses SWF text; header/comment lines are skipped. Malformed or
-/// truncated data lines (archive traces contain them) are dropped and
-/// counted in `stats` instead of aborting the import — parsing never
-/// throws and never yields partially-filled jobs.
+/// Streaming parse core: invokes `sink` once per well-formed data line, in
+/// file order, holding only one line and one SwfJob at a time. Header/
+/// comment lines are skipped; malformed or truncated data lines (archive
+/// traces contain them) are dropped and counted in `stats` instead of
+/// aborting the import — parsing never throws and never yields
+/// partially-filled jobs. import_swf and import_swf_records are thin
+/// wrappers over this.
+void for_each_swf_job(std::istream& in,
+                      const std::function<void(const SwfJob&)>& sink,
+                      SwfParseStats* stats = nullptr);
+
+/// Parses SWF text into a vector (materializes the whole trace; prefer
+/// for_each_swf_job or import_swf_records for large archives).
 [[nodiscard]] std::vector<SwfJob> import_swf(std::istream& in,
                                              SwfParseStats* stats = nullptr);
+
+/// Converts a parsed SWF job into the JobRecord export_swf would have
+/// serialized it from: times from submit/wait/run seconds, whole-node
+/// widths on a `cores_per_node`-core machine, status mapped back to a
+/// final state (0 becomes a walltime kill when the job ran to its request,
+/// an application failure otherwise; 2-4 are outage-requeued attempts),
+/// core-hour charges at NU parity, and the field 14/15/16 attribute
+/// conventions reversed (end-user id, gateway flag, resource id).
+[[nodiscard]] JobRecord to_record(const SwfJob& job, int cores_per_node);
+
+/// Imports an SWF trace directly into `db` as job records, one line at a
+/// time — memory stays bounded by the database's storage mode, not the
+/// trace length (call db.enable_segments() first with a spill directory to
+/// keep year-scale archives out of RSS). Returns the parse diagnostics
+/// (identical to what import_swf reports for the same stream).
+SwfParseStats import_swf_records(std::istream& in, UsageDatabase& db,
+                                 int cores_per_node = 16);
 
 /// Converts a parsed SWF job into a submittable request for replay on a
 /// machine with `cores_per_node` cores. Runtimes/walltimes are clamped to

@@ -108,12 +108,17 @@ void UsageDatabase::gather_window(const std::vector<Record>& records,
 }
 
 void UsageDatabase::ensure_indexes() const {
+  if (segmented_) return;  // per-segment indexes are built eagerly on seal
   jobs_index_.ensure(jobs_);
   transfers_index_.ensure(transfers_);
   sessions_index_.ensure(sessions_);
 }
 
 UserId::rep UsageDatabase::user_id_limit() const {
+  if (segmented_) {
+    return std::max({job_log_.user_limit(), transfer_log_.user_limit(),
+                     session_log_.user_limit()});
+  }
   ensure_indexes();
   const std::size_t slots =
       std::max({jobs_index_.postings.size(), transfers_index_.postings.size(),
@@ -133,25 +138,33 @@ const std::vector<std::uint32_t>& rows_or_empty(
 
 const std::vector<std::uint32_t>& UsageDatabase::job_rows_of(
     UserId user) const {
+  TG_REQUIRE(!segmented_, "posting-list access requires monolithic storage");
   jobs_index_.ensure(jobs_);
   return rows_or_empty(jobs_index_.postings, user);
 }
 
 const std::vector<std::uint32_t>& UsageDatabase::transfer_rows_of(
     UserId user) const {
+  TG_REQUIRE(!segmented_, "posting-list access requires monolithic storage");
   transfers_index_.ensure(transfers_);
   return rows_or_empty(transfers_index_.postings, user);
 }
 
 const std::vector<std::uint32_t>& UsageDatabase::session_rows_of(
     UserId user) const {
+  TG_REQUIRE(!segmented_, "posting-list access requires monolithic storage");
   sessions_index_.ensure(sessions_);
   return rows_or_empty(sessions_index_.postings, user);
 }
 
 std::vector<const JobRecord*> UsageDatabase::jobs_of(UserId user) const {
-  const std::vector<std::uint32_t>& rows = job_rows_of(user);
   std::vector<const JobRecord*> out;
+  if (segmented_) {
+    job_log_.for_each_of(user,
+                         [&](const JobRecord& r) { out.push_back(&r); });
+    return out;
+  }
+  const std::vector<std::uint32_t>& rows = job_rows_of(user);
   out.reserve(rows.size());
   for (const std::uint32_t row : rows) out.push_back(&jobs_[row]);
   return out;
@@ -161,6 +174,11 @@ std::vector<const JobRecord*> UsageDatabase::jobs_ending_in(
     SimTime from, SimTime to) const {
   std::vector<const JobRecord*> out;
   if (from >= to) return out;
+  if (segmented_) {
+    job_log_.for_each_ending_in(
+        from, to, [&](const JobRecord& r) { out.push_back(&r); });
+    return out;
+  }
   jobs_index_.ensure(jobs_);
   if (jobs_index_.end_sorted) {
     // Rows are already in end-time order; the window is one contiguous
@@ -204,18 +222,21 @@ UsageDatabase::RowRange window_range(const std::vector<Record>& records,
 
 UsageDatabase::RowRange UsageDatabase::job_window(SimTime from,
                                                   SimTime to) const {
+  TG_REQUIRE(!segmented_, "row-range access requires monolithic storage");
   jobs_index_.ensure(jobs_);
   return window_range(jobs_, jobs_index_.end_sorted, from, to);
 }
 
 UsageDatabase::RowRange UsageDatabase::transfer_window(SimTime from,
                                                        SimTime to) const {
+  TG_REQUIRE(!segmented_, "row-range access requires monolithic storage");
   transfers_index_.ensure(transfers_);
   return window_range(transfers_, transfers_index_.end_sorted, from, to);
 }
 
 UsageDatabase::RowRange UsageDatabase::session_window(SimTime from,
                                                       SimTime to) const {
+  TG_REQUIRE(!segmented_, "row-range access requires monolithic storage");
   sessions_index_.ensure(sessions_);
   return window_range(sessions_, sessions_index_.end_sorted, from, to);
 }
@@ -230,6 +251,17 @@ UserWindowRecords UsageDatabase::records_of(UserId user, SimTime from,
 void UsageDatabase::records_of(UserId user, SimTime from, SimTime to,
                                UserWindowRecords& out) const {
   out.clear();
+  if (segmented_) {
+    job_log_.for_each_of(user, from, to,
+                         [&](const JobRecord& r) { out.jobs.push_back(&r); });
+    transfer_log_.for_each_of(
+        user, from, to,
+        [&](const TransferRecord& r) { out.transfers.push_back(&r); });
+    session_log_.for_each_of(
+        user, from, to,
+        [&](const SessionRecord& r) { out.sessions.push_back(&r); });
+    return;
+  }
   gather_window(jobs_, jobs_index_, user, from, to, out.jobs);
   gather_window(transfers_, transfers_index_, user, from, to, out.transfers);
   gather_window(sessions_, sessions_index_, user, from, to, out.sessions);

@@ -12,11 +12,13 @@
 
 #include <array>
 
+#include "util/error.hpp"
 #include "util/string_pool.hpp"
 
 #include "accounting/charge.hpp"
 #include "accounting/ledger.hpp"
 #include "accounting/records.hpp"
+#include "accounting/segment_log.hpp"
 #include "des/engine.hpp"
 #include "infra/community.hpp"
 #include "infra/platform.hpp"
@@ -55,28 +57,96 @@ struct UserWindowRecords {
 /// the analysis phase only reads.
 class UsageDatabase {
  public:
+  /// Observes every record the instant it lands in the store, in append
+  /// order (the live Recorder appends in completion-time order, so this is
+  /// the accounting stream). The reference is to the stored copy and is
+  /// valid for the duration of the callback. Streaming analytics
+  /// (StreamingExtractor) hang off this hook.
+  class RecordObserver {
+   public:
+    virtual ~RecordObserver() = default;
+    virtual void on_job(const JobRecord& r) { (void)r; }
+    virtual void on_transfer(const TransferRecord& r) { (void)r; }
+    virtual void on_session(const SessionRecord& r) { (void)r; }
+  };
+
   UsageDatabase() = default;
   UsageDatabase(UsageDatabase&& other) noexcept
       : jobs_(std::move(other.jobs_)),
         transfers_(std::move(other.transfers_)),
         sessions_(std::move(other.sessions_)),
+        segmented_(other.segmented_),
+        job_log_(std::move(other.job_log_)),
+        transfer_log_(std::move(other.transfer_log_)),
+        session_log_(std::move(other.session_log_)),
         total_nu_(other.total_nu_),
         disposition_counts_(other.disposition_counts_),
         end_user_limit_(other.end_user_limit_),
-        end_user_pool_(other.end_user_pool_) {}
+        end_user_pool_(other.end_user_pool_),
+        observer_(other.observer_) {
+    // The moved-from object's lazy indexes still say "built" but their
+    // posting rows point into the vectors that just moved away; leave it
+    // pristine instead of queryable-but-corrupt.
+    other.reset_to_empty();
+  }
   UsageDatabase& operator=(UsageDatabase&& other) noexcept {
-    jobs_ = std::move(other.jobs_);
-    transfers_ = std::move(other.transfers_);
-    sessions_ = std::move(other.sessions_);
-    total_nu_ = other.total_nu_;
-    disposition_counts_ = other.disposition_counts_;
-    end_user_limit_ = other.end_user_limit_;
-    end_user_pool_ = other.end_user_pool_;
-    jobs_index_.invalidate();
-    transfers_index_.invalidate();
-    sessions_index_.invalidate();
+    if (this != &other) {
+      jobs_ = std::move(other.jobs_);
+      transfers_ = std::move(other.transfers_);
+      sessions_ = std::move(other.sessions_);
+      segmented_ = other.segmented_;
+      job_log_ = std::move(other.job_log_);
+      transfer_log_ = std::move(other.transfer_log_);
+      session_log_ = std::move(other.session_log_);
+      total_nu_ = other.total_nu_;
+      disposition_counts_ = other.disposition_counts_;
+      end_user_limit_ = other.end_user_limit_;
+      end_user_pool_ = other.end_user_pool_;
+      observer_ = other.observer_;
+      // Both sides' lazy indexes are stale now: ours describe the rows we
+      // just dropped, the source's describe rows that moved here.
+      jobs_index_.invalidate();
+      transfers_index_.invalidate();
+      sessions_index_.invalidate();
+      other.reset_to_empty();
+    }
     return *this;
   }
+
+  /// Switches storage to the spillable columnar segment log (streaming /
+  /// out-of-core mode). Allowed only while the database is empty.
+  /// Contiguous access — jobs()/transfers()/sessions(), row ranges,
+  /// posting lists — becomes unavailable; the windowed query surface
+  /// (records_of, jobs_of, jobs_ending_in) is served from the per-segment
+  /// indexes instead and keeps its O(log n + k) contract.
+  void enable_segments(const SegmentLogConfig& config) {
+    TG_REQUIRE(job_count() == 0 && transfer_count() == 0 &&
+                   session_count() == 0,
+               "enable_segments requires an empty database");
+    segmented_ = true;
+    job_log_ = SegmentLog<JobRecord>(config, "jobs");
+    transfer_log_ = SegmentLog<TransferRecord>(config, "transfers");
+    session_log_ = SegmentLog<SessionRecord>(config, "sessions");
+  }
+  [[nodiscard]] bool segmented() const { return segmented_; }
+  /// Spill/seal counters summed across the three streams (zeros when
+  /// segments are disabled).
+  [[nodiscard]] SegmentLogStats segment_stats() const {
+    SegmentLogStats s;
+    for (const SegmentLogStats* p :
+         {&job_log_.stats(), &transfer_log_.stats(), &session_log_.stats()}) {
+      s.appended += p->appended;
+      s.sealed += p->sealed;
+      s.spilled += p->spilled;
+      s.spilled_bytes += p->spilled_bytes;
+      s.spill_failures += p->spill_failures;
+    }
+    return s;
+  }
+
+  /// Registers (or clears, with nullptr) the append observer. The observer
+  /// must outlive the database or be cleared first.
+  void set_observer(RecordObserver* observer) { observer_ = observer; }
 
   void add(JobRecord r) {
     total_nu_ += r.charged_nu;
@@ -85,23 +155,65 @@ class UsageDatabase {
       end_user_limit_ = std::max(end_user_limit_,
                                  r.gateway_end_user.value() + 1);
     }
-    jobs_.push_back(std::move(r));
-    jobs_index_.invalidate();
+    const JobRecord* stored;
+    if (segmented_) {
+      stored = &job_log_.append(r);
+    } else {
+      jobs_.push_back(std::move(r));
+      jobs_index_.invalidate();
+      stored = &jobs_.back();
+    }
+    if (observer_ != nullptr) observer_->on_job(*stored);
   }
   void add(TransferRecord r) {
-    transfers_.push_back(std::move(r));
-    transfers_index_.invalidate();
+    const TransferRecord* stored;
+    if (segmented_) {
+      stored = &transfer_log_.append(r);
+    } else {
+      transfers_.push_back(std::move(r));
+      transfers_index_.invalidate();
+      stored = &transfers_.back();
+    }
+    if (observer_ != nullptr) observer_->on_transfer(*stored);
   }
   void add(SessionRecord r) {
-    sessions_.push_back(std::move(r));
-    sessions_index_.invalidate();
+    const SessionRecord* stored;
+    if (segmented_) {
+      stored = &session_log_.append(r);
+    } else {
+      sessions_.push_back(std::move(r));
+      sessions_index_.invalidate();
+      stored = &sessions_.back();
+    }
+    if (observer_ != nullptr) observer_->on_session(*stored);
   }
 
-  [[nodiscard]] const std::vector<JobRecord>& jobs() const { return jobs_; }
+  /// Record counts, O(1) in both storage modes.
+  [[nodiscard]] std::size_t job_count() const {
+    return segmented_ ? job_log_.size() : jobs_.size();
+  }
+  [[nodiscard]] std::size_t transfer_count() const {
+    return segmented_ ? transfer_log_.size() : transfers_.size();
+  }
+  [[nodiscard]] std::size_t session_count() const {
+    return segmented_ ? session_log_.size() : sessions_.size();
+  }
+
+  /// Contiguous record arrays — monolithic storage only (segmented
+  /// storage may have spilled cold history to disk).
+  [[nodiscard]] const std::vector<JobRecord>& jobs() const {
+    TG_REQUIRE(!segmented_,
+               "contiguous jobs() access requires monolithic storage");
+    return jobs_;
+  }
   [[nodiscard]] const std::vector<TransferRecord>& transfers() const {
+    TG_REQUIRE(!segmented_,
+               "contiguous transfers() access requires monolithic storage");
     return transfers_;
   }
   [[nodiscard]] const std::vector<SessionRecord>& sessions() const {
+    TG_REQUIRE(!segmented_,
+               "contiguous sessions() access requires monolithic storage");
     return sessions_;
   }
 
@@ -225,13 +337,40 @@ class UsageDatabase {
                             SimTime from, SimTime to,
                             std::vector<const Record*>& out);
 
+  /// Returns a moved-from instance to the pristine empty state: vectors
+  /// cleared, aggregates zeroed, lazy indexes invalidated. Without this a
+  /// "built" index would keep posting rows into vectors whose contents
+  /// moved away.
+  void reset_to_empty() {
+    jobs_.clear();
+    transfers_.clear();
+    sessions_.clear();
+    segmented_ = false;
+    job_log_ = SegmentLog<JobRecord>();
+    transfer_log_ = SegmentLog<TransferRecord>();
+    session_log_ = SegmentLog<SessionRecord>();
+    total_nu_ = 0.0;
+    disposition_counts_ = {};
+    end_user_limit_ = 0;
+    end_user_pool_ = nullptr;
+    observer_ = nullptr;
+    jobs_index_.invalidate();
+    transfers_index_.invalidate();
+    sessions_index_.invalidate();
+  }
+
   std::vector<JobRecord> jobs_;
   std::vector<TransferRecord> transfers_;
   std::vector<SessionRecord> sessions_;
+  bool segmented_ = false;
+  SegmentLog<JobRecord> job_log_{SegmentLogConfig{}, "jobs"};
+  SegmentLog<TransferRecord> transfer_log_{SegmentLogConfig{}, "transfers"};
+  SegmentLog<SessionRecord> session_log_{SegmentLogConfig{}, "sessions"};
   double total_nu_ = 0.0;
   std::array<std::uint64_t, kDispositionCount> disposition_counts_{};
   EndUserId::rep end_user_limit_ = 0;
   const StringPool* end_user_pool_ = nullptr;
+  RecordObserver* observer_ = nullptr;
   StreamIndex jobs_index_;
   StreamIndex transfers_index_;
   StreamIndex sessions_index_;

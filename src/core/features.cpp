@@ -15,19 +15,8 @@ FeatureExtractor::FeatureExtractor(const Platform& platform,
              "invalid burst parameters");
 }
 
-namespace {
-
-/// Counts jobs that belong to a burst: >= min_jobs submissions with the
-/// same (nodes, walltime) geometry inside a sliding window. Sort-based
-/// grouping over the caller's scratch arena — no per-geometry allocation.
-template <class Geometry>
-int count_burst_jobs(std::span<const JobRecord* const> jobs, Duration window,
-                     int min_jobs, std::vector<Geometry>& arena) {
-  arena.clear();
-  arena.reserve(jobs.size());
-  for (const JobRecord* r : jobs) {
-    arena.push_back({r->nodes, r->requested_walltime, r->submit_time});
-  }
+int count_burst_jobs(std::vector<BurstGeometry>& arena, Duration window,
+                     int min_jobs) {
   std::sort(arena.begin(), arena.end(), [](const auto& a, const auto& b) {
     if (a.nodes != b.nodes) return a.nodes < b.nodes;
     if (a.walltime != b.walltime) return a.walltime < b.walltime;
@@ -57,8 +46,6 @@ int count_burst_jobs(std::span<const JobRecord* const> jobs, Duration window,
   }
   return burst_jobs;
 }
-
-}  // namespace
 
 namespace {
 
@@ -124,6 +111,26 @@ struct Gather {
 std::vector<UserFeatures> FeatureExtractor::extract(const UsageDatabase& db,
                                                     SimTime from, SimTime to,
                                                     ThreadPool* pool) const {
+  if (db.segmented()) {
+    // Segmented storage exposes no raw row ranges for the CSR gather;
+    // answer from the per-segment user indexes instead, one user at a
+    // time. Each user's records arrive in append order — the same order
+    // the gather would have produced — so the features are bit-identical
+    // to the monolithic pass. Sequential (`pool` unused): the per-user
+    // window buffers reuse one scratch.
+    const auto limit = static_cast<std::size_t>(db.user_id_limit());
+    std::vector<UserFeatures> out;
+    Scratch scratch;
+    for (std::size_t u = 0; u < limit; ++u) {
+      const UserId user{static_cast<UserId::rep>(u)};
+      db.records_of(user, from, to, scratch.window);
+      if (scratch.window.empty()) continue;
+      out.push_back(compute(user, scratch.window.jobs,
+                            scratch.window.transfers, scratch.window.sessions,
+                            scratch));
+    }
+    return out;
+  }
   // Columnar pass: CSR-gather each stream's window once (sequential), then
   // walk users in id order over dense buckets. No maps, no per-user
   // allocation, no random access into the record arrays.
@@ -250,10 +257,15 @@ UserFeatures FeatureExtractor::compute(
     f.mean_runtime_s = runtime_sum / n;
     std::sort(scratch.runtimes.begin(), scratch.runtimes.end());
     f.median_runtime_s = percentile_sorted(scratch.runtimes, 0.5);
-    f.burst_fraction =
-        count_burst_jobs(jobs, config_.burst_window, config_.burst_min_jobs,
-                         scratch.geometry) /
-        n;
+    scratch.geometry.clear();
+    scratch.geometry.reserve(jobs.size());
+    for (const JobRecord* r : jobs) {
+      scratch.geometry.push_back(
+          {r->nodes, r->requested_walltime, r->submit_time});
+    }
+    f.burst_fraction = count_burst_jobs(scratch.geometry, config_.burst_window,
+                                        config_.burst_min_jobs) /
+                       n;
   }
   f.distinct_resources = distinct_resources;
 

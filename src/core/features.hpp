@@ -62,6 +62,21 @@ struct FeatureConfig {
   int burst_min_jobs = 8;
 };
 
+/// Submission geometry of one job in the burst-detection arena.
+struct BurstGeometry {
+  int nodes;
+  Duration walltime;
+  SimTime submit;
+};
+
+/// Counts jobs that belong to a burst: >= min_jobs submissions with the
+/// same (nodes, walltime) geometry inside a sliding window. Sort-based
+/// grouping over the caller's arena (sorted in place, one entry per job).
+/// Shared by the batch extractor and the streaming path so both produce
+/// bit-identical burst fractions.
+[[nodiscard]] int count_burst_jobs(std::vector<BurstGeometry>& arena,
+                                   Duration window, int min_jobs);
+
 class ThreadPool;
 
 class FeatureExtractor {
@@ -91,14 +106,9 @@ class FeatureExtractor {
   /// distinct-resource marker and the extract_user record window. Never
   /// shared between threads.
   struct Scratch {
-    struct Geometry {
-      int nodes;
-      Duration walltime;
-      SimTime submit;
-    };
     UserWindowRecords window;
     std::vector<double> runtimes;
-    std::vector<Geometry> geometry;
+    std::vector<BurstGeometry> geometry;
     std::vector<std::uint32_t> resource_mark;
     std::uint32_t resource_stamp = 0;
   };

@@ -21,6 +21,10 @@ int count_gateway_end_users(const UsageDatabase& db, SimTime from,
     count += 1 - slot;
     slot = 1;
   };
+  if (db.segmented()) {
+    for (const JobRecord* r : db.jobs_ending_in(from, to)) mark(*r);
+    return count;
+  }
   const UsageDatabase::RowRange range = db.job_window(from, to);
   if (range.contiguous) {
     for (std::uint32_t i = range.first; i < range.last; ++i) {

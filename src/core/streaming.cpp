@@ -1,0 +1,253 @@
+#include "core/streaming.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "util/stats.hpp"
+
+namespace tg {
+
+StreamingExtractor::StreamingExtractor(const Platform& platform,
+                                       StreamingConfig config)
+    : platform_(platform), config_(config), classifier_(config.thresholds) {
+  TG_REQUIRE(config_.series_end > config_.series_start,
+             "streaming series range is empty");
+  TG_REQUIRE(config_.bucket > 0, "streaming bucket must be positive");
+  TG_REQUIRE(config_.features.burst_window > 0 &&
+                 config_.features.burst_min_jobs >= 2,
+             "invalid burst parameters");
+  window_from_ = config_.series_start;
+  window_to_ = std::min(window_from_ + config_.bucket, config_.series_end);
+}
+
+bool StreamingExtractor::admit(SimTime t) {
+  if (t < config_.series_start || t >= config_.series_end) {
+    TG_METRIC_INC(stats_.records_dropped);
+    return false;
+  }
+  TG_CHECK(!finished_, "record appended after finish()");
+  TG_CHECK(t >= window_from_,
+           "streaming record at t=" << t
+                                    << " regressed before the open window ["
+                                    << window_from_ << ", " << window_to_
+                                    << ") — the accounting stream must be "
+                                       "end-time monotone across windows");
+  while (t >= window_to_) close_window();
+  return true;
+}
+
+StreamingExtractor::UserState& StreamingExtractor::touch(UserId::rep uid) {
+  const auto slot = static_cast<std::size_t>(uid);
+  if (slot >= users_.size()) users_.resize(slot + 1);
+  UserState& s = users_[slot];
+  if (s.gen != window_gen_) {
+    s.gen = window_gen_;
+    s.jobs = 0;
+    s.total_nu = 0.0;
+    s.total_su = 0.0;
+    s.gateway = 0;
+    s.workflow = 0;
+    s.coalloc = 0;
+    s.viz = 0;
+    s.failed = 0;
+    s.requeued = 0;
+    s.outage_killed = 0;
+    s.max_width_cores = 0;
+    s.max_machine_fraction = 0.0;
+    s.width_sum = 0.0;
+    s.distinct_resources = 0;
+    s.invalid_resource_seen = false;
+    s.bytes_transferred = 0.0;
+    s.sessions = 0;
+    s.viz_sessions = 0;
+    s.runtimes.clear();
+    s.geometry.clear();
+    s.seen_resources.clear();
+    active_.push_back(static_cast<std::uint32_t>(slot));
+  }
+  return s;
+}
+
+void StreamingExtractor::mark_end_user(EndUserId id) {
+  const auto slot = static_cast<std::size_t>(id.value());
+  if (slot >= eu_stamp_.size()) eu_stamp_.resize(slot + 1, 0);
+  if (eu_stamp_[slot] != window_gen_) {
+    eu_stamp_[slot] = window_gen_;
+    ++eu_count_;
+  }
+}
+
+void StreamingExtractor::on_job(const JobRecord& r) {
+  TG_METRIC_INC(stats_.jobs_ingested);
+  if (!admit(r.end_time)) return;
+  // The end-user attribute counts for every job record in the window,
+  // exactly like count_gateway_end_users (user validity is irrelevant).
+  if (r.gateway_end_user.valid()) mark_end_user(r.gateway_end_user);
+  if (!r.user.valid()) return;
+  UserState& s = touch(r.user.value());
+  // Mirror FeatureExtractor::compute's per-job pass, same operations in
+  // the same (append) order — the byte-identity contract hangs on this.
+  ++s.jobs;
+  s.total_nu += r.charged_nu;
+  s.total_su += r.charged_su;
+  if (r.gateway.valid()) ++s.gateway;
+  if (r.workflow.valid()) ++s.workflow;
+  if (r.coallocated) ++s.coalloc;
+  if (r.interactive || r.viz_resource) ++s.viz;
+  if (r.final_state == JobState::kFailed) ++s.failed;
+  if (r.disposition == Disposition::kRequeued) ++s.requeued;
+  if (r.disposition == Disposition::kKilledByOutage) ++s.outage_killed;
+  s.max_width_cores = std::max(s.max_width_cores, r.width_cores());
+  const ComputeResource& res = platform_.compute_at(r.resource);
+  s.max_machine_fraction =
+      std::max(s.max_machine_fraction,
+               static_cast<double>(r.nodes) / res.nodes);
+  s.width_sum += r.width_cores();
+  s.runtimes.push_back(to_seconds(r.runtime()));
+  s.geometry.push_back({r.nodes, r.requested_walltime, r.submit_time});
+  if (r.resource.valid()) {
+    if (std::find(s.seen_resources.begin(), s.seen_resources.end(),
+                  r.resource.value()) == s.seen_resources.end()) {
+      s.seen_resources.push_back(r.resource.value());
+      ++s.distinct_resources;
+    }
+  } else if (!s.invalid_resource_seen) {
+    s.invalid_resource_seen = true;
+    ++s.distinct_resources;
+  }
+}
+
+void StreamingExtractor::on_transfer(const TransferRecord& r) {
+  TG_METRIC_INC(stats_.transfers_ingested);
+  if (!admit(r.end_time)) return;
+  if (!r.user.valid()) return;
+  UserState& s = touch(r.user.value());
+  s.bytes_transferred += r.bytes;
+}
+
+void StreamingExtractor::on_session(const SessionRecord& r) {
+  TG_METRIC_INC(stats_.sessions_ingested);
+  if (!admit(r.end_time)) return;
+  if (!r.user.valid()) return;
+  UserState& s = touch(r.user.value());
+  ++s.sessions;
+  if (r.viz) ++s.viz_sessions;
+}
+
+UserFeatures StreamingExtractor::finalize(UserState& s, UserId user) const {
+  // The tail of FeatureExtractor::compute, verbatim, over the accumulated
+  // state: same divisions, same runtime-sum order, same sort + percentile,
+  // same shared burst counter.
+  UserFeatures f;
+  f.user = user;
+  f.jobs = s.jobs;
+  f.total_nu = s.total_nu;
+  f.total_su = s.total_su;
+  f.max_width_cores = s.max_width_cores;
+  f.max_machine_fraction = s.max_machine_fraction;
+  if (s.jobs > 0) {
+    const double n = static_cast<double>(s.jobs);
+    f.gateway_fraction = s.gateway / n;
+    f.workflow_fraction = s.workflow / n;
+    f.coalloc_fraction = s.coalloc / n;
+    f.viz_fraction = s.viz / n;
+    f.failed_fraction = s.failed / n;
+    f.requeued_fraction = s.requeued / n;
+    f.outage_killed_fraction = s.outage_killed / n;
+    f.mean_width_cores = s.width_sum / n;
+    double runtime_sum = 0.0;
+    for (const double rt : s.runtimes) runtime_sum += rt;
+    f.mean_runtime_s = runtime_sum / n;
+    std::sort(s.runtimes.begin(), s.runtimes.end());
+    f.median_runtime_s = percentile_sorted(s.runtimes, 0.5);
+    f.burst_fraction = count_burst_jobs(s.geometry, config_.features.burst_window,
+                                        config_.features.burst_min_jobs) /
+                       n;
+  }
+  f.distinct_resources = s.distinct_resources;
+  f.bytes_transferred = s.bytes_transferred;
+  f.sessions = s.sessions;
+  f.viz_sessions = s.viz_sessions;
+  return f;
+}
+
+void StreamingExtractor::close_window() {
+  TG_CHECK(window_from_ < config_.series_end, "no open window to close");
+  // Batch extract walks users in id order; first-touch order sorts to the
+  // same sequence.
+  std::sort(active_.begin(), active_.end());
+  window_.from = window_from_;
+  window_.to = window_to_;
+  window_.features.clear();
+  window_.features.reserve(active_.size());
+  for (const std::uint32_t uid : active_) {
+    window_.features.push_back(
+        finalize(users_[uid], UserId{static_cast<UserId::rep>(uid)}));
+  }
+  window_.sets = classifier_.classify(window_.features);
+  window_.primary_users = {};
+  WindowModalities mods(users_.size(), kInactiveUser);
+  for (std::size_t i = 0; i < window_.features.size(); ++i) {
+    const ModalitySet& set = window_.sets[i];
+    if (set.members.none()) continue;
+    mods[static_cast<std::size_t>(window_.features[i].user.value())] =
+        static_cast<std::int8_t>(set.primary);
+    ++window_.primary_users[static_cast<std::size_t>(set.primary)];
+  }
+  window_.gateway_end_users = eu_count_;
+  TG_METRIC_INC(stats_.windows_closed);
+  TG_METRIC_ADD(stats_.users_classified, window_.features.size());
+  stats_.active_users_high_water.max_of(
+      static_cast<double>(active_.size()));
+  series_.push_back(std::move(mods));
+  ts_primary_.push_back(window_.primary_users);
+  ts_gateway_.push_back(window_.gateway_end_users);
+  if (sink_) sink_(window_);
+
+  active_.clear();
+  eu_count_ = 0;
+  ++window_gen_;
+  window_from_ = window_to_;
+  window_to_ = std::min(window_from_ + config_.bucket, config_.series_end);
+}
+
+void StreamingExtractor::finish() {
+  if (finished_) return;
+  while (window_from_ < config_.series_end) close_window();
+  // Uniform row length: earlier windows predate later users; pad them to
+  // the final horizon so churn/trend see rectangular series.
+  for (WindowModalities& w : series_) {
+    w.resize(users_.size(), kInactiveUser);
+  }
+  finished_ = true;
+}
+
+const std::vector<WindowModalities>& StreamingExtractor::series() const {
+  TG_REQUIRE(finished_, "series() requires finish()");
+  return series_;
+}
+
+ModalityTimeSeries StreamingExtractor::time_series() const {
+  TG_REQUIRE(finished_, "time_series() requires finish()");
+  ModalityTimeSeries ts;
+  ts.bucket = config_.bucket;
+  ts.primary_users = ts_primary_;
+  ts.gateway_end_users = ts_gateway_;
+  return ts;
+}
+
+void StreamingExtractor::bind_metrics(obs::MetricsRegistry& registry) const {
+  registry.bind_counter("streaming.jobs_ingested", stats_.jobs_ingested);
+  registry.bind_counter("streaming.transfers_ingested",
+                        stats_.transfers_ingested);
+  registry.bind_counter("streaming.sessions_ingested",
+                        stats_.sessions_ingested);
+  registry.bind_counter("streaming.records_dropped", stats_.records_dropped);
+  registry.bind_counter("streaming.windows_closed", stats_.windows_closed);
+  registry.bind_counter("streaming.users_classified",
+                        stats_.users_classified);
+  registry.bind_gauge("streaming.active_users_high_water",
+                      stats_.active_users_high_water);
+}
+
+}  // namespace tg

@@ -94,6 +94,24 @@ Scenario::Scenario(ScenarioConfig config)
     for (auto& g : gateways_) g->set_trace(config_.trace);
     if (faults_) faults_->set_trace(config_.trace);
   }
+  if (config_.streaming.enabled) {
+    // Out-of-core storage must be selected before the first record lands.
+    if (config_.streaming.segments.segment_records > 0) {
+      db_.enable_segments(config_.streaming.segments);
+    }
+    StreamingConfig sc;
+    sc.series_start = 0;
+    sc.bucket = config_.streaming.bucket;
+    sc.series_end = config_.streaming.series_end;
+    if (sc.series_end == 0) {
+      sc.series_end = (config_.horizon / sc.bucket) * sc.bucket;
+      if (sc.series_end == 0) sc.series_end = config_.horizon;
+    }
+    sc.features = config_.features;
+    sc.thresholds = config_.streaming.thresholds;
+    streaming_ = std::make_unique<StreamingExtractor>(platform_, sc);
+    db_.set_observer(streaming_.get());
+  }
 }
 
 void Scenario::run() {
@@ -111,8 +129,11 @@ void Scenario::run() {
   // Drain: queued and running work completes, nothing new is initiated
   // (the generator guards every submission with the horizon).
   engine_.run();
+  // The drain appended the last records; close the remaining windows so the
+  // streaming series is complete when run() returns.
+  if (streaming_) streaming_->finish();
   span.set_payload(static_cast<std::int64_t>(engine_.events_processed()),
-                   static_cast<std::int64_t>(db_.jobs().size()));
+                   static_cast<std::int64_t>(db_.job_count()));
 }
 
 InvariantReport Scenario::audit_now(AuditPhase phase) const {
@@ -169,13 +190,21 @@ void Scenario::publish_metrics(obs::MetricsRegistry& registry) const {
   pool_->bind_metrics(registry);
   for (const auto& g : gateways_) g->bind_metrics(registry);
   if (faults_) faults_->bind_metrics(registry);
+  if (streaming_) streaming_->bind_metrics(registry);
+  if (db_.segmented()) {
+    const SegmentLogStats seg = db_.segment_stats();
+    registry.counter("seglog.sealed").set(seg.sealed);
+    registry.counter("seglog.spilled").set(seg.spilled);
+    registry.counter("seglog.spilled_bytes").set(seg.spilled_bytes);
+    registry.counter("seglog.spill_failures").set(seg.spill_failures);
+  }
   // Snapshot counts owned by the registry: stable after run().
   registry.counter("scenario.job_records")
-      .set(static_cast<std::uint64_t>(db_.jobs().size()));
+      .set(static_cast<std::uint64_t>(db_.job_count()));
   registry.counter("scenario.transfer_records")
-      .set(static_cast<std::uint64_t>(db_.transfers().size()));
+      .set(static_cast<std::uint64_t>(db_.transfer_count()));
   registry.counter("scenario.session_records")
-      .set(static_cast<std::uint64_t>(db_.sessions().size()));
+      .set(static_cast<std::uint64_t>(db_.session_count()));
   registry.counter("scenario.account_users")
       .set(static_cast<std::uint64_t>(population_.users.size()));
   registry.counter("scenario.gateway_end_users")

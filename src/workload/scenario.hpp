@@ -11,6 +11,7 @@
 #include "accounting/usage_db.hpp"
 #include "core/classifier.hpp"
 #include "core/report.hpp"
+#include "core/streaming.hpp"
 #include "des/engine.hpp"
 #include "fault/fault.hpp"
 #include "fault/invariants.hpp"
@@ -68,6 +69,22 @@ struct ScenarioConfig {
   /// the fault model (see obs/trace.hpp). Single-writer: never share one
   /// buffer between scenarios replicated across a thread pool.
   obs::TraceBuffer* trace = nullptr;
+  /// Streaming modality measurement (DESIGN.md §5.9): when enabled, a
+  /// StreamingExtractor subscribes to the database's append stream and the
+  /// quarterly modality series is produced *during* the run — byte-identical
+  /// to the batch quarterly_series over the same range. A positive
+  /// `segments.segment_records` additionally switches the database to the
+  /// spillable columnar record log (out-of-core accounting).
+  struct StreamingOptions {
+    bool enabled = false;
+    Duration bucket = kQuarter;
+    /// Series end (exclusive); 0 derives floor(horizon / bucket) * bucket,
+    /// falling back to the horizon itself when it is under one bucket.
+    SimTime series_end = 0;
+    ClassifierThresholds thresholds;
+    SegmentLogConfig segments;
+  };
+  StreamingOptions streaming;
 
   // --- Fluent construction --------------------------------------------------
   // `ScenarioConfig::defaults().with_scale(2.0).with_fault_model(f)` reads
@@ -159,6 +176,10 @@ struct ScenarioConfig {
     audit_every = every;
     return *this;
   }
+  ScenarioConfig& with_streaming(StreamingOptions s) {
+    streaming = std::move(s);
+    return *this;
+  }
 };
 
 class Scenario {
@@ -204,6 +225,12 @@ class Scenario {
   [[nodiscard]] bool sharded() const { return engine_.window_execution(); }
   /// Null unless config.faults.enabled().
   [[nodiscard]] const FaultModel* faults() const { return faults_.get(); }
+  /// Null unless config.streaming.enabled. finish() has already run by the
+  /// time run() returns, so series()/time_series() are ready.
+  [[nodiscard]] const StreamingExtractor* streaming() const {
+    return streaming_.get();
+  }
+  [[nodiscard]] StreamingExtractor* streaming() { return streaming_.get(); }
   /// Zero stats when fault injection is disabled.
   [[nodiscard]] FaultModel::Stats fault_stats() const {
     return faults_ ? faults_->stats() : FaultModel::Stats{};
@@ -252,6 +279,7 @@ class Scenario {
   std::vector<std::unique_ptr<Gateway>> gateways_;
   std::unique_ptr<TrafficGenerator> generator_;
   std::unique_ptr<FaultModel> faults_;
+  std::unique_ptr<StreamingExtractor> streaming_;
   ShardPlan shard_plan_;
   /// Workers for windowed execution; null for shards <= 1.
   std::unique_ptr<ThreadPool> shard_pool_;

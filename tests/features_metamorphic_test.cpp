@@ -184,6 +184,83 @@ void expect_split_window_merges(const Scenario& scenario) {
   }
 }
 
+/// Copies every record into a segmented database (optionally in shuffled
+/// order). Same append order as the source -> the extractor walks the same
+/// per-user record sequence -> features must be *exactly* equal, across
+/// any segment cap (segment boundaries are storage, not semantics).
+UsageDatabase segmented_copy(const UsageDatabase& db, std::uint32_t cap,
+                             bool shuffle) {
+  UsageDatabase out;
+  SegmentLogConfig cfg;
+  cfg.segment_records = cap;
+  out.enable_segments(cfg);
+  // Same seed and draw sequence as shuffled_copy, so a shuffled segmented
+  // copy lands records in the identical append order as the shuffled
+  // monolithic copy.
+  std::mt19937 gen(987654321u);
+  auto copy_into = [&gen, &out, shuffle](const auto& records) {
+    std::vector<std::size_t> order(records.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    if (shuffle) std::shuffle(order.begin(), order.end(), gen);
+    for (const std::size_t i : order) out.add(records[i]);
+  };
+  copy_into(db.jobs());
+  copy_into(db.transfers());
+  copy_into(db.sessions());
+  return out;
+}
+
+void expect_exactly_equal(const std::vector<UserFeatures>& a,
+                          const std::vector<UserFeatures>& b) {
+  ASSERT_FALSE(a.empty());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const UserFeatures& x = a[i];
+    const UserFeatures& y = b[i];
+    ASSERT_EQ(x.user, y.user);
+    EXPECT_EQ(x.jobs, y.jobs);
+    EXPECT_EQ(x.total_nu, y.total_nu);
+    EXPECT_EQ(x.total_su, y.total_su);
+    EXPECT_EQ(x.gateway_fraction, y.gateway_fraction);
+    EXPECT_EQ(x.workflow_fraction, y.workflow_fraction);
+    EXPECT_EQ(x.burst_fraction, y.burst_fraction);
+    EXPECT_EQ(x.coalloc_fraction, y.coalloc_fraction);
+    EXPECT_EQ(x.viz_fraction, y.viz_fraction);
+    EXPECT_EQ(x.failed_fraction, y.failed_fraction);
+    EXPECT_EQ(x.requeued_fraction, y.requeued_fraction);
+    EXPECT_EQ(x.outage_killed_fraction, y.outage_killed_fraction);
+    EXPECT_EQ(x.max_width_cores, y.max_width_cores);
+    EXPECT_EQ(x.max_machine_fraction, y.max_machine_fraction);
+    EXPECT_EQ(x.mean_width_cores, y.mean_width_cores);
+    EXPECT_EQ(x.mean_runtime_s, y.mean_runtime_s);
+    EXPECT_EQ(x.median_runtime_s, y.median_runtime_s);
+    EXPECT_EQ(x.distinct_resources, y.distinct_resources);
+    EXPECT_EQ(x.bytes_transferred, y.bytes_transferred);
+    EXPECT_EQ(x.sessions, y.sessions);
+    EXPECT_EQ(x.viz_sessions, y.viz_sessions);
+  }
+}
+
+/// Relation 3: storage-mode invariance — a segmented copy of the database
+/// (same append order) yields bit-identical features at every segment cap,
+/// including caps that split single users' records across many segments.
+void expect_segment_cap_invariant(const Scenario& scenario) {
+  const FeatureExtractor extractor(scenario.platform());
+  const auto want = extractor.extract(scenario.db(), 0, kFar);
+  for (const std::uint32_t cap : {1u, 7u, 256u}) {
+    const UsageDatabase seg =
+        segmented_copy(scenario.db(), cap, /*shuffle=*/false);
+    expect_exactly_equal(extractor.extract(seg, 0, kFar), want);
+  }
+  // And shuffled-into-segments still satisfies relation 1 (same append
+  // order as the shuffled monolithic copy -> exactly equal to it).
+  const UsageDatabase shuffled_seg =
+      segmented_copy(scenario.db(), 32, /*shuffle=*/true);
+  const UsageDatabase shuffled_plain = shuffled_copy(scenario.db());
+  expect_exactly_equal(extractor.extract(shuffled_seg, 0, kFar),
+                       extractor.extract(shuffled_plain, 0, kFar));
+}
+
 TEST(FeaturesMetamorphic, PermutationInvariantFaultFree) {
   Scenario scenario(make_config(false));
   scenario.run();
@@ -208,6 +285,19 @@ TEST(FeaturesMetamorphic, SplitWindowMergesFaulty) {
   scenario.run();
   ASSERT_GT(scenario.fault_stats().outages, 0u);
   expect_split_window_merges(scenario);
+}
+
+TEST(FeaturesMetamorphic, SegmentCapInvariantFaultFree) {
+  Scenario scenario(make_config(false));
+  scenario.run();
+  expect_segment_cap_invariant(scenario);
+}
+
+TEST(FeaturesMetamorphic, SegmentCapInvariantFaulty) {
+  Scenario scenario(make_config(true));
+  scenario.run();
+  ASSERT_GT(scenario.fault_stats().outages, 0u);
+  expect_segment_cap_invariant(scenario);
 }
 
 }  // namespace

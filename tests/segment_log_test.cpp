@@ -1,0 +1,284 @@
+// Spillable columnar record log (see DESIGN.md §5.9): every query answered
+// by the segment log — per-user windows on sealed and open segments, the
+// end-sorted fast path and the unsorted by_end permutation, mmap-backed
+// spilled segments — must match a brute-force append-order scan exactly,
+// at every segment cap. Plus the UsageDatabase segmented-mode parity and
+// the SWF import path that streams through it.
+#include "accounting/segment_log.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <sstream>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "accounting/swf.hpp"
+#include "accounting/usage_db.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace tg {
+namespace {
+
+JobRecord job_rec(UserId::rep user, SimTime end, Duration runtime = kHour,
+                  double nu = 1.0) {
+  JobRecord r;
+  r.job = JobId{end};
+  r.user = UserId{user};
+  r.project = ProjectId{0};
+  r.submit_time = end - runtime;
+  r.start_time = end - runtime;
+  r.end_time = end;
+  r.nodes = 1;
+  r.cores_per_node = 8;
+  r.requested_walltime = runtime;
+  r.charged_nu = nu;
+  return r;
+}
+
+/// Identity of a record for comparisons across storage modes (pointers
+/// differ between the monolithic vectors and the segment log / mmap).
+using Key = std::tuple<JobId::rep, SimTime, UserId::rep>;
+
+Key key_of(const JobRecord& r) {
+  return {r.job.value(), r.end_time, r.user.valid() ? r.user.value() : -1};
+}
+
+/// A per-test scratch directory for spill files (unique per gtest test, so
+/// parallel ctest processes never collide).
+std::filesystem::path spill_dir() {
+  const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+  auto dir = std::filesystem::temp_directory_path() /
+             (std::string("tgsim_seglog_") + info->name());
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+/// The record stream under test: several users, end times either
+/// monotone (the live Recorder's order) or shuffled (archive imports),
+/// including invalid-user records that must be stored but never indexed.
+std::vector<JobRecord> make_stream(bool sorted, int n = 300) {
+  Rng rng(77);
+  std::vector<JobRecord> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const SimTime end = sorted ? (i + 1) * kHour
+                               : rng.uniform_int(1, 500) * kHour;
+    JobRecord r = job_rec(static_cast<UserId::rep>(i % 9), end);
+    if (i % 17 == 0) r.user = UserId{};  // attribute-less accounting line
+    out.push_back(r);
+  }
+  return out;
+}
+
+std::vector<Key> brute_of(const std::vector<JobRecord>& all, UserId user,
+                          SimTime from, SimTime to) {
+  std::vector<Key> out;
+  for (const JobRecord& r : all) {
+    if (r.user == user && r.end_time >= from && r.end_time < to) {
+      out.push_back(key_of(r));
+    }
+  }
+  return out;
+}
+
+std::vector<Key> brute_ending(const std::vector<JobRecord>& all, SimTime from,
+                              SimTime to) {
+  std::vector<Key> out;
+  for (const JobRecord& r : all) {
+    if (r.end_time >= from && r.end_time < to) out.push_back(key_of(r));
+  }
+  return out;
+}
+
+void expect_log_matches_brute(const SegmentLog<JobRecord>& log,
+                              const std::vector<JobRecord>& all) {
+  for (UserId::rep u = 0; u < 9; ++u) {
+    for (const auto& [from, to] :
+         {std::pair<SimTime, SimTime>{0, 501 * kHour},
+          {100 * kHour, 300 * kHour},
+          {250 * kHour, 250 * kHour + 1},
+          {400 * kHour, 100 * kHour}}) {
+      std::vector<Key> got;
+      log.for_each_of(UserId{u}, from, to,
+                      [&got](const JobRecord& r) { got.push_back(key_of(r)); });
+      EXPECT_EQ(got, brute_of(all, UserId{u}, from, to))
+          << "user " << u << " window [" << from << ", " << to << ")";
+    }
+    std::vector<Key> all_time;
+    log.for_each_of(UserId{u}, [&all_time](const JobRecord& r) {
+      all_time.push_back(key_of(r));
+    });
+    EXPECT_EQ(all_time, brute_of(all, UserId{u}, 0, kMaxSimTime));
+  }
+  std::vector<Key> none;
+  log.for_each_of(UserId{}, [&none](const JobRecord& r) {
+    none.push_back(key_of(r));
+  });
+  EXPECT_TRUE(none.empty());  // invalid ids are stored but never indexed
+  for (const auto& [from, to] : {std::pair<SimTime, SimTime>{0, 501 * kHour},
+                                {120 * kHour, 310 * kHour},
+                                {0, 0}}) {
+    std::vector<Key> got;
+    log.for_each_ending_in(from, to, [&got](const JobRecord& r) {
+      got.push_back(key_of(r));
+    });
+    EXPECT_EQ(got, brute_ending(all, from, to));
+  }
+}
+
+TEST(SegmentLog, QueriesMatchBruteForceAcrossCaps) {
+  for (const bool sorted : {true, false}) {
+    const std::vector<JobRecord> all = make_stream(sorted);
+    for (const std::uint32_t cap : {0u, 1u, 3u, 64u}) {
+      SegmentLogConfig cfg;
+      cfg.segment_records = cap;
+      SegmentLog<JobRecord> log(cfg, "jobs");
+      for (const JobRecord& r : all) log.append(r);
+      EXPECT_EQ(log.size(), all.size());
+      EXPECT_EQ(log.user_limit(), 9);
+      if (cap > 0) EXPECT_GE(log.stats().sealed, all.size() / cap - 1);
+      expect_log_matches_brute(log, all);
+    }
+  }
+}
+
+TEST(SegmentLog, SpilledSegmentsAnswerFromMmap) {
+  const auto dir = spill_dir();
+  for (const bool sorted : {true, false}) {
+    const std::vector<JobRecord> all = make_stream(sorted);
+    SegmentLogConfig cfg;
+    cfg.segment_records = 16;
+    cfg.resident_segments = 1;  // almost everything sealed must spill
+    cfg.spill_dir = (dir / (sorted ? "sorted" : "shuffled")).string();
+    std::filesystem::create_directories(cfg.spill_dir);
+    SegmentLog<JobRecord> log(cfg, "jobs");
+    for (const JobRecord& r : all) log.append(r);
+    EXPECT_GT(log.stats().spilled, 0u);
+    EXPECT_GT(log.stats().spilled_bytes, 0u);
+    EXPECT_EQ(log.stats().spill_failures, 0u);
+    expect_log_matches_brute(log, all);
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(SegmentLog, SpillFailureKeepsSegmentResidentAndCorrect) {
+  const std::vector<JobRecord> all = make_stream(/*sorted=*/true, 100);
+  SegmentLogConfig cfg;
+  cfg.segment_records = 16;
+  cfg.resident_segments = 0;
+  cfg.spill_dir = "/nonexistent/tgsim/spill/dir";  // every write fails
+  SegmentLog<JobRecord> log(cfg, "jobs");
+  for (const JobRecord& r : all) log.append(r);
+  EXPECT_GT(log.stats().spill_failures, 0u);
+  EXPECT_EQ(log.stats().spilled, 0u);
+  expect_log_matches_brute(log, all);  // data stayed resident
+}
+
+/// Segmented UsageDatabase answers the shared query surface identically to
+/// the monolithic vectors over the same append stream.
+TEST(SegmentLog, DatabaseSegmentedModeParity) {
+  const auto dir = spill_dir();
+  for (const bool sorted : {true, false}) {
+    const std::vector<JobRecord> all = make_stream(sorted);
+    UsageDatabase plain;
+    UsageDatabase seg;
+    SegmentLogConfig cfg;
+    cfg.segment_records = 32;
+    cfg.resident_segments = 1;
+    cfg.spill_dir = (dir / (sorted ? "s" : "u")).string();
+    std::filesystem::create_directories(cfg.spill_dir);
+    seg.enable_segments(cfg);
+    EXPECT_TRUE(seg.segmented());
+    for (const JobRecord& r : all) {
+      plain.add(r);
+      seg.add(r);
+    }
+    EXPECT_EQ(seg.job_count(), plain.job_count());
+    EXPECT_EQ(seg.user_id_limit(), plain.user_id_limit());
+    EXPECT_DOUBLE_EQ(seg.total_nu(), plain.total_nu());
+    EXPECT_GT(seg.segment_stats().spilled, 0u);
+    const auto keys = [](const std::vector<const JobRecord*>& rs) {
+      std::vector<Key> out;
+      for (const JobRecord* r : rs) out.push_back(key_of(*r));
+      return out;
+    };
+    for (UserId::rep u = 0; u < plain.user_id_limit(); ++u) {
+      EXPECT_EQ(keys(seg.jobs_of(UserId{u})), keys(plain.jobs_of(UserId{u})));
+      const auto got = seg.records_of(UserId{u}, 50 * kHour, 400 * kHour);
+      const auto want = plain.records_of(UserId{u}, 50 * kHour, 400 * kHour);
+      EXPECT_EQ(keys(got.jobs), keys(want.jobs));
+    }
+    EXPECT_EQ(keys(seg.jobs_ending_in(60 * kHour, 120 * kHour)),
+              keys(plain.jobs_ending_in(60 * kHour, 120 * kHour)));
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(SegmentLog, SegmentedModeForbidsRowAccess) {
+  UsageDatabase db;
+  db.enable_segments(SegmentLogConfig{});
+  db.add(job_rec(0, kHour));
+  EXPECT_THROW(db.jobs(), PreconditionError);
+  EXPECT_THROW(db.job_rows_of(UserId{0}), PreconditionError);
+  EXPECT_THROW(db.job_window(0, kDay), PreconditionError);
+  // ... but the shared query surface keeps working.
+  EXPECT_EQ(db.jobs_of(UserId{0}).size(), 1u);
+  EXPECT_EQ(db.job_count(), 1u);
+}
+
+TEST(SegmentLog, EnableSegmentsRequiresEmptyDatabase) {
+  UsageDatabase db;
+  db.add(job_rec(0, kHour));
+  EXPECT_THROW(db.enable_segments(SegmentLogConfig{}), PreconditionError);
+}
+
+/// SWF archives stream through the segment log line by line: the segmented
+/// import must land the identical record stream (and parse diagnostics) as
+/// the monolithic one.
+TEST(SegmentLog, SwfImportStreamsThroughSegments) {
+  UsageDatabase source;
+  Rng rng(5);
+  for (int i = 0; i < 120; ++i) {
+    JobRecord r = job_rec(static_cast<UserId::rep>(i % 5),
+                          rng.uniform_int(1, 400) * kHour);
+    if (i % 4 == 0) {
+      r.gateway = GatewayId{0};
+      r.gateway_end_user = EndUserId{static_cast<EndUserId::rep>(i % 11)};
+    }
+    source.add(r);
+  }
+  std::ostringstream swf;
+  export_swf(source, swf);
+
+  std::istringstream plain_in(swf.str());
+  UsageDatabase plain;
+  const SwfParseStats plain_stats = import_swf_records(plain_in, plain);
+
+  std::istringstream seg_in(swf.str());
+  UsageDatabase seg;
+  SegmentLogConfig cfg;
+  cfg.segment_records = 16;
+  seg.enable_segments(cfg);
+  const SwfParseStats seg_stats = import_swf_records(seg_in, seg);
+
+  EXPECT_EQ(plain_stats.parsed, 120u);
+  EXPECT_EQ(seg_stats.parsed, plain_stats.parsed);
+  EXPECT_EQ(seg_stats.skipped, plain_stats.skipped);
+  EXPECT_EQ(seg.job_count(), plain.job_count());
+  for (UserId::rep u = 0; u < plain.user_id_limit(); ++u) {
+    const auto got = seg.jobs_of(UserId{u});
+    const auto want = plain.jobs_of(UserId{u});
+    ASSERT_EQ(got.size(), want.size()) << "user " << u;
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(key_of(*got[i]), key_of(*want[i]));
+      EXPECT_EQ(got[i]->gateway.valid(), want[i]->gateway.valid());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tg

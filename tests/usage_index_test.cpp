@@ -186,6 +186,43 @@ TEST(UsageIndex, ContiguousWindowOnSortedStream) {
             db.jobs_ending_in(60 * kHour, 120 * kHour).size());
 }
 
+TEST(UsageIndex, MoveLeavesBothDatabasesQueryable) {
+  // Regression: moving a database used to leave the moved-from object with
+  // built indexes pointing into the moved-away record vectors, so the next
+  // query walked freed memory. Both ends of a move must answer queries
+  // correctly afterwards.
+  UsageDatabase a = make_db(/*sorted=*/true);
+  const std::size_t jobs = a.job_count();
+  ASSERT_GT(a.jobs_of(UserId{0}).size(), 0u);  // build the indexes first
+
+  UsageDatabase b(std::move(a));
+  EXPECT_EQ(b.job_count(), jobs);
+  EXPECT_EQ(b.jobs_of(UserId{0}), brute_jobs(b, UserId{0}, 0, kMaxSimTime));
+  EXPECT_FALSE(b.jobs_ending_in(0, 201 * kHour).empty());
+  // The moved-from database is empty and must query as empty — not crash.
+  EXPECT_EQ(a.job_count(), 0u);
+  EXPECT_EQ(a.user_id_limit(), 0);
+  EXPECT_TRUE(a.jobs_of(UserId{0}).empty());
+  EXPECT_TRUE(a.jobs_ending_in(0, 201 * kHour).empty());
+  EXPECT_TRUE(a.records_of(UserId{0}, 0, 201 * kHour).empty());
+  // ... and is reusable: appends and queries start from scratch.
+  a.add(job_rec(3, 5 * kHour));
+  EXPECT_EQ(a.jobs_of(UserId{3}).size(), 1u);
+
+  // Move assignment over a database with its own built indexes: the
+  // target must serve the new contents, not stale postings.
+  UsageDatabase c = make_db(/*sorted=*/false, /*users=*/3,
+                            /*jobs_per_user=*/5);
+  ASSERT_GT(c.jobs_of(UserId{2}).size(), 0u);
+  c = std::move(b);
+  EXPECT_EQ(c.job_count(), jobs);
+  EXPECT_EQ(c.jobs_of(UserId{0}), brute_jobs(c, UserId{0}, 0, kMaxSimTime));
+  EXPECT_EQ(c.jobs_of(UserId{6}), brute_jobs(c, UserId{6}, 0, kMaxSimTime));
+  EXPECT_TRUE(b.jobs_of(UserId{0}).empty());
+  b.add(job_rec(1, kHour));
+  EXPECT_EQ(b.jobs_of(UserId{1}).size(), 1u);
+}
+
 TEST(UsageIndex, TotalNuTracksAppends) {
   UsageDatabase db;
   db.add(job_rec(0, kHour, kHour, 2.5));
