@@ -166,7 +166,7 @@ void BM_SegmentedIngest(benchmark::State& state) {
     UsageDatabase db;
     db.enable_segments(cfg);
     StreamingExtractor ex(platform, streaming_config());
-    db.set_observer(&ex);
+    db.add_observer(&ex);
     t.replay([&db](const JobRecord& r) { db.add(r); },
              [&db](const TransferRecord& r) { db.add(r); },
              [&db](const SessionRecord& r) { db.add(r); });

@@ -35,17 +35,29 @@ int main(int argc, char** argv) {
                         .with_shards(options.shards)
                         .with_streaming(streaming)
                         .with_trace(obsv.trace()));
+  // Under --streaming the series accumulates push-style through the
+  // scenario's subscription surface: each closing window appends one row,
+  // and the series is complete the moment run() returns — no post-hoc
+  // polling of the extractor.
+  ModalityTimeSeries streamed;
+  if (options.streaming) {
+    scenario.subscribe([&streamed](const StreamingWindow& w) {
+      streamed.primary_users.push_back(w.primary_users);
+      streamed.gateway_end_users.push_back(w.gateway_end_users);
+    });
+  }
   scenario.run();
 
   const RuleClassifier classifier;
   // Whole quarters only; the drain tail past 8 x 91 days is excluded. The
   // eight windows classify in parallel (index-ordered fan-in keeps the
   // series byte-identical at every --jobs level). Under --streaming the
-  // series was already produced during the run, window by window.
+  // subscribed series was already produced during the run, window by
+  // window.
   Replicator workers(options.jobs);
   const ModalityTimeSeries series =
       options.streaming
-          ? scenario.streaming()->time_series()
+          ? std::move(streamed)
           : quarterly_series(scenario.platform(), scenario.db(), classifier,
                              0, 8 * kQuarter, scenario.config().features,
                              workers.pool(), obsv.trace());

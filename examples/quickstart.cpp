@@ -9,24 +9,24 @@
 #include "workload/scenario.hpp"
 
 int main() {
-  tg::PopulationMix mix;
-  mix.capacity_users = 60;
-  mix.capability_users = 8;
-  mix.gateway_end_users = 50;
-  mix.workflow_users = 20;
-  mix.coupled_users = 4;
-  mix.viz_users = 10;
-  mix.data_users = 10;
-  mix.exploratory_users = 30;
+  tg::ArchetypeRegistry registry = tg::ArchetypeRegistry::builtin()
+                                       .set_count("capacity", 60)
+                                       .set_count("capability", 8)
+                                       .set_count("gateway", 50)
+                                       .set_count("workflow", 20)
+                                       .set_count("coupled", 4)
+                                       .set_count("viz", 10)
+                                       .set_count("data", 10)
+                                       .set_count("exploratory", 30);
 
   std::cout << "Simulating one quarter of a TeraGrid-like platform ("
-            << mix.account_users() << " account users, "
-            << mix.gateway_end_users << " gateway end users)...\n";
+            << registry.account_users() << " account users, "
+            << registry.find("gateway")->count << " gateway end users)...\n";
 
   tg::Scenario scenario(tg::ScenarioConfig::defaults()
                             .with_seed(7)
                             .with_horizon(tg::kQuarter)  // one quarter
-                            .with_mix(mix));
+                            .with_registry(registry));
   scenario.run();
 
   std::cout << "Jobs recorded:      " << scenario.db().jobs().size() << "\n"

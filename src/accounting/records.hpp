@@ -96,6 +96,10 @@ struct JobRecord {
   bool interactive = false;
   bool coallocated = false;
   bool viz_resource = false;  ///< ran on a visualization system
+  // Data-grid stage-in outcome; all-zero for jobs that staged nothing.
+  double bytes_read = 0.0;
+  double bytes_from_cache = 0.0;
+  Duration stage_in = 0;
 
   [[nodiscard]] Duration wait() const { return start_time - submit_time; }
   [[nodiscard]] Duration runtime() const { return end_time - start_time; }

@@ -172,6 +172,100 @@ class SegmentLog {
   [[nodiscard]] const SegmentLogStats& stats() const { return stats_; }
   [[nodiscard]] std::size_t sealed_segments() const { return sealed_.size(); }
 
+  /// Seals the open segment (if any) and spills every sealed segment to
+  /// config.spill_dir regardless of the residency budget, so the log's
+  /// entire history is on disk and a later process can reopen it with
+  /// recover_from_spill(). Returns true when every segment reached disk;
+  /// false with no spill_dir or on any I/O failure (failed segments stay
+  /// resident and queryable). Appending after a checkpoint is fine — the
+  /// next checkpoint writes only the segments sealed since.
+  bool checkpoint() {
+    if (config_.spill_dir.empty()) return false;
+    if (!open_records_.empty()) seal();
+    bool ok = true;
+    for (std::size_t i = 0; i < sealed_.size(); ++i) {
+      Sealed& s = sealed_[i];
+      if (s.spilled()) continue;
+      if (spill(s, i)) {
+        s.spill_failed = false;
+      } else {
+        if (!s.spill_failed) {
+          s.spill_failed = true;
+          ++stats_.spill_failures;
+        }
+        ok = false;
+      }
+    }
+    return ok;
+  }
+
+  /// Restart recovery: scans config.spill_dir for "<tag>-<seq>.tgseg"
+  /// files written by an earlier process (checkpoint() or regular
+  /// spilling), starting at seq 0 and stopping at the first gap. Each file
+  /// is mapped read-only, its header validated (magic, record size,
+  /// section bounds), and its immutable view rebuilt — the recovered log
+  /// answers the same queries over the spilled history and accepts new
+  /// appends after it. Must be called on a fresh, empty log. Returns the
+  /// number of segments recovered. Throws on a corrupt file.
+  std::size_t recover_from_spill() {
+    TG_REQUIRE(empty() && sealed_.empty(),
+               "recover_from_spill requires a fresh, empty log");
+    TG_REQUIRE(!config_.spill_dir.empty(),
+               "recover_from_spill needs config.spill_dir");
+    using seg_detail::SegmentFileHeader;
+    for (std::size_t seq = 0;; ++seq) {
+      const std::string path = config_.spill_dir + "/" + tag_ + "-" +
+                               std::to_string(seq) + ".tgseg";
+      seg_detail::MappedFile map;
+      if (!map.open(path)) break;  // first gap ends the sealed prefix
+      TG_REQUIRE(map.size() >= sizeof(SegmentFileHeader),
+                 "truncated segment file " << path);
+      SegmentFileHeader h;
+      std::memcpy(&h, map.data(), sizeof(h));
+      TG_REQUIRE(h.magic == SegmentFileHeader::kMagic,
+                 "bad magic in segment file " << path);
+      TG_REQUIRE(h.record_size == sizeof(Record),
+                 "segment file " << path << " holds records of "
+                                 << h.record_size << " bytes, expected "
+                                 << sizeof(Record));
+      const bool end_sorted = (h.flags & 1u) != 0;
+      std::uint64_t need = h.off_rows + h.posting_rows * sizeof(std::uint32_t);
+      if (!end_sorted) {
+        need = h.off_by_end + h.count * sizeof(std::uint32_t);
+      }
+      TG_REQUIRE(map.size() >= need, "segment file " << path
+                                                     << " shorter than its "
+                                                        "recorded sections");
+      Sealed s;
+      const std::byte* base = map.data();
+      s.map = std::move(map);
+      s.view.count = h.count;
+      s.view.user_count = h.user_count;
+      s.view.end_sorted = end_sorted;
+      s.view.min_end = h.min_end;
+      s.view.max_end = h.max_end;
+      s.view.records = reinterpret_cast<const Record*>(base + h.off_records);
+      s.view.keys =
+          reinterpret_cast<const std::uint32_t*>(base + h.off_keys);
+      s.view.offsets =
+          reinterpret_cast<const std::uint32_t*>(base + h.off_offsets);
+      s.view.rows = reinterpret_cast<const std::uint32_t*>(base + h.off_rows);
+      s.view.by_end = end_sorted ? nullptr
+                                 : reinterpret_cast<const std::uint32_t*>(
+                                       base + h.off_by_end);
+      if (h.user_count > 0) {
+        user_limit_ = std::max<UserId::rep>(
+            user_limit_, s.view.keys[h.user_count - 1] + 1);
+      }
+      stats_.appended += h.count;
+      ++stats_.sealed;
+      ++stats_.spilled;
+      stats_.spilled_bytes += s.map.size();
+      sealed_.push_back(std::move(s));
+    }
+    return sealed_.size();
+  }
+
   /// `user`'s records with end time in [from, to), in append order.
   template <class Fn>
   void for_each_of(UserId user, SimTime from, SimTime to, Fn&& fn) const {

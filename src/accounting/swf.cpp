@@ -33,16 +33,25 @@ std::string to_swf_line(const JobRecord& r, long job_number) {
   const long wait = static_cast<long>(r.wait() / kSecond);
   const long run = static_cast<long>(r.runtime() / kSecond);
   const long procs = r.width_cores();
+  // Data-grid stage-in rides the memory/think-time fields (megabytes /
+  // seconds); jobs that staged nothing keep the SWF missing value, so
+  // grid-less exports are unchanged byte for byte.
+  const long read_mb =
+      r.bytes_read > 0.0 ? static_cast<long>(r.bytes_read / 1e6) : -1;
+  const long cached_mb =
+      r.bytes_read > 0.0 ? static_cast<long>(r.bytes_from_cache / 1e6) : -1;
+  const long stage_in_s =
+      r.stage_in > 0 ? static_cast<long>(r.stage_in / kSecond) : -1;
   os << job_number << ' '            // 1 job number
      << submit << ' '                // 2 submit time
      << wait << ' '                  // 3 wait time
      << run << ' '                   // 4 run time
      << procs << ' '                 // 5 allocated processors
      << -1 << ' '                    // 6 average CPU time
-     << -1 << ' '                    // 7 used memory
+     << read_mb << ' '               // 7 used memory (staged input MB)
      << procs << ' '                 // 8 requested processors
      << static_cast<long>(r.requested_walltime / kSecond) << ' '  // 9
-     << -1 << ' '                    // 10 requested memory
+     << cached_mb << ' '             // 10 requested memory (cache-served MB)
      << to_swf_status(r.final_state) << ' '  // 11 status
      << r.user.value() << ' '        // 12 user
      << r.project.value() << ' '     // 13 group (project)
@@ -54,7 +63,7 @@ std::string to_swf_line(const JobRecord& r, long job_number) {
      << (r.gateway.valid() ? 1 : 0) << ' '  // 15 queue (gateway flag)
      << r.resource.value() << ' '    // 16 partition (resource)
      << -1 << ' '                    // 17 preceding job
-     << -1;                          // 18 think time
+     << stage_in_s;                  // 18 think time (stage-in seconds)
   return os.str();
 }
 
@@ -118,6 +127,9 @@ void for_each_swf_job(std::istream& in,
     job.executable = f[13];
     job.queue = f[14];
     job.partition = f[15];
+    job.used_memory = f[6];
+    job.requested_memory = f[9];
+    job.think_time = f[17];
     sink(job);
   }
   if (stats != nullptr) *stats = local;
@@ -169,6 +181,12 @@ JobRecord to_record(const SwfJob& job, int cores_per_node) {
     default: r.final_state = JobState::kCompleted; break;
   }
   r.disposition = disposition_of(r.final_state);
+  // Reverse the field 7/10/18 stage-in conventions (see to_swf_line).
+  if (job.used_memory >= 0) r.bytes_read = static_cast<double>(job.used_memory) * 1e6;
+  if (job.requested_memory >= 0) {
+    r.bytes_from_cache = static_cast<double>(job.requested_memory) * 1e6;
+  }
+  if (job.think_time > 0) r.stage_in = job.think_time * kSecond;
   // Core-hours at NU parity: the trace carries no normalization factor.
   r.charged_su = static_cast<double>(r.width_cores()) *
                  (static_cast<double>(run) / 3600.0);

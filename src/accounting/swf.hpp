@@ -34,6 +34,9 @@ struct SwfJob {
   long executable = -1;  ///< we map the interned gateway end-user id here
   long queue = -1;  ///< we map the gateway flag here (1 = gateway job)
   long partition = -1;  ///< we map the resource id here
+  long used_memory = -1;  ///< we map staged input megabytes here
+  long requested_memory = -1;  ///< we map cache-served megabytes here
+  long think_time = -1;  ///< we map stage-in seconds here
 };
 
 /// Serializes one job record as an SWF line. `job_number` is 1-based per

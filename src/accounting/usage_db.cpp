@@ -331,6 +331,9 @@ void Recorder::on_job_end(const Job& job) {
   r.interactive = job.req.interactive;
   r.coallocated = job.req.coallocated;
   r.viz_resource = res.interactive_viz;
+  r.bytes_read = job.req.bytes_read;
+  r.bytes_from_cache = job.req.bytes_from_cache;
+  r.stage_in = job.req.stage_in;
   if (ledger_ != nullptr) ledger_->debit(r.project, r.charged_nu);
   db_.add(std::move(r));
 }

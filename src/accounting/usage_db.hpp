@@ -83,7 +83,7 @@ class UsageDatabase {
         disposition_counts_(other.disposition_counts_),
         end_user_limit_(other.end_user_limit_),
         end_user_pool_(other.end_user_pool_),
-        observer_(other.observer_) {
+        observers_(std::move(other.observers_)) {
     // The moved-from object's lazy indexes still say "built" but their
     // posting rows point into the vectors that just moved away; leave it
     // pristine instead of queryable-but-corrupt.
@@ -102,7 +102,7 @@ class UsageDatabase {
       disposition_counts_ = other.disposition_counts_;
       end_user_limit_ = other.end_user_limit_;
       end_user_pool_ = other.end_user_pool_;
-      observer_ = other.observer_;
+      observers_ = std::move(other.observers_);
       // Both sides' lazy indexes are stale now: ours describe the rows we
       // just dropped, the source's describe rows that moved here.
       jobs_index_.invalidate();
@@ -129,6 +129,37 @@ class UsageDatabase {
     session_log_ = SegmentLog<SessionRecord>(config, "sessions");
   }
   [[nodiscard]] bool segmented() const { return segmented_; }
+  /// Seals and spills all three streams' full history to the configured
+  /// spill directory (see SegmentLog::checkpoint). True when everything
+  /// reached disk.
+  bool checkpoint_segments() {
+    TG_REQUIRE(segmented_, "checkpoint_segments requires segmented storage");
+    const bool jobs_ok = job_log_.checkpoint();
+    const bool transfers_ok = transfer_log_.checkpoint();
+    const bool sessions_ok = session_log_.checkpoint();
+    return jobs_ok && transfers_ok && sessions_ok;
+  }
+  /// Restart recovery: switches to segmented storage and reopens the
+  /// spilled history a previous process left in config.spill_dir (see
+  /// SegmentLog::recover_from_spill). The database must be empty. Derived
+  /// aggregates (total_nu, disposition counts, end-user limit) are rebuilt
+  /// by replaying the recovered job stream.
+  void recover_segments(const SegmentLogConfig& config) {
+    enable_segments(config);
+    job_log_.recover_from_spill();
+    transfer_log_.recover_from_spill();
+    session_log_.recover_from_spill();
+    job_log_.for_each_ending_in(
+        std::numeric_limits<SimTime>::min(), kMaxSimTime,
+        [this](const JobRecord& r) {
+          total_nu_ += r.charged_nu;
+          ++disposition_counts_[static_cast<std::size_t>(r.disposition)];
+          if (r.gateway_end_user.valid()) {
+            end_user_limit_ =
+                std::max(end_user_limit_, r.gateway_end_user.value() + 1);
+          }
+        });
+  }
   /// Spill/seal counters summed across the three streams (zeros when
   /// segments are disabled).
   [[nodiscard]] SegmentLogStats segment_stats() const {
@@ -144,9 +175,13 @@ class UsageDatabase {
     return s;
   }
 
-  /// Registers (or clears, with nullptr) the append observer. The observer
-  /// must outlive the database or be cleared first.
-  void set_observer(RecordObserver* observer) { observer_ = observer; }
+  /// Subscribes an append observer (notified in subscription order). The
+  /// observer must outlive the database. Prefer Scenario::subscribe(),
+  /// which forwards here.
+  void add_observer(RecordObserver* observer) {
+    TG_REQUIRE(observer != nullptr, "observer must be non-null");
+    observers_.push_back(observer);
+  }
 
   void add(JobRecord r) {
     total_nu_ += r.charged_nu;
@@ -163,7 +198,7 @@ class UsageDatabase {
       jobs_index_.invalidate();
       stored = &jobs_.back();
     }
-    if (observer_ != nullptr) observer_->on_job(*stored);
+    for (RecordObserver* o : observers_) o->on_job(*stored);
   }
   void add(TransferRecord r) {
     const TransferRecord* stored;
@@ -174,7 +209,7 @@ class UsageDatabase {
       transfers_index_.invalidate();
       stored = &transfers_.back();
     }
-    if (observer_ != nullptr) observer_->on_transfer(*stored);
+    for (RecordObserver* o : observers_) o->on_transfer(*stored);
   }
   void add(SessionRecord r) {
     const SessionRecord* stored;
@@ -185,7 +220,7 @@ class UsageDatabase {
       sessions_index_.invalidate();
       stored = &sessions_.back();
     }
-    if (observer_ != nullptr) observer_->on_session(*stored);
+    for (RecordObserver* o : observers_) o->on_session(*stored);
   }
 
   /// Record counts, O(1) in both storage modes.
@@ -353,7 +388,7 @@ class UsageDatabase {
     disposition_counts_ = {};
     end_user_limit_ = 0;
     end_user_pool_ = nullptr;
-    observer_ = nullptr;
+    observers_.clear();
     jobs_index_.invalidate();
     transfers_index_.invalidate();
     sessions_index_.invalidate();
@@ -370,7 +405,7 @@ class UsageDatabase {
   std::array<std::uint64_t, kDispositionCount> disposition_counts_{};
   EndUserId::rep end_user_limit_ = 0;
   const StringPool* end_user_pool_ = nullptr;
-  RecordObserver* observer_ = nullptr;
+  std::vector<RecordObserver*> observers_;
   StreamIndex jobs_index_;
   StreamIndex transfers_index_;
   StreamIndex sessions_index_;

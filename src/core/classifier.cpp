@@ -43,6 +43,13 @@ ModalitySet RuleClassifier::classify(const UserFeatures& f) const {
       f.bytes_per_nu() >= t.data_bytes_per_nu) {
     set.add(Modality::kDataCentric);
   }
+  // Data-intensive compute: jobs whose staged input footprint dwarfs the
+  // charge. Only the data grid fills bytes_read, so this never fires in
+  // scenarios without one.
+  if (f.bytes_read >= t.data_min_bytes_read &&
+      f.read_per_nu() >= t.data_read_per_nu) {
+    set.add(Modality::kDataCentric);
+  }
   const bool tiny_compute = f.total_nu <= t.exploratory_max_nu &&
                             f.max_width_cores <= t.exploratory_max_cores;
   // Records lost to infrastructure (requeued attempts, outage kills) are

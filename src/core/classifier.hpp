@@ -31,6 +31,13 @@ struct ClassifierThresholds {
   double data_min_bytes = 1e12;
   /// ... and at least this many bytes per charged NU.
   double data_bytes_per_nu = 1e9;
+  /// Data-centric via staged compute input: at least this many bytes
+  /// staged in by the data grid over the window (a quarter-TB: an order
+  /// of magnitude past what incidental dataset reads accumulate) ...
+  double data_min_bytes_read = 2.5e11;
+  /// ... and at least this many staged bytes per charged NU. Both gates
+  /// are unreachable at bytes_read == 0 (scenarios without a data grid).
+  double data_read_per_nu = 2.5e8;
   /// Exploratory: total charge below this many NUs ...
   double exploratory_max_nu = 500.0;
   /// ... and widest job below this many cores; or failure fraction above

@@ -214,6 +214,9 @@ UserFeatures FeatureExtractor::compute(
   for (const JobRecord* r : jobs) {
     f.total_nu += r->charged_nu;
     f.total_su += r->charged_su;
+    f.bytes_read += r->bytes_read;
+    f.bytes_read_cached += r->bytes_from_cache;
+    f.stage_in_s += to_seconds(r->stage_in);
     if (r->gateway.valid()) ++gateway;
     if (r->workflow.valid()) ++workflow;
     if (r->coallocated) ++coalloc;

@@ -47,10 +47,24 @@ struct UserFeatures {
   double bytes_transferred = 0.0;
   int sessions = 0;
   int viz_sessions = 0;
+  /// Data-grid stage-in footprint summed over the user's jobs (zero unless
+  /// the scenario ran with a data grid).
+  double bytes_read = 0.0;
+  double bytes_read_cached = 0.0;
+  double stage_in_s = 0.0;
 
   [[nodiscard]] double bytes_per_nu() const {
     return total_nu > 0.0 ? bytes_transferred / total_nu
                           : bytes_transferred;
+  }
+  /// Staged input bytes per normalized unit of compute — the data-intensity
+  /// ratio the classifier keys on.
+  [[nodiscard]] double read_per_nu() const {
+    return total_nu > 0.0 ? bytes_read / total_nu : bytes_read;
+  }
+  /// Fraction of staged bytes served by the site cache tier.
+  [[nodiscard]] double cache_hit_fraction() const {
+    return bytes_read > 0.0 ? bytes_read_cached / bytes_read : 0.0;
   }
 };
 

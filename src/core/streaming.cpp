@@ -45,6 +45,9 @@ StreamingExtractor::UserState& StreamingExtractor::touch(UserId::rep uid) {
     s.jobs = 0;
     s.total_nu = 0.0;
     s.total_su = 0.0;
+    s.bytes_read = 0.0;
+    s.bytes_read_cached = 0.0;
+    s.stage_in_s = 0.0;
     s.gateway = 0;
     s.workflow = 0;
     s.coalloc = 0;
@@ -90,6 +93,9 @@ void StreamingExtractor::on_job(const JobRecord& r) {
   ++s.jobs;
   s.total_nu += r.charged_nu;
   s.total_su += r.charged_su;
+  s.bytes_read += r.bytes_read;
+  s.bytes_read_cached += r.bytes_from_cache;
+  s.stage_in_s += to_seconds(r.stage_in);
   if (r.gateway.valid()) ++s.gateway;
   if (r.workflow.valid()) ++s.workflow;
   if (r.coallocated) ++s.coalloc;
@@ -143,6 +149,9 @@ UserFeatures StreamingExtractor::finalize(UserState& s, UserId user) const {
   f.jobs = s.jobs;
   f.total_nu = s.total_nu;
   f.total_su = s.total_su;
+  f.bytes_read = s.bytes_read;
+  f.bytes_read_cached = s.bytes_read_cached;
+  f.stage_in_s = s.stage_in_s;
   f.max_width_cores = s.max_width_cores;
   f.max_machine_fraction = s.max_machine_fraction;
   if (s.jobs > 0) {
@@ -202,7 +211,7 @@ void StreamingExtractor::close_window() {
   series_.push_back(std::move(mods));
   ts_primary_.push_back(window_.primary_users);
   ts_gateway_.push_back(window_.gateway_end_users);
-  if (sink_) sink_(window_);
+  for (const auto& sink : sinks_) sink(window_);
 
   active_.clear();
   eu_count_ = 0;

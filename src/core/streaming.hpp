@@ -90,11 +90,12 @@ class StreamingExtractor final : public UsageDatabase::RecordObserver {
   /// quarterly_series. Available after finish().
   [[nodiscard]] ModalityTimeSeries time_series() const;
 
-  /// Invoked synchronously as each window closes (before finish() returns
-  /// for the trailing windows). The StreamingWindow is reused across
-  /// windows: copy out what you keep.
-  void set_window_sink(std::function<void(const StreamingWindow&)> sink) {
-    sink_ = std::move(sink);
+  /// Subscribes a sink invoked synchronously as each window closes (before
+  /// finish() returns for the trailing windows), in subscription order.
+  /// The StreamingWindow is reused across windows: copy out what you keep.
+  /// Prefer Scenario::subscribe(), which forwards here.
+  void add_window_sink(std::function<void(const StreamingWindow&)> sink) {
+    sinks_.push_back(std::move(sink));
   }
 
   /// Deterministic ingest/classify counters (sim-stream functions only, no
@@ -123,6 +124,9 @@ class StreamingExtractor final : public UsageDatabase::RecordObserver {
     int jobs = 0;
     double total_nu = 0.0;
     double total_su = 0.0;
+    double bytes_read = 0.0;
+    double bytes_read_cached = 0.0;
+    double stage_in_s = 0.0;
     int gateway = 0;
     int workflow = 0;
     int coalloc = 0;
@@ -172,7 +176,7 @@ class StreamingExtractor final : public UsageDatabase::RecordObserver {
   std::vector<std::array<int, kModalityCount>> ts_primary_;
   std::vector<int> ts_gateway_;
 
-  std::function<void(const StreamingWindow&)> sink_;
+  std::vector<std::function<void(const StreamingWindow&)>> sinks_;
   Stats stats_;
 };
 

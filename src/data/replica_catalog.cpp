@@ -1,0 +1,48 @@
+#include "data/replica_catalog.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace tg {
+
+std::size_t ReplicaCatalog::index(DatasetId id) const {
+  TG_REQUIRE(id.valid() && static_cast<std::size_t>(id.value()) < size(),
+             "unknown dataset id " << id);
+  return static_cast<std::size_t>(id.value());
+}
+
+DatasetId ReplicaCatalog::add(std::string_view name, double bytes) {
+  TG_REQUIRE(!name.empty(), "dataset name must be non-empty");
+  TG_REQUIRE(bytes > 0.0, "dataset size must be positive");
+  TG_REQUIRE(!names_.find(name).valid(),
+             "dataset '" << name << "' registered twice");
+  const auto pooled = names_.intern(name);
+  const DatasetId id{static_cast<DatasetId::rep>(pooled.value())};
+  TG_CHECK(static_cast<std::size_t>(id.value()) == bytes_.size(),
+           "catalog ids must stay dense");
+  bytes_.push_back(bytes);
+  replicas_.emplace_back();
+  return id;
+}
+
+void ReplicaCatalog::add_replica(DatasetId id, SiteId site) {
+  auto& sites = replicas_[index(id)];
+  if (std::find(sites.begin(), sites.end(), site) == sites.end()) {
+    sites.push_back(site);
+  }
+}
+
+std::string_view ReplicaCatalog::name(DatasetId id) const {
+  return names_.at(EndUserId{static_cast<EndUserId::rep>(index(id))});
+}
+
+double ReplicaCatalog::replicated_bytes() const {
+  double total = 0.0;
+  for (std::size_t i = 0; i < bytes_.size(); ++i) {
+    total += bytes_[i] * static_cast<double>(replicas_[i].size());
+  }
+  return total;
+}
+
+}  // namespace tg

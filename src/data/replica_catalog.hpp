@@ -1,0 +1,52 @@
+// The replica catalog: dataset names, sizes and replica locations.
+//
+// Models the grid-wide replica location service (RLS/LFC analogue): every
+// dataset is registered once with its size, names are interned through the
+// existing StringPool so the hot path moves dense 4-byte DatasetIds, and
+// each dataset lists the sites holding a replica. The catalog is built at
+// scenario construction and read-only afterwards.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "util/ids.hpp"
+#include "util/string_pool.hpp"
+
+namespace tg {
+
+class ReplicaCatalog {
+ public:
+  ReplicaCatalog() = default;
+
+  /// Registers a dataset; the name is interned and the returned id is dense
+  /// in first-registration order. Registering the same name twice is a bug
+  /// (datasets are created once, by the DataGrid).
+  DatasetId add(std::string_view name, double bytes);
+
+  /// Adds a replica location (duplicates are ignored).
+  void add_replica(DatasetId id, SiteId site);
+
+  [[nodiscard]] double bytes(DatasetId id) const {
+    return bytes_[index(id)];
+  }
+  [[nodiscard]] const std::vector<SiteId>& replicas(DatasetId id) const {
+    return replicas_[index(id)];
+  }
+  [[nodiscard]] std::string_view name(DatasetId id) const;
+  /// Number of datasets registered (ids are dense [0, size())).
+  [[nodiscard]] std::size_t size() const { return bytes_.size(); }
+  /// Total replicated bytes (sum of size * replica count).
+  [[nodiscard]] double replicated_bytes() const;
+
+ private:
+  [[nodiscard]] std::size_t index(DatasetId id) const;
+
+  /// Dataset names; StringPool ids are dense in first-intern order, so a
+  /// DatasetId and the pool id of its name share the same value.
+  StringPool names_;
+  std::vector<double> bytes_;
+  std::vector<std::vector<SiteId>> replicas_;
+};
+
+}  // namespace tg

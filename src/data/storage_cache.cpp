@@ -1,0 +1,124 @@
+#include "data/storage_cache.hpp"
+
+#include "util/error.hpp"
+
+namespace tg {
+
+StorageCache::StorageCache(double capacity_bytes, CachePolicy policy)
+    : capacity_bytes_(capacity_bytes), policy_(policy) {
+  TG_REQUIRE(capacity_bytes > 0.0, "cache capacity must be positive");
+}
+
+std::int32_t StorageCache::slot_of(DatasetId id) const {
+  if (!id.valid()) return kNil;
+  const auto v = static_cast<std::size_t>(id.value());
+  return v < slot_by_dataset_.size() ? slot_by_dataset_[v] : kNil;
+}
+
+bool StorageCache::contains(DatasetId id) const { return slot_of(id) != kNil; }
+
+bool StorageCache::lookup(DatasetId id, double bytes) {
+  const std::int32_t slot = slot_of(id);
+  if (slot == kNil) {
+    ++stats_.misses;
+    stats_.bytes_missed += bytes;
+    return false;
+  }
+  ++stats_.hits;
+  stats_.bytes_hit += bytes;
+  touch(slot);
+  return true;
+}
+
+void StorageCache::admit(DatasetId id, double bytes) {
+  TG_REQUIRE(id.valid(), "cannot admit the invalid dataset id");
+  TG_REQUIRE(bytes > 0.0, "dataset bytes must be positive");
+  std::int32_t slot = slot_of(id);
+  if (slot != kNil) {
+    touch(slot);
+    return;
+  }
+  if (bytes > capacity_bytes_) {
+    ++stats_.rejected;
+    return;
+  }
+  while (used_bytes_ + bytes > capacity_bytes_) evict_one();
+  if (free_slots_.empty()) {
+    slot = static_cast<std::int32_t>(slab_.size());
+    slab_.emplace_back();
+  } else {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  }
+  Entry& e = slab_[static_cast<std::size_t>(slot)];
+  e.id = id;
+  e.bytes = bytes;
+  const auto v = static_cast<std::size_t>(id.value());
+  if (v >= slot_by_dataset_.size()) slot_by_dataset_.resize(v + 1, kNil);
+  slot_by_dataset_[v] = slot;
+  push_front(slot);
+  used_bytes_ += bytes;
+  ++resident_;
+  ++stats_.insertions;
+}
+
+void StorageCache::touch(std::int32_t slot) {
+  if (head_ == slot) return;
+  unlink(slot);
+  push_front(slot);
+}
+
+void StorageCache::unlink(std::int32_t slot) {
+  Entry& e = slab_[static_cast<std::size_t>(slot)];
+  if (e.prev != kNil) {
+    slab_[static_cast<std::size_t>(e.prev)].next = e.next;
+  } else {
+    head_ = e.next;
+  }
+  if (e.next != kNil) {
+    slab_[static_cast<std::size_t>(e.next)].prev = e.prev;
+  } else {
+    tail_ = e.prev;
+  }
+  e.prev = e.next = kNil;
+}
+
+void StorageCache::push_front(std::int32_t slot) {
+  Entry& e = slab_[static_cast<std::size_t>(slot)];
+  e.prev = kNil;
+  e.next = head_;
+  if (head_ != kNil) slab_[static_cast<std::size_t>(head_)].prev = slot;
+  head_ = slot;
+  if (tail_ == kNil) tail_ = slot;
+}
+
+void StorageCache::evict_one() {
+  TG_CHECK(tail_ != kNil, "eviction from an empty cache");
+  std::int32_t victim = tail_;
+  if (policy_ == CachePolicy::kSizeAwareLru) {
+    // Largest dataset among the last kSizeAwareWindow LRU entries; on a
+    // byte tie the least recently used (closest to the tail) wins, so the
+    // choice is fully deterministic.
+    std::int32_t cursor = tail_;
+    double victim_bytes = slab_[static_cast<std::size_t>(victim)].bytes;
+    for (int i = 0; i < kSizeAwareWindow && cursor != kNil;
+         ++i, cursor = slab_[static_cast<std::size_t>(cursor)].prev) {
+      const Entry& e = slab_[static_cast<std::size_t>(cursor)];
+      if (e.bytes > victim_bytes) {
+        victim = cursor;
+        victim_bytes = e.bytes;
+      }
+    }
+  }
+  Entry& e = slab_[static_cast<std::size_t>(victim)];
+  unlink(victim);
+  slot_by_dataset_[static_cast<std::size_t>(e.id.value())] = kNil;
+  used_bytes_ -= e.bytes;
+  --resident_;
+  ++stats_.evictions;
+  stats_.bytes_evicted += e.bytes;
+  e.id = DatasetId{};
+  free_slots_.push_back(victim);
+}
+
+}  // namespace tg

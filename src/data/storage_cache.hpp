@@ -1,0 +1,112 @@
+// Per-site dataset storage cache.
+//
+// Each site fronts its WAN stage-ins with a bounded cache of whole datasets
+// (the disk-cache tier of an HEP-style data federation). Two deterministic
+// eviction policies: plain LRU, and a size-aware variant that evicts the
+// largest dataset among the LRU tail window — large one-shot inputs leave
+// first, small hot datasets survive. All counters are sim-deterministic;
+// there is no wall-clock or randomness anywhere in this file.
+//
+// Implementation: an intrusive doubly-linked LRU list over a slab of
+// entries, with a dense DatasetId -> slab slot table (dataset ids are dense
+// small integers handed out by the ReplicaCatalog). Every operation is O(1)
+// except an eviction sweep, which is O(evictions + tail window).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "data/access_profile.hpp"
+#include "util/ids.hpp"
+
+namespace tg {
+
+/// Observability counters (hit/miss/eviction dynamics — what the cache
+/// policy experiment sweeps).
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t insertions = 0;
+  std::uint64_t evictions = 0;
+  /// Admissions skipped because the dataset alone exceeds capacity.
+  std::uint64_t rejected = 0;
+  double bytes_hit = 0.0;
+  double bytes_missed = 0.0;
+  double bytes_evicted = 0.0;
+
+  [[nodiscard]] double hit_rate() const {
+    const std::uint64_t total = hits + misses;
+    return total > 0 ? static_cast<double>(hits) / static_cast<double>(total)
+                     : 0.0;
+  }
+  [[nodiscard]] double byte_hit_rate() const {
+    const double total = bytes_hit + bytes_missed;
+    return total > 0.0 ? bytes_hit / total : 0.0;
+  }
+
+  CacheStats& operator+=(const CacheStats& o) {
+    hits += o.hits;
+    misses += o.misses;
+    insertions += o.insertions;
+    evictions += o.evictions;
+    rejected += o.rejected;
+    bytes_hit += o.bytes_hit;
+    bytes_missed += o.bytes_missed;
+    bytes_evicted += o.bytes_evicted;
+    return *this;
+  }
+};
+
+class StorageCache {
+ public:
+  StorageCache(double capacity_bytes, CachePolicy policy);
+
+  /// True (and touches + counts a hit) if `id` is resident; counts a miss
+  /// otherwise. `bytes` feeds the byte-level hit/miss counters.
+  bool lookup(DatasetId id, double bytes);
+
+  /// Inserts `id` after a miss was staged in, evicting per policy until it
+  /// fits. A dataset larger than the whole cache is rejected (counted), not
+  /// admitted. Admitting a resident dataset just touches it.
+  void admit(DatasetId id, double bytes);
+
+  /// Residency probe without stats side effects (tests, reporting).
+  [[nodiscard]] bool contains(DatasetId id) const;
+
+  [[nodiscard]] double used_bytes() const { return used_bytes_; }
+  [[nodiscard]] double capacity_bytes() const { return capacity_bytes_; }
+  [[nodiscard]] std::size_t resident() const { return resident_; }
+  [[nodiscard]] CachePolicy policy() const { return policy_; }
+  [[nodiscard]] const CacheStats& stats() const { return stats_; }
+
+ private:
+  static constexpr std::int32_t kNil = -1;
+  /// How deep into the LRU tail the size-aware policy looks for its victim.
+  static constexpr int kSizeAwareWindow = 8;
+
+  struct Entry {
+    DatasetId id;
+    double bytes = 0.0;
+    std::int32_t prev = kNil;
+    std::int32_t next = kNil;
+  };
+
+  void touch(std::int32_t slot);
+  void unlink(std::int32_t slot);
+  void push_front(std::int32_t slot);
+  void evict_one();
+  [[nodiscard]] std::int32_t slot_of(DatasetId id) const;
+
+  double capacity_bytes_;
+  CachePolicy policy_;
+  double used_bytes_ = 0.0;
+  std::size_t resident_ = 0;
+  std::vector<Entry> slab_;
+  std::vector<std::int32_t> free_slots_;
+  std::vector<std::int32_t> slot_by_dataset_;  ///< dense by DatasetId value
+  std::int32_t head_ = kNil;  ///< most recently used
+  std::int32_t tail_ = kNil;  ///< least recently used
+  CacheStats stats_;
+};
+
+}  // namespace tg

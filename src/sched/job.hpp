@@ -49,6 +49,11 @@ struct JobRequest {
   WorkflowId workflow;         ///< valid if part of a workflow/ensemble
   bool interactive = false;      ///< interactive/viz session job
   bool coallocated = false;      ///< part of a cross-site co-allocation
+  // Data-grid stage-in outcome (data/data_grid.hpp); all-zero when the job
+  // never staged data.
+  double bytes_read = 0.0;        ///< total input footprint
+  double bytes_from_cache = 0.0;  ///< served by the site cache tier
+  Duration stage_in = 0;          ///< wall time spent staging before submit
 };
 
 struct Job {

@@ -50,6 +50,9 @@ using WorkflowId = Id<struct WorkflowIdTag, std::int64_t>;
 using TransferId = Id<struct TransferIdTag, std::int64_t>;
 using ReservationId = Id<struct ReservationIdTag, std::int64_t>;
 using LinkId = Id<struct LinkIdTag>;
+/// Dense id of an interned dataset name in a ReplicaCatalog (see
+/// data/replica_catalog.hpp).
+using DatasetId = Id<struct DatasetIdTag>;
 
 }  // namespace tg
 

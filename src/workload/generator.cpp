@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <type_traits>
+#include <variant>
 
 #include "util/distributions.hpp"
 #include "util/error.hpp"
@@ -37,7 +39,7 @@ TrafficGenerator::TrafficGenerator(
     Engine& engine, const Platform& platform, SchedulerPool& pool,
     FlowManager* flows, WorkflowEngine& workflows, CoAllocator& coalloc,
     std::vector<std::unique_ptr<Gateway>>& gateways, Recorder& recorder,
-    const Population& population, ArchetypeParams params, Duration horizon,
+    const Population& population, DataGrid* data_grid, Duration horizon,
     Rng rng)
     : engine_(engine),
       platform_(platform),
@@ -48,9 +50,16 @@ TrafficGenerator::TrafficGenerator(
       gateways_(gateways),
       recorder_(recorder),
       population_(population),
-      params_(params),
+      data_grid_(data_grid),
       horizon_(horizon) {
   TG_REQUIRE(horizon > 0, "horizon must be positive");
+  for (const ArchetypeSpec& spec : population.registry.specs()) {
+    if (spec.is_gateway()) {
+      gateway_params_ = std::get<GatewayUserParams>(spec.behavior);
+      gateway_per_week_ = spec.per_week;
+      break;
+    }
+  }
   user_rngs_.reserve(population.users.size());
   for (std::size_t i = 0; i < population.users.size(); ++i) {
     user_rngs_.push_back(rng.fork(0x10000 + i));
@@ -100,34 +109,10 @@ void TrafficGenerator::start() {
 
 void TrafficGenerator::schedule_account_arrival(std::size_t user_idx) {
   const SyntheticUser& user = population_.users[user_idx];
+  const ArchetypeSpec& spec = population_.registry.at(user.archetype);
+  TG_CHECK(!spec.is_gateway(), "community accounts do not self-generate");
   Rng& rng = user_rng(user_idx);
-  double per_week = 0.0;
-  switch (user.modality) {
-    case Modality::kCapacityBatch:
-      per_week = params_.capacity.campaigns_per_week;
-      break;
-    case Modality::kCapabilityBatch:
-      per_week = params_.capability.campaigns_per_week;
-      break;
-    case Modality::kWorkflowEnsemble:
-      per_week = params_.workflow.campaigns_per_week;
-      break;
-    case Modality::kTightlyCoupled:
-      per_week = params_.coupled.campaigns_per_week;
-      break;
-    case Modality::kRemoteInteractive:
-      per_week = params_.viz.sessions_per_week;
-      break;
-    case Modality::kDataCentric:
-      per_week = params_.data.transfers_per_week;
-      break;
-    case Modality::kExploratory:
-      per_week = params_.exploratory.bursts_per_week;
-      break;
-    case Modality::kGateway:
-      TG_CHECK(false, "community accounts do not self-generate");
-  }
-  const Duration gap = arrival_gap(per_week, user.activity_scale, rng);
+  const Duration gap = arrival_gap(spec.per_week, user.activity_scale, rng);
   const SimTime at = engine_.now() + gap;
   if (at >= horizon_) return;
   engine_.schedule_at(at, [this, user_idx] { run_account_campaign(user_idx); },
@@ -136,18 +121,31 @@ void TrafficGenerator::schedule_account_arrival(std::size_t user_idx) {
 
 void TrafficGenerator::run_account_campaign(std::size_t user_idx) {
   const SyntheticUser& user = population_.users[user_idx];
+  const ArchetypeSpec& spec = population_.registry.at(user.archetype);
   Rng& rng = user_rng(user_idx);
-  ++campaigns_[static_cast<std::size_t>(user.modality)];
-  switch (user.modality) {
-    case Modality::kCapacityBatch: campaign_capacity(user, rng); break;
-    case Modality::kCapabilityBatch: campaign_capability(user, rng); break;
-    case Modality::kWorkflowEnsemble: campaign_workflow(user, rng); break;
-    case Modality::kTightlyCoupled: campaign_coupled(user, rng); break;
-    case Modality::kRemoteInteractive: campaign_viz(user, rng); break;
-    case Modality::kDataCentric: campaign_data(user, rng); break;
-    case Modality::kExploratory: campaign_exploratory(user, rng); break;
-    case Modality::kGateway: break;
-  }
+  ++campaigns_[static_cast<std::size_t>(spec.truth)];
+  std::visit(
+      [&](const auto& p) {
+        using T = std::decay_t<decltype(p)>;
+        if constexpr (std::is_same_v<T, CapacityParams>) {
+          campaign_capacity(user, spec, p, rng);
+        } else if constexpr (std::is_same_v<T, CapabilityParams>) {
+          campaign_capability(user, spec, p, rng);
+        } else if constexpr (std::is_same_v<T, WorkflowParams>) {
+          campaign_workflow(user, p, rng);
+        } else if constexpr (std::is_same_v<T, CoupledParams>) {
+          campaign_coupled(user, p, rng);
+        } else if constexpr (std::is_same_v<T, VizParams>) {
+          campaign_viz(user, p, rng);
+        } else if constexpr (std::is_same_v<T, DataParams>) {
+          campaign_data(user, p, rng);
+        } else if constexpr (std::is_same_v<T, ExploratoryParams>) {
+          campaign_exploratory(user, spec, p, rng);
+        } else {
+          TG_CHECK(false, "community accounts do not self-generate");
+        }
+      },
+      spec.behavior);
   schedule_account_arrival(user_idx);
 }
 
@@ -194,8 +192,38 @@ void TrafficGenerator::submit_later(Duration delay, ResourceId resource,
       EventPriority::kSubmission);
 }
 
-void TrafficGenerator::campaign_capacity(const SyntheticUser& user, Rng& rng) {
-  const CapacityParams& p = params_.capacity;
+void TrafficGenerator::dispatch_job(const ArchetypeSpec& spec,
+                                    const SyntheticUser& user, Duration delay,
+                                    ResourceId resource, JobRequest request,
+                                    Rng& rng) {
+  if (data_grid_ == nullptr || !spec.data.enabled ||
+      !data_grid_->has_pool(user.archetype)) {
+    submit_later(delay, resource, std::move(request));
+    return;
+  }
+  DataAccessProfile profile = data_grid_->draw_profile(user.archetype, rng);
+  const SimTime at = engine_.now() + delay;
+  if (at >= horizon_) return;
+  engine_.schedule_at(
+      at,
+      [this, resource, request = std::move(request),
+       profile = std::move(profile)]() mutable {
+        data_grid_->stage_in(
+            resource, request.user, request.project, std::move(profile),
+            [this, resource,
+             request = std::move(request)](const StageInResult& r) mutable {
+              request.bytes_read = r.bytes_read;
+              request.bytes_from_cache = r.bytes_from_cache;
+              request.stage_in = r.stage_in;
+              pool_.at(resource).submit(std::move(request));
+            });
+      },
+      EventPriority::kSubmission);
+}
+
+void TrafficGenerator::campaign_capacity(const SyntheticUser& user,
+                                         const ArchetypeSpec& spec,
+                                         const CapacityParams& p, Rng& rng) {
   const int njobs = static_cast<int>(
       rng.uniform_int(p.jobs_per_campaign_min, p.jobs_per_campaign_max));
   const Exponential think(1.0 / static_cast<double>(p.think_mean));
@@ -209,16 +237,18 @@ void TrafficGenerator::campaign_capacity(const SyntheticUser& user, Rng& rng) {
         snap_to_power_of_two(cores_dist.sample(rng), p.pow2_prob, rng);
     const Duration actual =
         lognormal_runtime(p.runtime_mean_hours, p.runtime_cv, rng);
-    submit_later(offset, target,
+    dispatch_job(spec, user, offset, target,
                  make_request(user, target, static_cast<int>(cores), actual,
-                              p.fail_prob, p.kill_prob, rng));
+                              p.fail_prob, p.kill_prob, rng),
+                 rng);
     offset += static_cast<Duration>(think.sample(rng));
   }
 }
 
 void TrafficGenerator::campaign_capability(const SyntheticUser& user,
+                                           const ArchetypeSpec& spec,
+                                           const CapabilityParams& p,
                                            Rng& rng) {
-  const CapabilityParams& p = params_.capability;
   const ResourceId target = user.preferred.front();
   const ComputeResource& res = platform_.compute_at(target);
   const double frac =
@@ -226,13 +256,14 @@ void TrafficGenerator::campaign_capability(const SyntheticUser& user,
   const int cores = std::max(1, static_cast<int>(frac * res.total_cores()));
   const Duration actual =
       lognormal_runtime(p.runtime_mean_hours, p.runtime_cv, rng);
-  submit_later(0, target,
+  dispatch_job(spec, user, 0, target,
                make_request(user, target, cores, actual, p.fail_prob,
-                            p.kill_prob, rng));
+                            p.kill_prob, rng),
+               rng);
 }
 
-void TrafficGenerator::campaign_workflow(const SyntheticUser& user, Rng& rng) {
-  const WorkflowParams& p = params_.workflow;
+void TrafficGenerator::campaign_workflow(const SyntheticUser& user,
+                                         const WorkflowParams& p, Rng& rng) {
   const LogUniformInt width_dist(p.width_min, p.width_max);
   const int width = static_cast<int>(width_dist.sample(rng));
   const int member_nodes = static_cast<int>(
@@ -289,8 +320,8 @@ void TrafficGenerator::campaign_workflow(const SyntheticUser& user, Rng& rng) {
   }
 }
 
-void TrafficGenerator::campaign_coupled(const SyntheticUser& user, Rng& rng) {
-  const CoupledParams& p = params_.coupled;
+void TrafficGenerator::campaign_coupled(const SyntheticUser& user,
+                                        const CoupledParams& p, Rng& rng) {
   CoAllocRequest req;
   req.user = user.id;
   req.project = project_of(user.id);
@@ -317,8 +348,8 @@ void TrafficGenerator::campaign_coupled(const SyntheticUser& user, Rng& rng) {
   coalloc_.co_allocate(req);
 }
 
-void TrafficGenerator::campaign_viz(const SyntheticUser& user, Rng& rng) {
-  const VizParams& p = params_.viz;
+void TrafficGenerator::campaign_viz(const SyntheticUser& user,
+                                    const VizParams& p, Rng& rng) {
   const ResourceId target = user.preferred.front();
   const ComputeResource& res = platform_.compute_at(target);
   const Duration len = static_cast<Duration>(
@@ -351,8 +382,8 @@ void TrafficGenerator::campaign_viz(const SyntheticUser& user, Rng& rng) {
   });
 }
 
-void TrafficGenerator::campaign_data(const SyntheticUser& user, Rng& rng) {
-  const DataParams& p = params_.data;
+void TrafficGenerator::campaign_data(const SyntheticUser& user,
+                                     const DataParams& p, Rng& rng) {
   if (flows_ == nullptr) return;
   const auto nsites = static_cast<std::int64_t>(platform_.sites().size());
   const SiteId src{static_cast<SiteId::rep>(rng.uniform_int(0, nsites - 1))};
@@ -379,8 +410,9 @@ void TrafficGenerator::campaign_data(const SyntheticUser& user, Rng& rng) {
 }
 
 void TrafficGenerator::campaign_exploratory(const SyntheticUser& user,
+                                            const ArchetypeSpec& spec,
+                                            const ExploratoryParams& p,
                                             Rng& rng) {
-  const ExploratoryParams& p = params_.exploratory;
   const int njobs = static_cast<int>(
       rng.uniform_int(p.jobs_per_burst_min, p.jobs_per_burst_max));
   const ResourceId target = user.preferred.front();
@@ -389,9 +421,9 @@ void TrafficGenerator::campaign_exploratory(const SyntheticUser& user,
   for (int j = 0; j < njobs; ++j) {
     const Duration actual =
         lognormal_runtime(p.runtime_mean_hours, p.runtime_cv, rng);
-    submit_later(offset, target,
-                 make_request(user, target, 1, actual, p.fail_prob, 0.05,
-                              rng));
+    dispatch_job(spec, user, offset, target,
+                 make_request(user, target, 1, actual, p.fail_prob, 0.05, rng),
+                 rng);
     offset += static_cast<Duration>(gap.sample(rng));
   }
 }
@@ -399,8 +431,7 @@ void TrafficGenerator::campaign_exploratory(const SyntheticUser& user,
 void TrafficGenerator::schedule_gateway_arrival(std::size_t end_user_idx) {
   const GatewayEndUser& eu = population_.gateway_end_users[end_user_idx];
   Rng& rng = end_user_rng(end_user_idx);
-  const Duration gap = arrival_gap(params_.gateway.sessions_per_week,
-                                   eu.activity_scale, rng);
+  const Duration gap = arrival_gap(gateway_per_week_, eu.activity_scale, rng);
   const SimTime at = engine_.now() + gap;
   if (at >= horizon_) return;
   engine_.schedule_at(
@@ -413,7 +444,7 @@ void TrafficGenerator::run_gateway_session(std::size_t end_user_idx) {
   Rng& rng = end_user_rng(end_user_idx);
   ++campaigns_[static_cast<std::size_t>(Modality::kGateway)];
   Gateway& gw = *gateways_[eu.gateway_index];
-  const GatewayUserParams& p = params_.gateway;
+  const GatewayUserParams& p = gateway_params_;
   const int njobs = static_cast<int>(
       rng.uniform_int(p.jobs_per_session_min, p.jobs_per_session_max));
   const Exponential think(1.0 / static_cast<double>(10 * kMinute));

@@ -79,55 +79,47 @@ Population build_population(const Platform& platform,
     return current_project;
   };
 
-  const auto add_account = [&](Modality m, const char* kind,
+  const auto add_account = [&](const ArchetypeSpec& spec,
+                               std::size_t archetype,
                                std::vector<ResourceId> preferred) {
-    const ProjectId proj = next_project(kind);
+    const ProjectId proj = next_project(spec.name.c_str());
     const UserId uid = pop.community.add_user(
-        std::string(kind) + "-" + std::to_string(pop.community.user_count()),
-        proj);
+        spec.name + "-" + std::to_string(pop.community.user_count()), proj);
     SyntheticUser u;
     u.id = uid;
-    u.modality = m;
+    u.modality = spec.truth;
+    u.archetype = archetype;
     u.preferred = std::move(preferred);
     u.activity_scale = activity.sample(scales);
     pop.users.push_back(u);
-    pop.truth.primary.push_back(m);
+    pop.truth.primary.push_back(spec.truth);
     return uid;
   };
 
-  const PopulationMix& mix = config.mix;
-  for (int i = 0; i < mix.capacity_users; ++i) {
-    add_account(Modality::kCapacityBatch, "capacity",
-                pick_preferred(platform, prefs, 2, false));
-  }
-  for (int i = 0; i < mix.capability_users; ++i) {
-    // Capability users need genuinely large machines.
-    add_account(Modality::kCapabilityBatch, "capability",
-                pick_preferred(platform, prefs, 1, false, /*min_nodes=*/256));
-  }
-  for (int i = 0; i < mix.workflow_users; ++i) {
-    add_account(Modality::kWorkflowEnsemble, "workflow",
-                pick_preferred(platform, prefs, 2, false));
-  }
-  for (int i = 0; i < mix.coupled_users; ++i) {
-    add_account(Modality::kTightlyCoupled, "coupled",
-                pick_preferred(platform, prefs, 2, false, /*min_nodes=*/64));
-  }
-  for (int i = 0; i < mix.viz_users; ++i) {
-    add_account(Modality::kRemoteInteractive, "viz",
-                pick_preferred(platform, prefs, 1, true));
-  }
-  for (int i = 0; i < mix.data_users; ++i) {
-    add_account(Modality::kDataCentric, "data",
-                pick_preferred(platform, prefs, 1, false));
-  }
-  for (int i = 0; i < mix.exploratory_users; ++i) {
-    add_account(Modality::kExploratory, "exploratory",
-                pick_preferred(platform, prefs, 1, false));
+  // Specs consume the preference/scale substreams strictly in registry
+  // order, so appended specs never perturb the builtins' draws.
+  pop.registry = config.registry.empty()
+                     ? ArchetypeRegistry::builtin(ArchetypeParams{}, config.mix)
+                     : config.registry;
+  const ArchetypeSpec* gateway_spec = nullptr;
+  for (std::size_t a = 0; a < pop.registry.size(); ++a) {
+    const ArchetypeSpec& spec = pop.registry.at(a);
+    if (spec.is_gateway()) {
+      gateway_spec = &spec;
+      continue;  // gateway end users are labels, not accounts — see below
+    }
+    for (int i = 0; i < spec.count; ++i) {
+      add_account(spec, a,
+                  pick_preferred(platform, prefs, spec.preferred_count,
+                                 spec.prefer_viz, spec.min_nodes));
+    }
   }
 
   // Gateways: one community account + project each, targeting the large
-  // batch machines.
+  // batch machines (the gateway spec's preference trait).
+  const int gw_preferred = gateway_spec ? gateway_spec->preferred_count : 3;
+  const bool gw_viz = gateway_spec ? gateway_spec->prefer_viz : false;
+  const int gw_min_nodes = gateway_spec ? gateway_spec->min_nodes : 96;
   static const char* kGatewayNames[] = {"nanoHUB", "CIPRES", "GridChem",
                                         "LEAD",    "SIDGrid", "RENCI-Sci"};
   for (int g = 0; g < config.gateways; ++g) {
@@ -143,14 +135,16 @@ Population build_population(const Platform& platform,
     gc.community_account = account;
     gc.project = proj;
     gc.attribute_coverage = config.gateway_attribute_coverage;
-    gc.targets = pick_preferred(platform, prefs, 3, false, /*min_nodes=*/96);
+    gc.targets =
+        pick_preferred(platform, prefs, gw_preferred, gw_viz, gw_min_nodes);
     pop.gateway_configs.push_back(std::move(gc));
   }
 
   // Gateway end users: labels with a Zipf-skew over gateways and an
   // adoption ramp for the growth figure.
+  const int gateway_end_users = gateway_spec ? gateway_spec->count : 0;
   const Zipf gateway_pick(static_cast<std::size_t>(config.gateways), 1.1);
-  for (int i = 0; i < mix.gateway_end_users; ++i) {
+  for (int i = 0; i < gateway_end_users; ++i) {
     GatewayEndUser eu;
     eu.gateway_index = gateway_pick.sample(scales) - 1;
     eu.label = pop.gateway_configs[eu.gateway_index].name + ":user" +

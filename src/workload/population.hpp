@@ -11,6 +11,7 @@
 #include "infra/platform.hpp"
 #include "util/rng.hpp"
 #include "util/string_pool.hpp"
+#include "workload/archetype_registry.hpp"
 #include "workload/archetypes.hpp"
 
 namespace tg {
@@ -19,6 +20,9 @@ namespace tg {
 struct SyntheticUser {
   UserId id;
   Modality modality = Modality::kCapacityBatch;
+  /// Index of this user's spec in the population's ArchetypeRegistry — the
+  /// generator resolves arrival rate and campaign behavior through it.
+  std::size_t archetype = 0;
   /// Preferred compute resources (most users stick to one or two).
   std::vector<ResourceId> preferred;
   /// Multiplies the archetype's campaign rate (population heterogeneity).
@@ -39,6 +43,10 @@ struct GatewayEndUser {
 };
 
 struct PopulationConfig {
+  /// Which archetypes exist and how many actors each gets. When empty, the
+  /// canonical builtin registry is derived from `mix` (the compat shim for
+  /// callers predating the registry).
+  ArchetypeRegistry registry;
   PopulationMix mix;
   int gateways = 3;
   double gateway_attribute_coverage = 0.9;
@@ -53,6 +61,9 @@ struct PopulationConfig {
 
 /// Everything the generator needs about who exists.
 struct Population {
+  /// The (resolved) registry this population was built from; users index
+  /// into it via SyntheticUser::archetype.
+  ArchetypeRegistry registry;
   Community community;
   std::vector<SyntheticUser> users;
   std::vector<GatewayConfig> gateway_configs;  ///< community accounts included

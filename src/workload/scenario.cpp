@@ -21,6 +21,7 @@ ScenarioConfig& ScenarioConfig::with_scale(double factor) {
   mix.viz_users = scaled(mix.viz_users);
   mix.data_users = scaled(mix.data_users);
   mix.exploratory_users = scaled(mix.exploratory_users);
+  if (!registry.empty()) registry.scale(factor);
   return *this;
 }
 
@@ -30,6 +31,12 @@ Scenario::Scenario(ScenarioConfig config)
       population_([&] {
         Rng rng(config_.seed);
         PopulationConfig pc;
+        // Resolve the registry here (not in build_population's fallback) so
+        // config_.archetypes reaches the builtin specs' rates/behavior.
+        pc.registry = config_.registry.empty()
+                          ? ArchetypeRegistry::builtin(config_.archetypes,
+                                                       config_.mix)
+                          : config_.registry;
         pc.mix = config_.mix;
         pc.gateways = config_.gateways;
         pc.gateway_attribute_coverage = config_.gateway_attribute_coverage;
@@ -75,10 +82,22 @@ Scenario::Scenario(ScenarioConfig config)
         engine_, *pool_, GatewayId{static_cast<GatewayId::rep>(g)},
         population_.gateway_configs[g]));
   }
+  if (config_.data_grid.enabled) {
+    // Like faults: a dedicated "data" fork, and a disabled config never
+    // constructs the subsystem at all (zero draws, zero events).
+    std::vector<DataAccessSpec> archetype_data;
+    archetype_data.reserve(population_.registry.size());
+    for (const ArchetypeSpec& s : population_.registry.specs()) {
+      archetype_data.push_back(s.data);
+    }
+    data_grid_ = std::make_unique<DataGrid>(
+        engine_, platform_, flows_.get(), config_.data_grid,
+        std::move(archetype_data), Rng(config_.seed).fork("data"));
+  }
   Rng traffic_rng = Rng(config_.seed).fork("traffic");
   generator_ = std::make_unique<TrafficGenerator>(
       engine_, platform_, *pool_, flows_.get(), *workflows_, *coalloc_,
-      gateways_, *recorder_, population_, config_.archetypes,
+      gateways_, *recorder_, population_, data_grid_.get(),
       config_.horizon, traffic_rng);
   if (config_.faults.enabled()) {
     // A dedicated fork: fault randomness never perturbs the traffic stream,
@@ -110,7 +129,7 @@ Scenario::Scenario(ScenarioConfig config)
     sc.features = config_.features;
     sc.thresholds = config_.streaming.thresholds;
     streaming_ = std::make_unique<StreamingExtractor>(platform_, sc);
-    db_.set_observer(streaming_.get());
+    db_.add_observer(streaming_.get());
   }
 }
 
@@ -190,6 +209,7 @@ void Scenario::publish_metrics(obs::MetricsRegistry& registry) const {
   pool_->bind_metrics(registry);
   for (const auto& g : gateways_) g->bind_metrics(registry);
   if (faults_) faults_->bind_metrics(registry);
+  if (data_grid_) data_grid_->bind_metrics(registry);
   if (streaming_) streaming_->bind_metrics(registry);
   if (db_.segmented()) {
     const SegmentLogStats seg = db_.segment_stats();

@@ -22,6 +22,7 @@
 #include "obs/trace.hpp"
 #include "parallel/thread_pool.hpp"
 #include "sched/pool.hpp"
+#include "util/error.hpp"
 #include "workflow/engine.hpp"
 #include "workload/generator.hpp"
 #include "workload/population.hpp"
@@ -33,6 +34,15 @@ struct ScenarioConfig {
   Duration horizon = kYear;
   PopulationMix mix;
   ArchetypeParams archetypes;
+  /// Composable archetype registry. Empty (the default) means "derive the
+  /// canonical builtin registry from `archetypes` + `mix`" — the compat
+  /// shim that keeps every pre-registry caller byte-identical. Non-empty
+  /// registries are taken verbatim; `mix`/`archetypes` are then ignored.
+  ArchetypeRegistry registry;
+  /// Replica catalog + site caches + stage-in model. Disabled by default:
+  /// no DataGrid is constructed, no "data" RNG substream is forked, and
+  /// output is byte-identical to a build without the subsystem.
+  DataGridConfig data_grid;
   SchedulerConfig sched;
   int gateways = 3;
   double gateway_attribute_coverage = 0.9;
@@ -107,10 +117,33 @@ struct ScenarioConfig {
     return *this;
   }
   /// Multiplies every archetype count in the current mix by `factor`
-  /// (rounded, floor 1 for counts that started positive).
+  /// (rounded, floor 1 for counts that started positive). Scales the
+  /// explicit registry too when one is set.
   ScenarioConfig& with_scale(double factor);
   ScenarioConfig& with_archetypes(ArchetypeParams a) {
     archetypes = a;
+    return *this;
+  }
+  /// Replaces the archetype registry wholesale.
+  ScenarioConfig& with_registry(ArchetypeRegistry r) {
+    registry = std::move(r);
+    return *this;
+  }
+  /// Adds (or replaces, by name) one archetype spec. On first use the
+  /// registry is seeded from the current `archetypes` + `mix`, so call this
+  /// *after* with_mix()/with_archetypes() — later changes to those fields
+  /// no longer reach a non-empty registry.
+  ScenarioConfig& with_archetype(ArchetypeSpec spec) {
+    if (registry.empty()) {
+      registry = ArchetypeRegistry::builtin(archetypes, mix);
+    }
+    registry.add(std::move(spec));
+    return *this;
+  }
+  /// Enables the data-grid subsystem (replica catalog, site caches,
+  /// stage-in before submission for specs with a data trait).
+  ScenarioConfig& with_data_grid(DataGridConfig d) {
+    data_grid = d;
     return *this;
   }
   ScenarioConfig& with_sched(SchedulerConfig s) {
@@ -211,6 +244,7 @@ class Scenario {
   [[nodiscard]] const Population& population() const { return population_; }
   [[nodiscard]] const GroundTruth& truth() const { return population_.truth; }
   [[nodiscard]] const UsageDatabase& db() const { return db_; }
+  [[nodiscard]] UsageDatabase& db() { return db_; }
   [[nodiscard]] const AllocationLedger& ledger() const { return ledger_; }
   [[nodiscard]] SchedulerPool& pool() { return *pool_; }
   [[nodiscard]] const SchedulerPool& pool() const { return *pool_; }
@@ -219,6 +253,8 @@ class Scenario {
     return *generator_;
   }
   [[nodiscard]] FlowManager* flows() { return flows_.get(); }
+  /// Null unless config.data_grid.enabled.
+  [[nodiscard]] const DataGrid* data_grid() const { return data_grid_.get(); }
   /// Topology-derived partitioning (coordinator + one partition per site).
   [[nodiscard]] const ShardPlan& shard_plan() const { return shard_plan_; }
   /// True when run() will use windowed (sharded) execution.
@@ -234,6 +270,20 @@ class Scenario {
   /// Zero stats when fault injection is disabled.
   [[nodiscard]] FaultModel::Stats fault_stats() const {
     return faults_ ? faults_->stats() : FaultModel::Stats{};
+  }
+
+  /// The one subscription surface over the run's taps. Window sinks fire
+  /// synchronously as each streaming window closes (requires
+  /// config.streaming.enabled; call before run()); record observers fire
+  /// on every accounting append. Replaces reaching into
+  /// streaming()->series() polling and db-level observer wiring.
+  void subscribe(std::function<void(const StreamingWindow&)> sink) {
+    TG_REQUIRE(streaming_ != nullptr,
+               "subscribe(window sink) requires config.streaming.enabled");
+    streaming_->add_window_sink(std::move(sink));
+  }
+  void subscribe(UsageDatabase::RecordObserver* observer) {
+    db_.add_observer(observer);
   }
 
   /// Convenience: the headline modality report over the full horizon. A
@@ -271,6 +321,7 @@ class Scenario {
   Population population_;
   std::unique_ptr<SchedulerPool> pool_;
   std::unique_ptr<FlowManager> flows_;
+  std::unique_ptr<DataGrid> data_grid_;
   UsageDatabase db_;
   AllocationLedger ledger_;
   std::unique_ptr<Recorder> recorder_;

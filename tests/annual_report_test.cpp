@@ -14,14 +14,15 @@ class AnnualReportFixture : public ::testing::Test {
       ScenarioConfig config;
       config.seed = 99;
       config.horizon = 45 * kDay;
-      config.mix.capacity_users = 30;
-      config.mix.capability_users = 4;
-      config.mix.gateway_end_users = 20;
-      config.mix.workflow_users = 8;
-      config.mix.coupled_users = 2;
-      config.mix.viz_users = 4;
-      config.mix.data_users = 6;
-      config.mix.exploratory_users = 10;
+      config.registry = ArchetypeRegistry::builtin()
+                            .set_count("capacity", 30)
+                            .set_count("capability", 4)
+                            .set_count("gateway", 20)
+                            .set_count("workflow", 8)
+                            .set_count("coupled", 2)
+                            .set_count("viz", 4)
+                            .set_count("data", 6)
+                            .set_count("exploratory", 10);
       auto* scenario = new Scenario(std::move(config));
       scenario->run();
       return scenario;

@@ -9,28 +9,26 @@
 namespace tg {
 namespace {
 
-/// A scenario with exactly one archetype populated.
-Scenario single_archetype(int PopulationMix::* member, int count,
+/// A scenario with exactly one archetype populated: the builtin registry
+/// with every count zeroed except the named spec's.
+ArchetypeRegistry only(std::string_view name, int count) {
+  ArchetypeRegistry reg = ArchetypeRegistry::builtin();
+  for (const ArchetypeSpec& spec : reg.specs()) reg.set_count(spec.name, 0);
+  reg.set_count(name, count);
+  return reg;
+}
+
+Scenario single_archetype(std::string_view name, int count,
                           std::uint64_t seed = 5,
                           Duration horizon = 60 * kDay) {
-  ScenarioConfig config;
-  config.seed = seed;
-  config.horizon = horizon;
-  config.mix = PopulationMix{};
-  config.mix.capacity_users = 0;
-  config.mix.capability_users = 0;
-  config.mix.gateway_end_users = 0;
-  config.mix.workflow_users = 0;
-  config.mix.coupled_users = 0;
-  config.mix.viz_users = 0;
-  config.mix.data_users = 0;
-  config.mix.exploratory_users = 0;
-  config.mix.*member = count;
-  return Scenario(std::move(config));
+  return Scenario(ScenarioConfig::defaults()
+                      .with_seed(seed)
+                      .with_horizon(horizon)
+                      .with_registry(only(name, count)));
 }
 
 TEST(Generator, CapacityUsersLeavePlainJobRecords) {
-  Scenario s = single_archetype(&PopulationMix::capacity_users, 10);
+  Scenario s = single_archetype("capacity", 10);
   s.run();
   ASSERT_GT(s.db().jobs().size(), 50u);
   for (const JobRecord& r : s.db().jobs()) {
@@ -45,7 +43,7 @@ TEST(Generator, CapacityUsersLeavePlainJobRecords) {
 }
 
 TEST(Generator, CapabilityJobsAreHuge) {
-  Scenario s = single_archetype(&PopulationMix::capability_users, 10);
+  Scenario s = single_archetype("capability", 10);
   s.run();
   ASSERT_GT(s.db().jobs().size(), 3u);
   for (const JobRecord& r : s.db().jobs()) {
@@ -56,20 +54,11 @@ TEST(Generator, CapabilityJobsAreHuge) {
 }
 
 TEST(Generator, GatewayEndUsersDriveCommunityAccounts) {
-  ScenarioConfig config;
-  config.seed = 6;
-  config.horizon = 60 * kDay;
-  config.mix = PopulationMix{};
-  config.mix.capacity_users = 0;
-  config.mix.capability_users = 0;
-  config.mix.workflow_users = 0;
-  config.mix.coupled_users = 0;
-  config.mix.viz_users = 0;
-  config.mix.data_users = 0;
-  config.mix.exploratory_users = 0;
-  config.mix.gateway_end_users = 30;
-  config.gateway_adoption_ramp = 0.0;
-  Scenario s(std::move(config));
+  Scenario s(ScenarioConfig::defaults()
+                 .with_seed(6)
+                 .with_horizon(60 * kDay)
+                 .with_registry(only("gateway", 30))
+                 .with_gateway_adoption_ramp(0.0));
   s.run();
   ASSERT_GT(s.db().jobs().size(), 100u);
   std::set<UserId> accounts;
@@ -83,7 +72,7 @@ TEST(Generator, GatewayEndUsersDriveCommunityAccounts) {
 }
 
 TEST(Generator, WorkflowUsersMixTaggedAndBursty) {
-  Scenario s = single_archetype(&PopulationMix::workflow_users, 15);
+  Scenario s = single_archetype("workflow", 15);
   s.run();
   ASSERT_GT(s.db().jobs().size(), 300u);
   long tagged = 0;
@@ -97,7 +86,7 @@ TEST(Generator, WorkflowUsersMixTaggedAndBursty) {
 }
 
 TEST(Generator, CoupledUsersProduceCoallocatedPairs) {
-  Scenario s = single_archetype(&PopulationMix::coupled_users, 8);
+  Scenario s = single_archetype("coupled", 8);
   s.run();
   ASSERT_GT(s.db().jobs().size(), 4u);
   std::map<SimTime, int> by_start;
@@ -110,7 +99,7 @@ TEST(Generator, CoupledUsersProduceCoallocatedPairs) {
 }
 
 TEST(Generator, VizUsersProduceSessionsAndInteractiveJobs) {
-  Scenario s = single_archetype(&PopulationMix::viz_users, 10);
+  Scenario s = single_archetype("viz", 10);
   s.run();
   EXPECT_GT(s.db().sessions().size(), 10u);
   for (const SessionRecord& rec : s.db().sessions()) EXPECT_TRUE(rec.viz);
@@ -125,7 +114,7 @@ TEST(Generator, VizUsersProduceSessionsAndInteractiveJobs) {
 }
 
 TEST(Generator, DataUsersProduceTransfers) {
-  Scenario s = single_archetype(&PopulationMix::data_users, 10);
+  Scenario s = single_archetype("data", 10);
   s.run();
   ASSERT_GT(s.db().transfers().size(), 30u);
   for (const TransferRecord& r : s.db().transfers()) {
@@ -135,7 +124,7 @@ TEST(Generator, DataUsersProduceTransfers) {
 }
 
 TEST(Generator, ExploratoryUsersFailOften) {
-  Scenario s = single_archetype(&PopulationMix::exploratory_users, 30);
+  Scenario s = single_archetype("exploratory", 30);
   s.run();
   ASSERT_GT(s.db().jobs().size(), 50u);
   long failed = 0;
@@ -149,7 +138,7 @@ TEST(Generator, ExploratoryUsersFailOften) {
 }
 
 TEST(Generator, CampaignCountersTrackModalities) {
-  Scenario s = single_archetype(&PopulationMix::viz_users, 5);
+  Scenario s = single_archetype("viz", 5);
   s.run();
   const auto& campaigns = s.generator().campaigns();
   for (std::size_t m = 0; m < kModalityCount; ++m) {

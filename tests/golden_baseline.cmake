@@ -1,0 +1,39 @@
+# Run an experiment binary with its default flags and byte-diff its stdout
+# against the committed pre-data-grid baseline capture. Invoked by ctest as
+#   cmake -DBIN=<exe> -DBASELINE=<tests/golden/baseline/NAME.out>
+#         -DWORK_DIR=<dir> -P golden_baseline.cmake
+#
+# This is the zero-rate discipline made executable (DESIGN.md §5.10): with
+# no data model configured, every pre-existing experiment binary must emit
+# exactly the bytes it emitted before src/data existed — the data grid may
+# not fork an RNG substream, schedule an event, or touch a format string
+# unless a scenario explicitly enables it. Regenerate a baseline only when
+# an experiment's output is *meant* to change:
+#   ./build/bench/<name> > tests/golden/baseline/<name>.out
+if(NOT DEFINED BIN OR NOT DEFINED BASELINE OR NOT DEFINED WORK_DIR)
+  message(FATAL_ERROR
+          "golden_baseline.cmake needs -DBIN=... -DBASELINE=... -DWORK_DIR=...")
+endif()
+
+file(MAKE_DIRECTORY "${WORK_DIR}")
+get_filename_component(name "${BIN}" NAME)
+
+execute_process(
+  COMMAND "${BIN}"
+  OUTPUT_FILE "${WORK_DIR}/${name}.out"
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "${BIN} exited with ${rc}")
+endif()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files
+          "${BASELINE}" "${WORK_DIR}/${name}.out"
+  RESULT_VARIABLE diff)
+if(NOT diff EQUAL 0)
+  message(FATAL_ERROR
+          "${name} stdout drifted from the committed baseline ${BASELINE} "
+          "(got ${WORK_DIR}/${name}.out) — the unconfigured data model must "
+          "not change a byte")
+endif()
+message(STATUS "${name} byte-identical to ${BASELINE}")

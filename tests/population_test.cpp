@@ -9,14 +9,15 @@ namespace {
 
 PopulationConfig small_config() {
   PopulationConfig c;
-  c.mix.capacity_users = 20;
-  c.mix.capability_users = 5;
-  c.mix.gateway_end_users = 30;
-  c.mix.workflow_users = 10;
-  c.mix.coupled_users = 4;
-  c.mix.viz_users = 6;
-  c.mix.data_users = 6;
-  c.mix.exploratory_users = 9;
+  c.registry = ArchetypeRegistry::builtin()
+                   .set_count("capacity", 20)
+                   .set_count("capability", 5)
+                   .set_count("gateway", 30)
+                   .set_count("workflow", 10)
+                   .set_count("coupled", 4)
+                   .set_count("viz", 6)
+                   .set_count("data", 6)
+                   .set_count("exploratory", 9);
   c.gateways = 2;
   return c;
 }
@@ -27,7 +28,7 @@ TEST(Population, AccountCountsMatchMix) {
   const auto cfg = small_config();
   const Population pop = build_population(p, cfg, rng);
   EXPECT_EQ(pop.users.size(),
-            static_cast<std::size_t>(cfg.mix.account_users()));
+            static_cast<std::size_t>(cfg.registry.account_users()));
   // Community holds account users + one community account per gateway.
   EXPECT_EQ(pop.community.user_count(),
             pop.users.size() + static_cast<std::size_t>(cfg.gateways));
@@ -103,7 +104,7 @@ TEST(Population, AdoptionRampSpreadsActivation) {
   const Platform p = teragrid_2010();
   Rng rng(7);
   PopulationConfig cfg = small_config();
-  cfg.mix.gateway_end_users = 200;
+  cfg.registry.set_count("gateway", 200);
   cfg.gateway_adoption_ramp = 1.0;
   cfg.horizon = kYear;
   const Population pop = build_population(p, cfg, rng);
@@ -155,7 +156,7 @@ TEST(Population, WorksOnMiniPlatform) {
   // Constraint relaxation: even viz/capability archetypes get resources.
   const Population pop = build_population(p, small_config(), rng);
   EXPECT_EQ(pop.users.size(),
-            static_cast<std::size_t>(small_config().mix.account_users()));
+            static_cast<std::size_t>(small_config().registry.account_users()));
 }
 
 }  // namespace

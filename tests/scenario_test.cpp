@@ -16,14 +16,15 @@ ScenarioConfig small_config(std::uint64_t seed = 42) {
   ScenarioConfig c;
   c.seed = seed;
   c.horizon = 30 * kDay;
-  c.mix.capacity_users = 25;
-  c.mix.capability_users = 4;
-  c.mix.gateway_end_users = 20;
-  c.mix.workflow_users = 8;
-  c.mix.coupled_users = 3;
-  c.mix.viz_users = 5;
-  c.mix.data_users = 5;
-  c.mix.exploratory_users = 10;
+  c.registry = ArchetypeRegistry::builtin()
+                   .set_count("capacity", 25)
+                   .set_count("capability", 4)
+                   .set_count("gateway", 20)
+                   .set_count("workflow", 8)
+                   .set_count("coupled", 3)
+                   .set_count("viz", 5)
+                   .set_count("data", 5)
+                   .set_count("exploratory", 10);
   c.gateways = 2;
   return c;
 }
@@ -127,7 +128,7 @@ TEST(Scenario, RecordsRespectHorizonSubmissionGuard) {
 
 TEST(Scenario, CoallocatedJobsComeInSimultaneousGroups) {
   ScenarioConfig cfg = small_config();
-  cfg.mix.coupled_users = 8;
+  cfg.registry.set_count("coupled", 8);
   Scenario s(std::move(cfg));
   s.run();
   std::map<SimTime, int> starts;
@@ -148,8 +149,9 @@ TEST(Scenario, CoallocatedJobsComeInSimultaneousGroups) {
 TEST(Scenario, MiniPlatformSmoke) {
   ScenarioConfig cfg = small_config();
   cfg.mini_platform = true;
-  cfg.mix.capability_users = 0;  // nothing big enough to be "capability"
-  cfg.mix.coupled_users = 2;
+  // nothing big enough to be "capability"
+  cfg.registry.set_count("capability", 0);
+  cfg.registry.set_count("coupled", 2);
   Scenario s(std::move(cfg));
   s.run();
   EXPECT_GT(s.db().jobs().size(), 100u);

@@ -280,5 +280,118 @@ TEST(SegmentLog, SwfImportStreamsThroughSegments) {
   }
 }
 
+/// Restart recovery (the kill/reopen path): checkpoint seals and spills
+/// everything, the process "dies" (the database is destroyed), and a fresh
+/// process reopens the spill directory. Every query and aggregate must
+/// match a plain in-memory reference, and the recovered log must keep
+/// accepting appends.
+TEST(SegmentLog, CheckpointThenRecoverAcrossRestart) {
+  const auto dir = spill_dir();
+  SegmentLogConfig cfg;
+  cfg.segment_records = 32;
+  cfg.spill_dir = dir.string();
+
+  const auto stream = make_stream(/*sorted=*/false, 500);
+  UsageDatabase reference;
+  {
+    // "Process 1": segmented database, full stream, checkpoint, death.
+    UsageDatabase db;
+    db.enable_segments(cfg);
+    for (const JobRecord& r : stream) {
+      db.add(r);
+      reference.add(r);
+    }
+    TransferRecord t;
+    t.transfer = TransferId{1};
+    t.src = SiteId{0};
+    t.dst = SiteId{1};
+    t.user = UserId{2};
+    t.bytes = 1e9;
+    t.end_time = 40 * kHour;
+    db.add(t);
+    reference.add(t);
+    SessionRecord sess;
+    sess.user = UserId{3};
+    sess.resource = ResourceId{0};
+    sess.start_time = kHour;
+    sess.end_time = 2 * kHour;
+    db.add(sess);
+    reference.add(sess);
+    ASSERT_TRUE(db.checkpoint_segments());
+  }
+
+  // "Process 2": an empty database reopens the directory.
+  UsageDatabase db;
+  db.recover_segments(cfg);
+  EXPECT_EQ(db.job_count(), reference.job_count());
+  EXPECT_EQ(db.transfer_count(), reference.transfer_count());
+  EXPECT_EQ(db.session_count(), reference.session_count());
+  EXPECT_DOUBLE_EQ(db.total_nu(), reference.total_nu());
+  EXPECT_EQ(db.user_id_limit(), reference.user_id_limit());
+  for (UserId::rep u = 0; u < reference.user_id_limit(); ++u) {
+    const auto got = db.jobs_of(UserId{u});
+    const auto want = reference.jobs_of(UserId{u});
+    ASSERT_EQ(got.size(), want.size()) << "user " << u;
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(key_of(*got[i]), key_of(*want[i]));
+    }
+    const auto got_win = db.records_of(UserId{u}, 0, 200 * kHour);
+    const auto want_win = reference.records_of(UserId{u}, 0, 200 * kHour);
+    EXPECT_EQ(got_win.jobs.size(), want_win.jobs.size());
+    EXPECT_EQ(got_win.transfers.size(), want_win.transfers.size());
+    EXPECT_EQ(got_win.sessions.size(), want_win.sessions.size());
+  }
+
+  // Recovery is a live log, not an archive: appends keep working and the
+  // indexes cover old and new records alike.
+  const std::size_t before = db.jobs_of(UserId{1}).size();
+  db.add(job_rec(1, 999 * kHour));
+  EXPECT_EQ(db.jobs_of(UserId{1}).size(), before + 1);
+}
+
+TEST(SegmentLog, RecoverFromEmptyDirectoryYieldsEmptyLog) {
+  const auto dir = spill_dir();
+  SegmentLogConfig cfg;
+  cfg.segment_records = 16;
+  cfg.spill_dir = dir.string();
+  UsageDatabase db;
+  db.recover_segments(cfg);
+  EXPECT_EQ(db.job_count(), 0u);
+  EXPECT_DOUBLE_EQ(db.total_nu(), 0.0);
+  db.add(job_rec(0, kHour));
+  EXPECT_EQ(db.job_count(), 1u);
+}
+
+TEST(SegmentLog, CheckpointWithoutSpillDirReportsFailure) {
+  SegmentLogConfig cfg;
+  cfg.segment_records = 8;
+  UsageDatabase db;
+  db.enable_segments(cfg);
+  db.add(job_rec(0, kHour));
+  EXPECT_FALSE(db.checkpoint_segments());
+}
+
+/// Checkpoint twice: the second call must not re-spill already-spilled
+/// segments (idempotence), and recovery still sees exactly one copy.
+TEST(SegmentLog, CheckpointIsIdempotent) {
+  const auto dir = spill_dir();
+  SegmentLogConfig cfg;
+  cfg.segment_records = 8;
+  cfg.spill_dir = dir.string();
+  UsageDatabase db;
+  db.enable_segments(cfg);
+  for (int i = 0; i < 20; ++i) {
+    db.add(job_rec(0, (i + 1) * kHour));
+  }
+  ASSERT_TRUE(db.checkpoint_segments());
+  const SegmentLogStats first = db.segment_stats();
+  ASSERT_TRUE(db.checkpoint_segments());
+  EXPECT_EQ(db.segment_stats().spilled, first.spilled);
+
+  UsageDatabase recovered;
+  recovered.recover_segments(cfg);
+  EXPECT_EQ(recovered.job_count(), 20u);
+}
+
 }  // namespace
 }  // namespace tg

@@ -71,7 +71,7 @@ ScenarioConfig make_config(bool faulty, std::uint32_t segment_cap = 0,
 void expect_windows_match_batch(bool faulty) {
   Scenario scenario(make_config(faulty));
   std::vector<StreamingWindow> closed;
-  scenario.streaming()->set_window_sink(
+  scenario.subscribe(
       [&closed](const StreamingWindow& w) { closed.push_back(w); });
   scenario.run();
   if (faulty) ASSERT_GT(scenario.fault_stats().outages, 0u);
